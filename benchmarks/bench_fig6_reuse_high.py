@@ -1,0 +1,42 @@
+"""Figure 6 — Experiment 1 on high trees (2–4 children per node).
+
+Same protocol as Figure 4; the paper notes "the shape of the trees does not
+seem to modify the general behaviour".  The bench asserts exactly that: the
+dominance pattern survives on tall skinny trees.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, line_plot
+from repro.experiments import Exp1Config, run_experiment1
+
+CONFIG = Exp1Config(
+    n_trees=30, e_values=tuple(range(0, 101, 10)), seed=2011
+).high_trees()
+
+
+def test_fig6_reuse_high_trees(benchmark, emit):
+    result = benchmark.pedantic(
+        run_experiment1, args=(CONFIG,), rounds=1, iterations=1
+    )
+
+    assert result.count_mismatches == 0
+    for dp, gr in zip(result.dp_reuse, result.gr_reuse):
+        assert dp.mean >= gr.mean - 1e-9
+    assert result.mean_gap > 0.5
+
+    chart = line_plot(
+        result.series(),
+        title="Figure 6: reused pre-existing servers vs E (high trees)",
+        xlabel="number of pre-existing servers E",
+        ylabel="mean reused",
+    )
+    table = format_table(
+        ("E", "DP_reuse", "GR_reuse", "gap(DP-GR)"), result.rows()
+    )
+    emit(
+        "fig6_reuse_high",
+        f"{chart}\n\n{table}\n\n"
+        f"trees={CONFIG.n_trees}, children 2-4\n"
+        f"mean gap = {result.mean_gap:.2f} servers, max gap = {result.max_gap}",
+    )

@@ -1,0 +1,41 @@
+"""Figure 7 — Experiment 2 on high trees (2–4 children per node).
+
+Same protocol as Figure 5 on tall skinny trees; the paper reports the same
+qualitative behaviour.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import bar_plot, format_table, line_plot
+from repro.experiments import Exp2Config, run_experiment2
+
+CONFIG = Exp2Config(n_trees=20, seed=2012).high_trees()
+
+
+def test_fig7_dynamic_high_trees(benchmark, emit):
+    result = benchmark.pedantic(
+        run_experiment2, args=(CONFIG,), rounds=1, iterations=1
+    )
+
+    assert result.count_mismatches == 0
+    assert result.dp_cumulative[-1].mean >= result.gr_cumulative[-1].mean
+
+    left = line_plot(
+        result.series(),
+        title="Figure 7 (left): cumulative reused servers (high trees)",
+        xlabel="update step",
+        ylabel="partial sum of reused servers",
+    )
+    right = bar_plot(
+        result.gap_histogram,
+        title="Figure 7 (right): mean #steps at each (DP reuse - GR reuse)",
+        xlabel="(reused in DP) - (reused in GR)",
+    )
+    table = format_table(("step", "DP_cumulative", "GR_cumulative"), result.rows())
+    emit(
+        "fig7_dynamic_high",
+        f"{left}\n\n{right}\n\n{table}\n\n"
+        f"trees={CONFIG.n_trees}, steps={CONFIG.n_steps}, children 2-4; "
+        f"final cumulative reuse DP={result.dp_cumulative[-1].mean:.1f} "
+        f"GR={result.gr_cumulative[-1].mean:.1f}",
+    )

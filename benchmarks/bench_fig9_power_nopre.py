@@ -1,0 +1,53 @@
+"""Figure 9 — Experiment 3 without pre-existing replicas.
+
+Paper observation: "For low bound costs the two curves are close together
+because DP finds a solution if and only if GR finds a solution … and there
+is no significant difference for other costs."  Without reuse to exploit,
+the optimal DP's edge over GR nearly vanishes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, line_plot
+from repro.experiments import Exp3Config, run_experiment3
+
+CONFIG = Exp3Config(n_trees=100, seed=2013).no_preexisting()
+
+
+def test_fig9_power_no_preexisting(benchmark, emit):
+    result = benchmark.pedantic(
+        run_experiment3, args=(CONFIG,), rounds=1, iterations=1
+    )
+
+    for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+        assert dp.mean >= gr.mean - 1e-9
+    # Paper: "DP finds a solution if and only if GR finds a solution" when
+    # E = 0 — success rates must match at every bound (they diverge in
+    # Figures 8/11 where reuse lets DP fit under tighter bounds).
+    for dp_ok, gr_ok in zip(result.dp_success, result.gr_success):
+        assert dp_ok == gr_ok
+    # "no significant difference for other costs": both curves reach the
+    # unconstrained optimum at loose bounds.
+    assert result.dp_inverse[-1].mean == 1.0
+    assert result.gr_inverse[-1].mean == 1.0
+    assert result.gr_over_dp[-1].mean == 1.0
+
+    chart = line_plot(
+        result.series(),
+        title="Figure 9: normalised inverse power vs cost bound (no pre-existing)",
+        xlabel="cost bound",
+        ylabel="P_opt/P (0=no solution)",
+    )
+    table = format_table(
+        ("bound", "DP_inv", "GR_inv", "DP_ok", "GR_ok", "GR/DP"),
+        result.rows(),
+    )
+    emit(
+        "fig9_power_nopre",
+        f"{chart}\n\n{table}\n\n"
+        f"trees={CONFIG.n_trees}, E=0; DP and GR succeed on identical tree "
+        "sets at every bound (the paper's iff) and coincide at loose "
+        f"bounds; measured residual mid-range gap: peak mean GR/DP = "
+        f"{result.peak_gr_overhead():.3f} (paper's Figure 9 shows "
+        "near-coincident curves; see EXPERIMENTS.md).",
+    )

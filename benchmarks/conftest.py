@@ -1,0 +1,30 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark measures the experiment runtime with pytest-benchmark *and*
+emits the regenerated figure (ASCII chart + data table) both to the
+terminal (bypassing capture) and to ``benchmarks/results/<name>.txt`` so
+the series survive in the repository.  EXPERIMENTS.md is written from those
+files.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print a named report through the capture barrier and persist it."""
+
+    def _emit(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

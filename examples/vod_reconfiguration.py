@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""VOD catalogue replication: a week of nightly reconfigurations.
+
+The paper motivates replica placement with "electronic, ISP, or VOD service
+delivery" (§1) and pictures updates as "database updates during the night"
+(§6).  This example simulates a video-on-demand provider:
+
+* a fixed regional distribution tree (the paper's key assumption);
+* nightly demand shifts — weekday evenings are calm, a new release creates
+  a regional hotspot at the weekend;
+* every night the operator re-places replicas of the catalogue, paying for
+  new servers and tear-downs, and compares three update policies:
+  systematic (every night), lazy (only when yesterday's placement stops
+  working) and periodic (twice a week), each driven by the optimal
+  MinCost-WithPre update of Theorem 1.
+
+Run: ``python examples/vod_reconfiguration.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import UniformCostModel
+from repro.dynamics import (
+    DPUpdateStrategy,
+    GreedyStrategy,
+    HotspotShift,
+    LazyPolicy,
+    PeriodicPolicy,
+    RandomWalkRequests,
+    SystematicPolicy,
+    compare_policies,
+    run_session,
+)
+from repro.tree.generators import paper_tree
+
+CAPACITY = 10
+NIGHTS = 14
+
+
+def make_week_workloads(tree, rng):
+    """Alternate calm weekday drift with weekend hotspots."""
+    calm = RandomWalkRequests(step=1, minimum=1, maximum=6)
+    release = HotspotShift(hot_range=(4, 6), cold_range=(1, 2))
+    workloads = [tree]
+    for night in range(1, NIGHTS):
+        model = release if night % 7 in (5, 6) else calm
+        workloads.append(model.evolve(workloads[-1], rng))
+    return workloads
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    tree = paper_tree(n_nodes=60, children_range=(3, 5), client_prob=0.6,
+                      request_range=(1, 4), rng=rng)
+    print(f"distribution tree: {tree.n_nodes} nodes, {tree.n_clients} regions "
+          f"with subscribers, capacity W={CAPACITY}")
+    workloads = make_week_workloads(tree, rng)
+
+    # --- optimal update vs greedy re-placement, night by night ---------
+    session = run_session(
+        workloads[0], CAPACITY, NIGHTS,
+        RandomWalkRequests(step=1),
+        {"optimal-update": DPUpdateStrategy(), "greedy": GreedyStrategy()},
+        rng=np.random.default_rng(7),
+    )
+    dp_total = sum(r.cost for r in session.tracks["optimal-update"])
+    gr_total = sum(r.cost for r in session.tracks["greedy"])
+    print("\nnightly re-placement over two weeks (same demand trace):")
+    print(f"  optimal update total cost : {dp_total:8.2f}")
+    print(f"  greedy re-place total cost: {gr_total:8.2f}  "
+          f"(+{(gr_total / dp_total - 1) * 100:.1f}%)")
+
+    # --- when to reconfigure at all? -----------------------------------
+    runs = compare_policies(
+        workloads, CAPACITY,
+        [SystematicPolicy(), LazyPolicy(), PeriodicPolicy(period=3)],
+        DPUpdateStrategy(),
+        cost_model=UniformCostModel(create=0.5, delete=0.05),
+    )
+    print("\nupdate-timing policies (create=0.5, delete=0.05 per change):")
+    print(f"  {'policy':<12} {'updates':>7} {'mean servers':>13} {'total cost':>11}")
+    for name, run in runs.items():
+        print(f"  {name:<12} {run.updates:>7} {run.mean_servers:>13.2f} "
+              f"{run.total_cost:>11.2f}")
+    print("\nLazy pays fewer reconfiguration charges but carries stale "
+          "placements; systematic tracks demand tightly at maximal update "
+          "cost — exactly the trade-off §6 of the paper sketches.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim so legacy editable installs work on environments without `wheel`.
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,104 @@
+"""Plain-text plotting.
+
+The benchmark harness regenerates the paper's figures as terminal output:
+:func:`line_plot` renders one or more ``(x, y)`` series on a shared axis
+(Figures 4, 6, 8–11 and the left panels of 5/7), :func:`bar_plot` renders
+integer histograms (right panels of Figures 5/7).  No plotting dependency
+is required — output goes straight into ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["line_plot", "bar_plot"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render ``{name: [(x, y), …]}`` series as an ASCII chart.
+
+    Points are mapped onto a ``width × height`` grid; later series overwrite
+    earlier ones on collisions (legend shows each marker).  NaN ``y`` values
+    are skipped, which lets callers plot partially-defined curves.
+    """
+    pts = [
+        (x, y)
+        for s in series.values()
+        for x, y in s
+        if y == y  # filter NaN
+    ]
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(x: float) -> int:
+        return min(width - 1, int((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def to_row(y: float) -> int:
+        return min(height - 1, int((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+
+    legend = []
+    for idx, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker}={name}")
+        for x, y in data:
+            if y != y:
+                continue
+            grid[height - 1 - to_row(y)][to_col(x)] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"  [{', '.join(legend)}]" + (f"  y: {ylabel}" if ylabel else ""))
+    y_top = f"{y_hi:.3g}"
+    y_bot = f"{y_lo:.3g}"
+    margin = max(len(y_top), len(y_bot))
+    for r, row in enumerate(grid):
+        label = y_top if r == 0 else (y_bot if r == height - 1 else "")
+        lines.append(f"{label:>{margin}} |{''.join(row)}")
+    lines.append(" " * margin + " +" + "-" * width)
+    x_axis = f"{x_lo:.3g}".ljust(width - 8) + f"{x_hi:.3g}"
+    lines.append(" " * (margin + 2) + x_axis + (f"  x: {xlabel}" if xlabel else ""))
+    return "\n".join(lines)
+
+
+def bar_plot(
+    counts: Mapping[int, float],
+    *,
+    width: int = 50,
+    title: str = "",
+    xlabel: str = "",
+) -> str:
+    """Render an integer-keyed histogram as horizontal ASCII bars."""
+    if not counts:
+        return f"{title}\n(no data)"
+    peak = max(counts.values()) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+    for key in sorted(counts):
+        value = counts[key]
+        bar = "#" * max(0, int(round(value / peak * width)))
+        lines.append(f"{key:>5} | {bar} {value:.2f}")
+    if xlabel:
+        lines.append(f"(x: {xlabel})")
+    return "\n".join(lines)

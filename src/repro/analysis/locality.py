@@ -1,0 +1,70 @@
+"""Locality metrics: how far do requests travel to their server?
+
+The *closest* policy exists for locality — electronic/ISP/VOD delivery
+wants requests served near the edge (§1).  These metrics quantify that:
+per-request hop counts from a client's attachment node up to its serving
+replica.  The locality ablation uses them to show what the DP's extra
+reuse does (or does not) cost in proximity compared to GR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.core.solution import assign_clients
+from repro.tree.model import Tree
+
+__all__ = ["LocalityReport", "locality_report"]
+
+
+@dataclass(frozen=True)
+class LocalityReport:
+    """Hop statistics of a placement, weighted by request volume."""
+
+    hop_histogram: Mapping[int, int]  #: hops -> requests served at that distance
+    served_requests: int
+    unserved_requests: int
+
+    @property
+    def mean_hops(self) -> float:
+        """Request-weighted mean client-to-server distance."""
+        if self.served_requests == 0:
+            return float("nan")
+        total = sum(h * q for h, q in self.hop_histogram.items())
+        return total / self.served_requests
+
+    @property
+    def max_hops(self) -> int:
+        return max(self.hop_histogram, default=0)
+
+    def fraction_within(self, hops: int) -> float:
+        """Fraction of served requests within ``hops`` of their client."""
+        if self.served_requests == 0:
+            return float("nan")
+        near = sum(q for h, q in self.hop_histogram.items() if h <= hops)
+        return near / self.served_requests
+
+
+def locality_report(tree: Tree, replicas: Iterable[int]) -> LocalityReport:
+    """Compute hop statistics for a placement.
+
+    Hops count edges from the client's attachment node to the serving
+    replica (0 = served on the attachment node itself).
+    """
+    assignment = assign_clients(tree, replicas)
+    histogram: dict[int, int] = {}
+    served = 0
+    unserved = 0
+    for client, server in zip(tree.clients, assignment):
+        if server is None:
+            unserved += client.requests
+            continue
+        hops = tree.depth(client.node) - tree.depth(server)
+        histogram[hops] = histogram.get(hops, 0) + client.requests
+        served += client.requests
+    return LocalityReport(
+        hop_histogram=dict(sorted(histogram.items())),
+        served_requests=served,
+        unserved_requests=unserved,
+    )

@@ -1,0 +1,329 @@
+"""Command-line interface: ``python -m repro`` or the ``repro`` script.
+
+Subcommands
+-----------
+``generate``
+    Emit a random distribution tree (paper's §5 generator) as JSON.
+``solve``
+    Solve MinCost on a tree file with the DP or the GR baseline.
+``power``
+    Print the exact cost/power frontier (and optionally the placement for
+    one bound).
+``exp1`` / ``exp2`` / ``exp3``
+    Run the paper's experiments at a configurable scale and render the
+    corresponding figure as ASCII + a data table (optionally CSV).
+``scaling``
+    Time the solver regimes at the paper's reference sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis import bar_plot, format_table, line_plot, render_tree, to_csv
+from repro.dynamics import plan_migration
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.core.dp_withpre import replica_update
+from repro.core.greedy import greedy_placement
+from repro.exceptions import ReproError
+from repro.experiments import (
+    Exp1Config,
+    Exp2Config,
+    Exp3Config,
+    make_preset,
+    preset_names,
+    run_experiment1,
+    run_experiment1_parallel,
+    run_experiment2,
+    run_experiment2_parallel,
+    run_experiment3,
+    run_experiment3_parallel,
+    run_scaling,
+)
+from repro.power.dp_power_pareto import power_frontier
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.generators import paper_tree, random_preexisting
+from repro.tree.serialize import tree_from_json, tree_to_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Power-aware replica placement and update strategies in tree "
+            "networks (Benoit, Renaud-Goud, Robert) - reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("generate", help="generate a random tree as JSON")
+    g.add_argument("--nodes", type=int, default=100)
+    g.add_argument("--children", type=int, nargs=2, default=(6, 9), metavar=("LO", "HI"))
+    g.add_argument("--client-prob", type=float, default=0.5)
+    g.add_argument("--requests", type=int, nargs=2, default=(1, 6), metavar=("LO", "HI"))
+    g.add_argument(
+        "--preset", type=str, default=None,
+        help=f"named workload ({', '.join(preset_names())}); overrides the "
+        "other shape options",
+    )
+    g.add_argument("--seed", type=int, default=None)
+    g.add_argument("-o", "--output", type=str, default="-")
+
+    s = sub.add_parser("solve", help="solve MinCost on a tree JSON file")
+    s.add_argument("tree", type=str, help="tree JSON path ('-' for stdin)")
+    s.add_argument("--capacity", type=int, default=10)
+    s.add_argument("--algorithm", choices=("dp", "greedy"), default="dp")
+    s.add_argument("--preexisting", type=str, default="", help="comma-separated node ids")
+    s.add_argument("--random-preexisting", type=int, default=None, metavar="E")
+    s.add_argument("--seed", type=int, default=None)
+    s.add_argument("--create", type=float, default=0.1)
+    s.add_argument("--delete", type=float, default=0.01)
+    s.add_argument("--show", action="store_true", help="render the placement as an ASCII tree")
+    s.add_argument("--plan", action="store_true", help="print the migration plan from the pre-existing set")
+
+    p = sub.add_parser("power", help="print the cost/power frontier of a tree")
+    p.add_argument("tree", type=str)
+    p.add_argument("--modes", type=str, default="5,10", help="comma-separated capacities")
+    p.add_argument("--alpha", type=float, default=3.0)
+    p.add_argument("--static", type=float, default=12.5)
+    p.add_argument("--create", type=float, default=0.1)
+    p.add_argument("--delete", type=float, default=0.01)
+    p.add_argument("--changed", type=float, default=0.001)
+    p.add_argument(
+        "--preexisting", type=str, default="",
+        help="node:mode pairs, e.g. '3:1,7:0'",
+    )
+    p.add_argument("--bound", type=float, default=None)
+
+    for name, helptext in (
+        ("exp1", "Experiment 1 / Figures 4 & 6 (reuse vs E)"),
+        ("exp2", "Experiment 2 / Figures 5 & 7 (dynamic updates)"),
+        ("exp3", "Experiment 3 / Figures 8-11 (power under cost bounds)"),
+    ):
+        e = sub.add_parser(name, help=helptext)
+        e.add_argument("--trees", type=int, default=20)
+        e.add_argument("--high-trees", action="store_true")
+        e.add_argument("--seed", type=int, default=None)
+        e.add_argument("--csv", type=str, default=None)
+        e.add_argument(
+            "--workers", type=int, default=1,
+            help="process-pool size (results differ from sequential runs "
+            "only through per-chunk RNG streams)",
+        )
+        if name == "exp3":
+            e.add_argument("--no-preexisting", action="store_true")
+            e.add_argument("--expensive-costs", action="store_true")
+
+    sub.add_parser("scaling", help="time the solvers at the paper's sizes")
+    return parser
+
+
+def _read_tree(path: str):
+    text = sys.stdin.read() if path == "-" else open(path, encoding="utf-8").read()
+    return tree_from_json(text)
+
+
+def _parse_pre_modes(spec: str) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for part in filter(None, (p.strip() for p in spec.split(","))):
+        node, _, mode = part.partition(":")
+        out[int(node)] = int(mode) if mode else 0
+    return out
+
+
+def _progress(done: int, total: int) -> None:
+    print(f"\r  tree {done}/{total}", end="", file=sys.stderr, flush=True)
+    if done == total:
+        print(file=sys.stderr)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "generate":
+        if args.preset is not None:
+            tree = make_preset(args.preset, rng=np.random.default_rng(args.seed))
+        else:
+            tree = paper_tree(
+                n_nodes=args.nodes,
+                children_range=tuple(args.children),
+                client_prob=args.client_prob,
+                request_range=tuple(args.requests),
+                rng=np.random.default_rng(args.seed),
+            )
+        text = tree_to_json(tree, indent=2)
+        if args.output == "-":
+            print(text)
+        else:
+            with open(args.output, "w", encoding="utf-8") as fh:
+                fh.write(text + "\n")
+        return 0
+
+    if args.command == "solve":
+        tree = _read_tree(args.tree)
+        if args.random_preexisting is not None:
+            pre = random_preexisting(
+                tree, args.random_preexisting, rng=np.random.default_rng(args.seed)
+            )
+        else:
+            pre = frozenset(
+                int(v) for v in filter(None, args.preexisting.split(","))
+            )
+        if args.algorithm == "dp":
+            res = replica_update(
+                tree, args.capacity, pre, UniformCostModel(args.create, args.delete)
+            )
+        else:
+            res = greedy_placement(tree, args.capacity, preexisting=pre)
+        print(f"replicas ({res.n_replicas}): {sorted(res.replicas)}")
+        print(
+            f"reused={res.n_reused} created={res.n_created} "
+            f"deleted={res.n_deleted} cost={res.cost}"
+        )
+        if args.show:
+            print(
+                render_tree(
+                    tree, replicas=res.replicas, preexisting=pre, loads=res.loads
+                )
+            )
+        if args.plan:
+            print(plan_migration(pre, res.replicas))
+        return 0
+
+    if args.command == "power":
+        tree = _read_tree(args.tree)
+        modes = ModeSet(tuple(int(c) for c in args.modes.split(",")))
+        power_model = PowerModel(modes, static_power=args.static, alpha=args.alpha)
+        cost_model = ModalCostModel.uniform(
+            modes.n_modes, create=args.create, delete=args.delete, changed=args.changed
+        )
+        pre = _parse_pre_modes(args.preexisting)
+        frontier = power_frontier(tree, power_model, cost_model, pre)
+        print(format_table(("cost", "power"), frontier.pairs()))
+        if args.bound is not None:
+            best = frontier.best_under_cost(args.bound)
+            if best is None:
+                print(f"no solution with cost <= {args.bound}")
+            else:
+                print(
+                    f"bound {args.bound}: power={best.power:.3f} "
+                    f"cost={best.cost:.3f} servers={dict(sorted(best.server_modes.items()))}"
+                )
+        return 0
+
+    if args.command == "exp1":
+        config = Exp1Config(n_trees=args.trees)
+        if args.seed is not None:
+            config = Exp1Config(n_trees=args.trees, seed=args.seed)
+        if args.high_trees:
+            config = config.high_trees()
+        if args.workers > 1:
+            result = run_experiment1_parallel(config, n_workers=args.workers)
+        else:
+            result = run_experiment1(config, progress=_progress)
+        print(
+            line_plot(
+                result.series(),
+                title=f"Figure {'6' if args.high_trees else '4'}: reused servers vs E",
+                xlabel="pre-existing servers E",
+                ylabel="mean reused",
+            )
+        )
+        headers = ("E", "DP_reuse", "GR_reuse", "gap")
+        print(format_table(headers, result.rows()))
+        print(
+            f"mean gap={result.mean_gap:.2f}, max gap={result.max_gap}, "
+            f"count mismatches={result.count_mismatches}"
+        )
+        if args.csv:
+            open(args.csv, "w", encoding="utf-8").write(to_csv(headers, result.rows()))
+        return 0
+
+    if args.command == "exp2":
+        config = Exp2Config(n_trees=args.trees)
+        if args.seed is not None:
+            config = Exp2Config(n_trees=args.trees, seed=args.seed)
+        if args.high_trees:
+            config = config.high_trees()
+        if args.workers > 1:
+            result = run_experiment2_parallel(config, n_workers=args.workers)
+        else:
+            result = run_experiment2(config, progress=_progress)
+        fig = "7" if args.high_trees else "5"
+        print(
+            line_plot(
+                result.series(),
+                title=f"Figure {fig} (left): cumulative reused servers",
+                xlabel="update step",
+                ylabel="cumulative reuse",
+            )
+        )
+        print(
+            bar_plot(
+                result.gap_histogram,
+                title=f"Figure {fig} (right): per-step (DP reuse - GR reuse)",
+                xlabel="reuse gap",
+            )
+        )
+        if args.csv:
+            headers = ("step", "DP_cumulative", "GR_cumulative")
+            open(args.csv, "w", encoding="utf-8").write(to_csv(headers, result.rows()))
+        return 0
+
+    if args.command == "exp3":
+        config = Exp3Config(n_trees=args.trees)
+        if args.seed is not None:
+            config = Exp3Config(n_trees=args.trees, seed=args.seed)
+        fig = "8"
+        if args.high_trees:
+            config, fig = config.high_trees(), "10"
+        if args.no_preexisting:
+            config, fig = config.no_preexisting(), "9"
+        if args.expensive_costs:
+            config, fig = config.expensive_costs(), "11"
+        if args.workers > 1:
+            result = run_experiment3_parallel(config, n_workers=args.workers)
+        else:
+            result = run_experiment3(config, progress=_progress)
+        print(
+            line_plot(
+                result.series(),
+                title=f"Figure {fig}: normalised inverse power vs cost bound",
+                xlabel="cost bound",
+                ylabel="P_opt / P (0 = no solution)",
+            )
+        )
+        headers = ("bound", "DP_inv", "GR_inv", "DP_ok", "GR_ok", "GR/DP")
+        print(format_table(headers, result.rows()))
+        print(f"peak GR-over-DP power ratio: {result.peak_gr_overhead():.3f}")
+        if args.csv:
+            open(args.csv, "w", encoding="utf-8").write(to_csv(headers, result.rows()))
+        return 0
+
+    if args.command == "scaling":
+        points = run_scaling()
+        rows = [
+            (p.regime, p.n_nodes, p.n_preexisting, p.seconds, p.detail)
+            for p in points
+        ]
+        print(format_table(("regime", "N", "E", "seconds", "detail"), rows))
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,320 @@
+"""MinCost-WithPre — the paper's optimal update algorithm (§3, Theorem 1).
+
+Given a tree with pre-existing servers ``E``, find the replica set ``R``
+minimising ``cost(R) = R + (R-e)·create + (E-e)·delete`` (Equation 2), or
+any user-supplied cost of ``(servers, reused, pre-existing)``.
+
+This implements Algorithms 1–4 of the paper:
+
+* ``init`` / ``main`` (Algorithms 1–2) become a single post-order pass that
+  allocates per-node tables ``minr_j[e, n]`` — the minimal number of
+  requests traversing ``j`` when exactly ``e`` pre-existing and ``n`` new
+  servers are used *strictly inside* ``subtree_j``.  Infeasible cells hold
+  the sentinel ``W + 1`` exactly as in Algorithm 1.
+* ``merge`` (Algorithm 3) becomes a 2-D min-plus convolution between the
+  accumulated table of ``j`` and each child's *offer* table (child kept
+  replica-free, or hosting a reused / new replica that absorbs its
+  residual flow).  The convolution iterates over the (small) child offer
+  and updates the accumulator with vectorised numpy slices; argmins are
+  recorded for reconstruction.
+* ``replica-update`` (Algorithm 4) scans the root table, prices every
+  ``(e, n)`` cell — adding a root replica when requests remain — and keeps
+  the cheapest.  We additionally price the "reuse the root as an idle
+  server" option (never chosen when ``delete < 1``, i.e. in every paper
+  configuration, but required for exactness under exotic cost models where
+  deletions cost more than keeping a server).
+
+Two deviations from the pseudo-code, both output-preserving:
+
+* tables are bounded by the *subtree contents* (``e ≤ |E ∩ subtree_j|``,
+  ``n ≤ |subtree_j|``) instead of the global ``(E+1)×(N-E+1)`` bound — the
+  classic small-to-large argument; values are identical where both exist,
+  and out-of-bound cells are provably infeasible;
+* instead of the O(N) ``req`` vectors per cell we store per-merge argmin
+  backpointers and rebuild the placement by unwinding merges (§3.3 notes
+  the same optimisation for the cost; we extend it to reconstruction).
+
+Worst-case complexity matches Theorem 1: O(N · (N-E+1)² · (E+1)²) ⊆ O(N⁵).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.stats import CoreDPStats
+
+from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
+from repro.core.costs import UniformCostModel
+from repro.core.solution import PlacementResult
+from repro.tree.model import Tree
+from repro.tree.validate import check_preexisting
+
+__all__ = ["replica_update", "CostLike", "RootChoice"]
+
+PLACED_NONE = 0
+PLACED_REUSED = 1
+PLACED_NEW = 2
+
+
+class CostLike(Protocol):
+    """Anything pricing ``(n_servers, n_reused, n_preexisting)`` triples."""
+
+    def total(self, n_servers: int, n_reused: int, n_preexisting: int) -> float: ...
+
+
+@dataclass(frozen=True)
+class RootChoice:
+    """Selected root-table cell (diagnostic payload on the result)."""
+
+    e: int
+    n: int
+    residual: int
+    root_replica: bool
+
+
+def _offer_table(
+    child_table: np.ndarray, is_pre: bool, capacity: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Extend a child's table with the replica-on-child options.
+
+    Offer cell ``(de, dn)`` is the best flow the child branch contributes
+    when it uses ``de`` pre-existing and ``dn`` new servers *including* a
+    possible replica on the child itself.  ``placed`` records which option
+    produced the value (Algorithm 3, lines 11 / 16 / 23).
+    """
+    inf = capacity + 1
+    re_, rn = child_table.shape
+    if is_pre:
+        offer = np.full((re_ + 1, rn), inf, dtype=np.int64)
+        placed = np.zeros((re_ + 1, rn), dtype=np.int8)
+        offer[:re_, :] = child_table
+        region = offer[1:, :]
+        mask = (child_table <= capacity) & (region > 0)
+        region[mask] = 0
+        placed[1:, :][mask] = PLACED_REUSED
+    else:
+        offer = np.full((re_, rn + 1), inf, dtype=np.int64)
+        placed = np.zeros((re_, rn + 1), dtype=np.int8)
+        offer[:, :rn] = child_table
+        region = offer[:, 1:]
+        mask = (child_table <= capacity) & (region > 0)
+        region[mask] = 0
+        placed[:, 1:][mask] = PLACED_NEW
+    return offer, placed
+
+
+def _merge(
+    acc: np.ndarray,
+    offer: np.ndarray,
+    offer_placed: np.ndarray,
+    capacity: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """2-D min-plus convolution of the accumulator with a child offer.
+
+    Returns ``(table, choice_e, choice_n, choice_placed)`` where the choice
+    arrays record, for every output cell, how many (pre-existing, new)
+    servers were attributed to the child branch and whether the child itself
+    hosts a replica.
+    """
+    inf = capacity + 1
+    ea, na = acc.shape
+    oe, on = offer.shape
+    out = np.full((ea + oe - 1, na + on - 1), inf, dtype=np.int64)
+    ch_e = np.zeros(out.shape, dtype=np.int16)
+    ch_n = np.zeros(out.shape, dtype=np.int16)
+    ch_p = np.zeros(out.shape, dtype=np.int8)
+    for de in range(oe):
+        row = offer[de]
+        for dn in range(on):
+            val = row[dn]
+            if val > capacity:
+                continue
+            cand = acc + val
+            cand[cand > capacity] = inf
+            region = out[de : de + ea, dn : dn + na]
+            better = cand < region
+            if better.any():
+                region[better] = cand[better]
+                ch_e[de : de + ea, dn : dn + na][better] = de
+                ch_n[de : de + ea, dn : dn + na][better] = dn
+                ch_p[de : de + ea, dn : dn + na][better] = offer_placed[de, dn]
+    return out, ch_e, ch_n, ch_p
+
+
+def replica_update(
+    tree: Tree,
+    capacity: int,
+    preexisting: Iterable[int] = (),
+    cost_model: CostLike | None = None,
+    *,
+    stats: "CoreDPStats | None" = None,
+) -> PlacementResult:
+    """Solve MinCost-WithPre optimally (paper Algorithm 4, ``replica-update``).
+
+    Parameters
+    ----------
+    tree, capacity:
+        The instance; ``capacity`` is the uniform server capacity ``W``.
+    preexisting:
+        The set ``E`` of nodes already hosting a replica.
+    cost_model:
+        Defaults to the paper's Equation 2 with ``create=0.1``,
+        ``delete=0.01``; any object with a
+        ``total(n_servers, n_reused, n_preexisting)`` method works
+        ("the total cost is an arbitrary function of the number of existing
+        servers that are reused, and of the number of new servers", §1).
+    stats:
+        Optional :class:`repro.perf.CoreDPStats` collector; when given it
+        accumulates table-size statistics (negligible overhead).
+
+    Returns
+    -------
+    PlacementResult
+        Optimal placement with reuse/creation/deletion bookkeeping, total
+        cost, and the selected root cell in ``extra["root_choice"]``.
+
+    Raises
+    ------
+    InfeasibleError
+        When no valid placement exists (some direct client load exceeds
+        ``capacity``).
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    eset = check_preexisting(tree, preexisting)
+    model: CostLike = cost_model if cost_model is not None else UniformCostModel()
+    inf = capacity + 1
+    n = tree.n_nodes
+
+    tables: list[np.ndarray | None] = [None] * n
+    choices: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = [
+        [] for _ in range(n)
+    ]
+
+    for v in tree.post_order():
+        j = int(v)
+        load = tree.client_load(j)
+        if load > capacity:
+            raise InfeasibleError(
+                f"direct client load {load} at node {j} exceeds W={capacity}",
+                node=j,
+            )
+        acc = np.array([[load]], dtype=np.int64)
+        for child in tree.children(j):
+            child_table = tables[child]
+            assert child_table is not None
+            offer, offer_placed = _offer_table(
+                child_table, child in eset, capacity
+            )
+            acc, ch_e, ch_n, ch_p = _merge(acc, offer, offer_placed, capacity)
+            choices[j].append((ch_e, ch_n, ch_p))
+            tables[child] = None  # free early; reconstruction uses choices only
+            if stats is not None:
+                stats.record_merge(acc.shape[0], acc.shape[1])
+        tables[j] = acc
+
+    root = tree.root
+    root_table = tables[root]
+    assert root_table is not None
+    n_pre = len(eset)
+    root_is_pre = root in eset
+
+    best_cost: float | None = None
+    best: RootChoice | None = None
+
+    def consider(cost: float, choice: RootChoice) -> None:
+        nonlocal best_cost, best
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best = choice
+
+    er, nr = root_table.shape
+    for e in range(er):
+        for nn in range(nr):
+            f = int(root_table[e, nn])
+            if f > capacity:
+                continue
+            if f == 0:
+                consider(
+                    model.total(e + nn, e, n_pre),
+                    RootChoice(e, nn, 0, root_replica=False),
+                )
+                if root_is_pre:
+                    # Idle reused root (never optimal when delete < 1; see
+                    # module docstring).
+                    consider(
+                        model.total(e + nn + 1, e + 1, n_pre),
+                        RootChoice(e, nn, 0, root_replica=True),
+                    )
+            else:
+                if root_is_pre:
+                    consider(
+                        model.total(e + nn + 1, e + 1, n_pre),
+                        RootChoice(e, nn, f, root_replica=True),
+                    )
+                else:
+                    consider(
+                        model.total(e + nn + 1, e, n_pre),
+                        RootChoice(e, nn, f, root_replica=True),
+                    )
+
+    if best is None or best_cost is None:
+        raise InfeasibleError("no valid replica placement exists")
+
+    replicas = _reconstruct(tree, choices, root, best.e, best.n)
+    if best.root_replica:
+        replicas.append(root)
+    expected = best.e + best.n + (1 if best.root_replica else 0)
+    if len(replicas) != expected:
+        raise SolverError(
+            f"reconstructed {len(replicas)} replicas, expected {expected}"
+        )
+    return PlacementResult.from_replicas(
+        tree,
+        replicas,
+        capacity,
+        preexisting=eset,
+        cost=float(best_cost),
+        extra={"root_choice": best},
+    )
+
+
+def _reconstruct(
+    tree: Tree,
+    choices: list[list[tuple[np.ndarray, np.ndarray, np.ndarray]]],
+    node: int,
+    e: int,
+    n: int,
+) -> list[int]:
+    """Unwind the per-merge argmin records into an explicit replica set."""
+    replicas: list[int] = []
+    stack: list[tuple[int, int, int]] = [(node, e, n)]
+    while stack:
+        j, be, bn = stack.pop()
+        children = tree.children(j)
+        for idx in range(len(children) - 1, -1, -1):
+            ch_e, ch_n, ch_p = choices[j][idx]
+            de = int(ch_e[be, bn])
+            dn = int(ch_n[be, bn])
+            flag = int(ch_p[be, bn])
+            child = children[idx]
+            if flag == PLACED_REUSED:
+                replicas.append(child)
+                stack.append((child, de - 1, dn))
+            elif flag == PLACED_NEW:
+                replicas.append(child)
+                stack.append((child, de, dn - 1))
+            else:
+                stack.append((child, de, dn))
+            be -= de
+            bn -= dn
+        if be != 0 or bn != 0:
+            raise SolverError(
+                f"backtracking left budget (e={be}, n={bn}) at node {j}; "
+                "DP tables corrupt"
+            )
+    return replicas

@@ -1,0 +1,81 @@
+"""Exhaustive oracles for small instances.
+
+These brute-force solvers enumerate every subset of internal nodes and are
+used by the test-suite as ground truth for the dynamic programs, the greedy
+baseline and the power solvers.  They are exponential by construction and
+guarded against accidental use on large trees.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Iterator
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.core.costs import UniformCostModel
+from repro.core.dp_withpre import CostLike
+from repro.core.solution import PlacementResult, evaluate_placement
+from repro.tree.model import Tree
+
+__all__ = [
+    "iter_valid_placements",
+    "exhaustive_min_replicas",
+    "exhaustive_min_cost",
+]
+
+_MAX_NODES = 18
+
+
+def _guard(tree: Tree) -> None:
+    if tree.n_nodes > _MAX_NODES:
+        raise ConfigurationError(
+            f"exhaustive solvers are capped at {_MAX_NODES} internal nodes "
+            f"(got {tree.n_nodes}); use the dynamic programs instead"
+        )
+
+
+def iter_valid_placements(
+    tree: Tree, capacity: int
+) -> Iterator[tuple[frozenset[int], dict[int, int]]]:
+    """Yield every valid replica set with its per-server loads.
+
+    Enumeration order is by increasing set size, then lexicographic, so the
+    first yielded placement has the minimal replica count.
+    """
+    _guard(tree)
+    nodes = range(tree.n_nodes)
+    for size in range(tree.n_nodes + 1):
+        for combo in combinations(nodes, size):
+            check = evaluate_placement(tree, combo, capacity)
+            if check.ok:
+                yield frozenset(combo), dict(check.loads)
+
+
+def exhaustive_min_replicas(tree: Tree, capacity: int) -> PlacementResult:
+    """Ground-truth MinCost-NoPre solution (minimal replica count)."""
+    for replicas, _loads in iter_valid_placements(tree, capacity):
+        return PlacementResult.from_replicas(tree, replicas, capacity)
+    raise InfeasibleError("no valid replica placement exists")
+
+
+def exhaustive_min_cost(
+    tree: Tree,
+    capacity: int,
+    preexisting: Iterable[int] = (),
+    cost_model: CostLike | None = None,
+) -> PlacementResult:
+    """Ground-truth MinCost-WithPre solution (minimal Equation-2 cost)."""
+    model: CostLike = cost_model if cost_model is not None else UniformCostModel()
+    eset = frozenset(int(v) for v in preexisting)
+    best: PlacementResult | None = None
+    for replicas, _loads in iter_valid_placements(tree, capacity):
+        cost = model.total(
+            len(replicas), len(replicas & eset), len(eset)
+        )
+        if best is None or cost < best.cost:  # type: ignore[operator]
+            best = PlacementResult.from_replicas(
+                tree, replicas, capacity, preexisting=eset, cost=float(cost)
+            )
+    if best is None:
+        raise InfeasibleError("no valid replica placement exists")
+    return best

@@ -1,0 +1,120 @@
+"""GR — the greedy baseline of Wu, Lin and Liu [19].
+
+This is the algorithm the paper benchmarks against (§5): it returns a
+placement with the *minimum number of replicas* for the closest policy, but
+it is oblivious to pre-existing servers and to power.
+
+Algorithm
+---------
+Process internal nodes bottom-up, maintaining for each node the *flow* of
+yet-unserved requests leaving its subtree.  After a node's children are
+processed every proper descendant carries a flow of at most ``W``.  When the
+accumulated flow at node ``j`` exceeds ``W``, replicas must be placed inside
+``subtree_j``; because flows only grow towards the root, the absorbing
+candidates that matter are ``j``'s children, and placing a replica on the
+child with the largest flow maximises absorption per replica.  Repeating
+until the flow fits yields the minimal replica count and, for that count,
+the minimal flow passed upwards.  Any residual flow at the root is absorbed
+by a final replica on the root itself.
+
+Tie-breaking is configurable, which doubles as the "reuse-aware greedy"
+heuristic the paper's conclusion suggests (prefer pre-existing servers among
+maximal-flow candidates).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Literal
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.core.solution import PlacementResult
+from repro.tree.model import Tree
+
+__all__ = ["greedy_placement", "greedy_min_replicas"]
+
+TieBreak = Literal["index", "prefer_preexisting", "random"]
+
+
+def greedy_placement(
+    tree: Tree,
+    capacity: int,
+    *,
+    preexisting: Iterable[int] = (),
+    tie_break: TieBreak = "index",
+    rng: np.random.Generator | int | None = None,
+) -> PlacementResult:
+    """Minimum-replica placement via the GR greedy of [19].
+
+    Parameters
+    ----------
+    tree, capacity:
+        The instance; ``capacity`` is the uniform server capacity ``W``.
+    preexisting:
+        Only used for bookkeeping (reuse/deletion counts in the result) and
+        by the ``prefer_preexisting`` tie-break; the baseline itself ignores
+        it, exactly as in the paper's experiments.
+    tie_break:
+        ``"index"`` (deterministic, smallest node id), ``"prefer_preexisting"``
+        (reuse-aware variant, §6 future work) or ``"random"``.
+
+    Raises
+    ------
+    InfeasibleError
+        When some node's direct client load exceeds ``capacity``.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    if tie_break not in ("index", "prefer_preexisting", "random"):
+        raise ConfigurationError(f"unknown tie_break {tie_break!r}")
+    eset = frozenset(int(v) for v in preexisting)
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    n = tree.n_nodes
+    flow = tree.client_loads.astype(np.int64).copy()
+    replicas: list[int] = []
+
+    def pick(candidates: list[int]) -> int:
+        """Choose among children with maximal flow according to tie_break."""
+        best_flow = max(int(flow[c]) for c in candidates)
+        top = [c for c in candidates if int(flow[c]) == best_flow]
+        if len(top) == 1:
+            return top[0]
+        if tie_break == "prefer_preexisting":
+            pre = [c for c in top if c in eset]
+            if pre:
+                top = pre
+        if tie_break == "random":
+            return int(top[int(gen.integers(0, len(top)))])
+        return min(top)
+
+    for v in tree.post_order():
+        j = int(v)
+        children = tree.children(j)
+        for c in children:
+            flow[j] += flow[c]
+        while flow[j] > capacity:
+            candidates = [c for c in children if flow[c] > 0]
+            if not candidates:
+                raise InfeasibleError(
+                    f"direct client load {int(flow[j])} at node {j} exceeds "
+                    f"W={capacity}; no placement can serve these clients",
+                    node=j,
+                )
+            chosen = pick(candidates)
+            replicas.append(chosen)
+            flow[j] -= flow[chosen]
+            flow[chosen] = 0
+    if flow[tree.root] > 0:
+        replicas.append(tree.root)
+        flow[tree.root] = 0
+
+    return PlacementResult.from_replicas(
+        tree, replicas, capacity, preexisting=eset
+    )
+
+
+def greedy_min_replicas(tree: Tree, capacity: int) -> int:
+    """Convenience: just the minimal replica count found by GR."""
+    return greedy_placement(tree, capacity).n_replicas

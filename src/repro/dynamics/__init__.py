@@ -1,0 +1,59 @@
+"""Dynamic replica management: workload evolution, update sessions and
+update-timing policies (Experiment 2 and the §6 lazy/systematic trade-off).
+"""
+
+from repro.dynamics.evolution import (
+    EvolutionModel,
+    HotspotShift,
+    RandomWalkRequests,
+    RedrawRequests,
+)
+from repro.dynamics.migration import (
+    MigrationPlan,
+    MigrationStep,
+    StepKind,
+    plan_migration,
+)
+from repro.dynamics.session import (
+    DPUpdateStrategy,
+    GreedyStrategy,
+    PlacementStrategy,
+    SessionResult,
+    StepRecord,
+    run_session,
+)
+from repro.dynamics.strategies import (
+    LazyPolicy,
+    PeriodicPolicy,
+    PolicyRun,
+    SystematicPolicy,
+    UpdatePolicy,
+    compare_policies,
+    generate_workloads,
+    run_policy,
+)
+
+__all__ = [
+    "DPUpdateStrategy",
+    "EvolutionModel",
+    "GreedyStrategy",
+    "HotspotShift",
+    "LazyPolicy",
+    "MigrationPlan",
+    "MigrationStep",
+    "StepKind",
+    "plan_migration",
+    "PeriodicPolicy",
+    "PlacementStrategy",
+    "PolicyRun",
+    "RandomWalkRequests",
+    "RedrawRequests",
+    "SessionResult",
+    "StepRecord",
+    "SystematicPolicy",
+    "UpdatePolicy",
+    "compare_policies",
+    "generate_workloads",
+    "run_policy",
+    "run_session",
+]

@@ -1,0 +1,115 @@
+"""Client-request evolution models for dynamic replica management.
+
+Experiment 2 (§5.1) runs 20 *update steps*: "At each step, starting from the
+current solution, we update the number of requests per client and recompute
+an optimal solution … starting from the servers that were placed at the
+previous step."  The client *positions* stay fixed (the distribution tree is
+fixed, the paper's core platform assumption); only request volumes move.
+
+Models implement the :class:`EvolutionModel` protocol; all take an explicit
+RNG.  :class:`RedrawRequests` is the paper's model; the others support the
+update-strategy ablation (§6 discusses how "the rates and amplitudes of the
+variations" should drive the update interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Client, Tree
+
+__all__ = [
+    "EvolutionModel",
+    "RedrawRequests",
+    "RandomWalkRequests",
+    "HotspotShift",
+]
+
+
+class EvolutionModel(Protocol):
+    """Produces the next workload from the current one."""
+
+    def evolve(self, tree: Tree, rng: np.random.Generator) -> Tree: ...
+
+
+@dataclass(frozen=True)
+class RedrawRequests:
+    """Redraw every client's volume uniformly (Experiment 2's model)."""
+
+    request_range: tuple[int, int] = (1, 6)
+
+    def __post_init__(self) -> None:
+        lo, hi = self.request_range
+        if lo < 1 or hi < lo:
+            raise ConfigurationError(
+                f"request_range must satisfy 1 <= lo <= hi, got {self.request_range}"
+            )
+
+    def evolve(self, tree: Tree, rng: np.random.Generator) -> Tree:
+        lo, hi = self.request_range
+        draws = rng.integers(lo, hi + 1, size=tree.n_clients)
+        return tree.with_clients(
+            c.with_requests(int(r)) for c, r in zip(tree.clients, draws)
+        )
+
+
+@dataclass(frozen=True)
+class RandomWalkRequests:
+    """Per-client ±step random walk, clipped to ``[minimum, maximum]``.
+
+    Produces *small-amplitude* variation — the regime where lazy update
+    strategies should win (§6).
+    """
+
+    step: int = 1
+    minimum: int = 1
+    maximum: int = 6
+
+    def __post_init__(self) -> None:
+        if self.step < 0:
+            raise ConfigurationError(f"step must be >= 0, got {self.step}")
+        if not (1 <= self.minimum <= self.maximum):
+            raise ConfigurationError(
+                f"need 1 <= minimum <= maximum, got [{self.minimum}, {self.maximum}]"
+            )
+
+    def evolve(self, tree: Tree, rng: np.random.Generator) -> Tree:
+        deltas = rng.integers(-self.step, self.step + 1, size=tree.n_clients)
+        new_clients = []
+        for c, d in zip(tree.clients, deltas):
+            r = int(np.clip(c.requests + int(d), self.minimum, self.maximum))
+            new_clients.append(c.with_requests(r))
+        return tree.with_clients(new_clients)
+
+
+@dataclass(frozen=True)
+class HotspotShift:
+    """Move demand towards one random subtree (popularity shift).
+
+    Clients inside the chosen hotspot subtree draw from the *hot* range,
+    everyone else from the *cold* range — large-amplitude, localised
+    variation, the regime where systematic updates pay off.
+    """
+
+    hot_range: tuple[int, int] = (4, 6)
+    cold_range: tuple[int, int] = (1, 2)
+
+    def __post_init__(self) -> None:
+        for name, (lo, hi) in (("hot", self.hot_range), ("cold", self.cold_range)):
+            if lo < 1 or hi < lo:
+                raise ConfigurationError(
+                    f"{name}_range must satisfy 1 <= lo <= hi, got {(lo, hi)}"
+                )
+
+    def evolve(self, tree: Tree, rng: np.random.Generator) -> Tree:
+        hotspot = int(rng.integers(0, tree.n_nodes))
+        hot_nodes = set(tree.subtree_nodes(hotspot))
+        new_clients = []
+        for c in tree.clients:
+            lo, hi = self.hot_range if c.node in hot_nodes else self.cold_range
+            new_clients.append(c.with_requests(int(rng.integers(lo, hi + 1))))
+        return tree.with_clients(new_clients)

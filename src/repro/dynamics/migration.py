@@ -1,0 +1,170 @@
+"""Explicit migration plans between replica configurations.
+
+The cost models (Equations 2 and 4) price a reconfiguration by *counting*
+creations, deletions and mode changes; operators executing one need the
+actual step list.  :func:`plan_migration` diffs two configurations into
+ordered, typed steps and prices them — by construction the plan's cost
+equals the corresponding cost model's, which the tests use as a
+consistency check tying the paper's algebra to an executable change list.
+
+Configurations are either plain replica sets (uniform servers, Equation 2)
+or ``{node: mode}`` mappings (modal servers, Equation 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Mapping
+
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.exceptions import ConfigurationError
+
+__all__ = ["StepKind", "MigrationStep", "MigrationPlan", "plan_migration"]
+
+
+class StepKind(str, Enum):
+    """What happens to one node during a reconfiguration."""
+
+    CREATE = "create"
+    DELETE = "delete"
+    KEEP = "keep"
+    UPGRADE = "upgrade"
+    DOWNGRADE = "downgrade"
+
+
+@dataclass(frozen=True)
+class MigrationStep:
+    """One node-level action; modes are ``None`` for uniform servers."""
+
+    kind: StepKind
+    node: int
+    old_mode: int | None = None
+    new_mode: int | None = None
+
+    def __str__(self) -> str:
+        if self.kind is StepKind.CREATE:
+            suffix = f" @mode {self.new_mode}" if self.new_mode is not None else ""
+            return f"create server on node {self.node}{suffix}"
+        if self.kind is StepKind.DELETE:
+            return f"delete server on node {self.node}"
+        if self.kind is StepKind.KEEP:
+            return f"keep server on node {self.node}"
+        return (
+            f"{self.kind.value} server on node {self.node}: "
+            f"mode {self.old_mode} -> {self.new_mode}"
+        )
+
+
+@dataclass(frozen=True)
+class MigrationPlan:
+    """Ordered reconfiguration steps plus summary counts.
+
+    Steps are ordered creations → upgrades/downgrades → keeps → deletions,
+    so executing them in order never drops capacity before replacements
+    are up (make-before-break).
+    """
+
+    steps: tuple[MigrationStep, ...]
+
+    def by_kind(self, kind: StepKind) -> tuple[MigrationStep, ...]:
+        return tuple(s for s in self.steps if s.kind is kind)
+
+    @property
+    def n_created(self) -> int:
+        return len(self.by_kind(StepKind.CREATE))
+
+    @property
+    def n_deleted(self) -> int:
+        return len(self.by_kind(StepKind.DELETE))
+
+    @property
+    def n_kept(self) -> int:
+        return len(
+            [
+                s
+                for s in self.steps
+                if s.kind in (StepKind.KEEP, StepKind.UPGRADE, StepKind.DOWNGRADE)
+            ]
+        )
+
+    @property
+    def n_mode_changes(self) -> int:
+        return len(self.by_kind(StepKind.UPGRADE)) + len(
+            self.by_kind(StepKind.DOWNGRADE)
+        )
+
+    def cost(self, model: UniformCostModel | ModalCostModel) -> float:
+        """Price the plan with Equation 2 or Equation 4."""
+        if isinstance(model, UniformCostModel):
+            n_servers = self.n_created + self.n_kept
+            return model.total(n_servers, self.n_kept, self.n_kept + self.n_deleted)
+        if isinstance(model, ModalCostModel):
+            new_by_mode = [0] * model.n_modes
+            deleted_by_mode = [0] * model.n_modes
+            reused: dict[tuple[int, int], int] = {}
+            for s in self.steps:
+                if s.kind is StepKind.CREATE:
+                    if s.new_mode is None:
+                        raise ConfigurationError(
+                            "modal cost model needs modes on every step; "
+                            f"step for node {s.node} has none"
+                        )
+                    new_by_mode[s.new_mode] += 1
+                elif s.kind is StepKind.DELETE:
+                    if s.old_mode is None:
+                        raise ConfigurationError(
+                            "modal cost model needs modes on every step; "
+                            f"step for node {s.node} has none"
+                        )
+                    deleted_by_mode[s.old_mode] += 1
+                else:
+                    if s.old_mode is None or s.new_mode is None:
+                        raise ConfigurationError(
+                            "modal cost model needs modes on every step; "
+                            f"step for node {s.node} has none"
+                        )
+                    key = (s.old_mode, s.new_mode)
+                    reused[key] = reused.get(key, 0) + 1
+            return model.total(new_by_mode, reused, deleted_by_mode)
+        raise ConfigurationError(f"unsupported cost model {type(model).__name__}")
+
+    def __str__(self) -> str:
+        return "\n".join(str(s) for s in self.steps) or "(no changes)"
+
+
+def plan_migration(
+    old: Iterable[int] | Mapping[int, int],
+    new: Iterable[int] | Mapping[int, int],
+) -> MigrationPlan:
+    """Diff two configurations into a :class:`MigrationPlan`.
+
+    Accepts replica sets (uniform) or ``{node: mode}`` mappings (modal);
+    mixing is allowed — the set side simply carries no mode information.
+    """
+    old_modes = dict(old) if isinstance(old, Mapping) else {v: None for v in old}
+    new_modes = dict(new) if isinstance(new, Mapping) else {v: None for v in new}
+
+    creates: list[MigrationStep] = []
+    changes: list[MigrationStep] = []
+    keeps: list[MigrationStep] = []
+    deletes: list[MigrationStep] = []
+    for node in sorted(new_modes):
+        if node not in old_modes:
+            creates.append(
+                MigrationStep(StepKind.CREATE, node, None, new_modes[node])
+            )
+            continue
+        o, n = old_modes[node], new_modes[node]
+        if o is None or n is None or o == n:
+            keeps.append(MigrationStep(StepKind.KEEP, node, o, n if n is not None else o))
+        elif n > o:
+            changes.append(MigrationStep(StepKind.UPGRADE, node, o, n))
+        else:
+            changes.append(MigrationStep(StepKind.DOWNGRADE, node, o, n))
+    for node in sorted(old_modes):
+        if node not in new_modes:
+            deletes.append(
+                MigrationStep(StepKind.DELETE, node, old_modes[node], None)
+            )
+    return MigrationPlan(steps=tuple(creates + changes + keeps + deletes))

@@ -1,0 +1,187 @@
+"""Multi-step replica-update sessions (Experiment 2's engine).
+
+A session repeatedly evolves the workload and re-places replicas, feeding
+each algorithm *its own* previous placement as the pre-existing set:
+
+    "Initially, there are no pre-existing servers, and at each step, both
+    algorithms obtain a different solution.  However, they always reach the
+    same total number of servers since they have the same requests; but
+    after the first step, they may have a different set of pre-existing
+    servers." (§5.1)
+
+Placement algorithms are plugged in through :class:`PlacementStrategy`;
+:class:`DPUpdateStrategy` wraps the paper's MinCost-WithPre optimum and
+:class:`GreedyStrategy` wraps GR.  All tracks see the *same* workload
+sequence (pre-generated from one RNG) so results are paired, as in the
+paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol
+
+import numpy as np
+
+from repro.core.costs import UniformCostModel
+from repro.core.dp_withpre import CostLike, replica_update
+from repro.core.greedy import greedy_placement
+from repro.core.solution import PlacementResult
+from repro.dynamics.evolution import EvolutionModel
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Tree
+
+__all__ = [
+    "PlacementStrategy",
+    "DPUpdateStrategy",
+    "GreedyStrategy",
+    "StepRecord",
+    "SessionResult",
+    "run_session",
+]
+
+
+class PlacementStrategy(Protocol):
+    """One replica-placement algorithm usable inside a session."""
+
+    def place(
+        self, tree: Tree, capacity: int, preexisting: frozenset[int]
+    ) -> PlacementResult: ...
+
+
+@dataclass(frozen=True)
+class DPUpdateStrategy:
+    """The paper's optimal MinCost-WithPre update (Theorem 1).
+
+    The default cost model makes the server count strictly dominant and
+    then maximises reuse — the configuration under which "both algorithms
+    return a solution with the minimum number of replicas" (§5.1).
+    """
+
+    cost_model: CostLike = field(default_factory=lambda: UniformCostModel(1e-4, 1e-5))
+
+    def place(
+        self, tree: Tree, capacity: int, preexisting: frozenset[int]
+    ) -> PlacementResult:
+        return replica_update(tree, capacity, preexisting, self.cost_model)
+
+
+@dataclass(frozen=True)
+class GreedyStrategy:
+    """GR of [19]; ignores pre-existing servers when placing."""
+
+    tie_break: str = "index"
+
+    def place(
+        self, tree: Tree, capacity: int, preexisting: frozenset[int]
+    ) -> PlacementResult:
+        return greedy_placement(
+            tree, capacity, preexisting=preexisting, tie_break=self.tie_break  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """Outcome of one update step for one strategy."""
+
+    step: int
+    n_replicas: int
+    n_reused: int
+    n_created: int
+    n_deleted: int
+    cost: float
+    replicas: frozenset[int]
+
+
+@dataclass(frozen=True)
+class SessionResult:
+    """Per-strategy step records over a whole session."""
+
+    tracks: Mapping[str, tuple[StepRecord, ...]]
+    workloads: tuple[Tree, ...]
+
+    def cumulative_reuse(self, name: str) -> list[int]:
+        """Running sum of reused servers (Figure 5/7 left panel series)."""
+        out: list[int] = []
+        total = 0
+        for rec in self.tracks[name]:
+            total += rec.n_reused
+            out.append(total)
+        return out
+
+    def reuse_gaps(self, a: str, b: str) -> list[int]:
+        """Per-step ``reused(a) - reused(b)`` (Figure 5/7 right panel)."""
+        return [
+            ra.n_reused - rb.n_reused
+            for ra, rb in zip(self.tracks[a], self.tracks[b])
+        ]
+
+
+def run_session(
+    initial: Tree,
+    capacity: int,
+    n_steps: int,
+    evolution: EvolutionModel,
+    strategies: Mapping[str, PlacementStrategy],
+    *,
+    rng: np.random.Generator | int | None = None,
+    initial_preexisting: Iterable[int] = (),
+    cost_model: CostLike | None = None,
+) -> SessionResult:
+    """Run ``n_steps`` update steps with paired workloads.
+
+    Parameters
+    ----------
+    initial:
+        Workload at step 0 (placed against ``initial_preexisting``).
+    evolution:
+        Applied between consecutive steps to produce the next workload.
+    strategies:
+        Named placement algorithms; each evolves its own pre-existing set.
+    cost_model:
+        Used only to *price* every step uniformly across strategies
+        (Equation 2 against the strategy's previous placement); defaults to
+        the paper's ``create=0.1, delete=0.01``.
+
+    Returns
+    -------
+    SessionResult
+        Step records per strategy plus the shared workload sequence.
+    """
+    if n_steps < 1:
+        raise ConfigurationError(f"n_steps must be >= 1, got {n_steps}")
+    if not strategies:
+        raise ConfigurationError("at least one strategy is required")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    pricing = cost_model if cost_model is not None else UniformCostModel()
+
+    workloads: list[Tree] = [initial]
+    for _ in range(n_steps - 1):
+        workloads.append(evolution.evolve(workloads[-1], gen))
+
+    start = frozenset(int(v) for v in initial_preexisting)
+    previous: dict[str, frozenset[int]] = {name: start for name in strategies}
+    records: dict[str, list[StepRecord]] = {name: [] for name in strategies}
+
+    for step, tree in enumerate(workloads):
+        for name, strategy in strategies.items():
+            pre = previous[name]
+            placed = strategy.place(tree, capacity, pre)
+            cost = pricing.total(placed.n_replicas, placed.n_reused, len(pre))
+            records[name].append(
+                StepRecord(
+                    step=step,
+                    n_replicas=placed.n_replicas,
+                    n_reused=placed.n_reused,
+                    n_created=placed.n_created,
+                    n_deleted=placed.n_deleted,
+                    cost=float(cost),
+                    replicas=placed.replicas,
+                )
+            )
+            previous[name] = placed.replicas
+
+    return SessionResult(
+        tracks={name: tuple(recs) for name, recs in records.items()},
+        workloads=tuple(workloads),
+    )

@@ -1,0 +1,201 @@
+"""Update *timing* strategies: when to reconfigure (§6's open question).
+
+The paper's conclusion frames dynamic replica management as a trade-off
+between two extremes:
+
+    "(i) lazy updates, where there is an update only when the current
+    placement is no longer valid … (ii) systematic updates, where there is
+    an update every time-step".
+
+This module makes that trade-off measurable.  An :class:`UpdatePolicy`
+decides, at each step, whether to keep the previous placement or invoke a
+:class:`~repro.dynamics.session.PlacementStrategy`; the runner prices every
+step with Equation 2 (operating cost ``R`` plus create/delete charges
+against the previous placement — a kept placement costs just ``R``).
+`benchmarks/bench_ablation_strategies.py` sweeps the policies over the
+Experiment-2 workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.costs import UniformCostModel
+from repro.core.dp_withpre import CostLike
+from repro.core.solution import PlacementResult, evaluate_placement
+from repro.dynamics.evolution import EvolutionModel
+from repro.dynamics.session import PlacementStrategy, StepRecord
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Tree
+
+__all__ = [
+    "UpdatePolicy",
+    "SystematicPolicy",
+    "LazyPolicy",
+    "PeriodicPolicy",
+    "PolicyRun",
+    "run_policy",
+    "generate_workloads",
+    "compare_policies",
+]
+
+
+class UpdatePolicy:
+    """Decides whether step ``t`` recomputes the placement."""
+
+    name: str = "abstract"
+
+    def should_update(self, step: int, placement_valid: bool) -> bool:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class SystematicPolicy(UpdatePolicy):
+    """Re-place every step: best resource usage, maximal update cost."""
+
+    name: str = "systematic"
+
+    def should_update(self, step: int, placement_valid: bool) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class LazyPolicy(UpdatePolicy):
+    """Re-place only when the current placement can no longer serve the
+    workload: minimal update cost, possibly poor resource usage."""
+
+    name: str = "lazy"
+
+    def should_update(self, step: int, placement_valid: bool) -> bool:
+        return not placement_valid
+
+
+@dataclass(frozen=True)
+class PeriodicPolicy(UpdatePolicy):
+    """Re-place every ``period`` steps (and whenever forced by invalidity).
+
+    The paper's [18] reference updates at "regular intervals"; this is that
+    middle ground.
+    """
+
+    period: int = 5
+    name: str = "periodic"
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ConfigurationError(f"period must be >= 1, got {self.period}")
+
+    def should_update(self, step: int, placement_valid: bool) -> bool:
+        return (step % self.period == 0) or not placement_valid
+
+
+@dataclass(frozen=True)
+class PolicyRun:
+    """Outcome of one policy over a workload sequence."""
+
+    policy: str
+    records: tuple[StepRecord, ...]
+    updates: int  #: number of steps that recomputed the placement
+
+    @property
+    def total_cost(self) -> float:
+        return sum(r.cost for r in self.records)
+
+    @property
+    def mean_servers(self) -> float:
+        return sum(r.n_replicas for r in self.records) / len(self.records)
+
+
+def run_policy(
+    workloads: Sequence[Tree],
+    capacity: int,
+    policy: UpdatePolicy,
+    strategy: PlacementStrategy,
+    *,
+    cost_model: CostLike | None = None,
+) -> PolicyRun:
+    """Drive one update policy over a fixed workload sequence.
+
+    Step pricing: a re-placement costs Equation 2 against the previous
+    placement; a kept placement costs its server count (operating cost
+    only, no create/delete charges).
+    """
+    if not workloads:
+        raise ConfigurationError("workloads must be non-empty")
+    pricing = cost_model if cost_model is not None else UniformCostModel()
+    current: PlacementResult | None = None
+    records: list[StepRecord] = []
+    updates = 0
+    for step, tree in enumerate(workloads):
+        valid = (
+            current is not None
+            and evaluate_placement(tree, current.replicas, capacity).ok
+        )
+        if current is None or policy.should_update(step, valid):
+            pre = current.replicas if current is not None else frozenset()
+            placed = strategy.place(tree, capacity, pre)
+            updates += 1
+            cost = pricing.total(placed.n_replicas, placed.n_reused, len(pre))
+            current = placed
+            records.append(
+                StepRecord(
+                    step=step,
+                    n_replicas=placed.n_replicas,
+                    n_reused=placed.n_reused,
+                    n_created=placed.n_created,
+                    n_deleted=placed.n_deleted,
+                    cost=float(cost),
+                    replicas=placed.replicas,
+                )
+            )
+        else:
+            assert current is not None
+            r = current.n_replicas
+            records.append(
+                StepRecord(
+                    step=step,
+                    n_replicas=r,
+                    n_reused=r,
+                    n_created=0,
+                    n_deleted=0,
+                    cost=float(r),
+                    replicas=current.replicas,
+                )
+            )
+    return PolicyRun(policy=policy.name, records=tuple(records), updates=updates)
+
+
+def generate_workloads(
+    initial: Tree,
+    n_steps: int,
+    evolution: EvolutionModel,
+    rng: np.random.Generator | int | None = None,
+) -> list[Tree]:
+    """Pre-generate a shared workload sequence for paired policy runs."""
+    if n_steps < 1:
+        raise ConfigurationError(f"n_steps must be >= 1, got {n_steps}")
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    out = [initial]
+    for _ in range(n_steps - 1):
+        out.append(evolution.evolve(out[-1], gen))
+    return out
+
+
+def compare_policies(
+    workloads: Sequence[Tree],
+    capacity: int,
+    policies: Sequence[UpdatePolicy],
+    strategy: PlacementStrategy,
+    *,
+    cost_model: CostLike | None = None,
+) -> Mapping[str, PolicyRun]:
+    """Run several policies over the same workload sequence."""
+    return {
+        p.name: run_policy(
+            workloads, capacity, p, strategy, cost_model=cost_model
+        )
+        for p in policies
+    }

@@ -1,0 +1,60 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Algorithmic infeasibility (a workload that no replica
+placement can serve) is reported through :class:`InfeasibleError`, which is
+*not* a programming error: it carries enough context to explain which
+constraint failed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TreeStructureError",
+    "WorkloadError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "SolverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class TreeStructureError(ReproError):
+    """The node/parent description does not encode a rooted tree.
+
+    Raised for cycles, multiple roots, dangling parent references,
+    non-contiguous node identifiers, and similar structural defects.
+    """
+
+
+class WorkloadError(ReproError):
+    """A client workload is malformed (non-positive requests, bad node)."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid solver/experiment configuration (bad modes, costs, bounds)."""
+
+
+class InfeasibleError(ReproError):
+    """No valid replica placement exists for the given instance.
+
+    Under the *closest* policy a placement is valid only if every client's
+    requests can be absorbed by its closest replica-equipped ancestor within
+    the capacity ``W`` (the largest mode, with power).  The canonical
+    infeasible instance is an internal node whose directly attached clients
+    already exceed ``W``: any server responsible for them would be
+    overloaded.
+    """
+
+    def __init__(self, message: str, *, node: int | None = None) -> None:
+        super().__init__(message)
+        #: Node at which infeasibility was detected, when known.
+        self.node = node
+
+
+class SolverError(ReproError):
+    """Internal solver invariant violated; indicates a bug, please report."""

@@ -1,0 +1,141 @@
+"""Experiment 1 — impact of pre-existing servers (Figures 4 and 6).
+
+Protocol (§5.1): draw random trees, seed them with ``E`` pre-existing
+servers for a sweep of ``E`` values, solve with both GR [19] and the
+MinCost-WithPre DP, and compare how many pre-existing servers each solution
+reuses.  Both algorithms return the *minimal replica count* (the DP's cost
+model makes the server count strictly dominant), so reuse fully determines
+the cost gap.
+
+Paper scale: 200 fat trees (``N = 100``, 6–9 children, ``W = 10``), clients
+with probability 0.5 and 1–6 requests, ``E ∈ {0..100}``.  Figure 6 repeats
+the run on *high* trees (2–4 children).  Scale is configurable; the
+committed benchmarks run a reduced tree count and EXPERIMENTS.md records
+the measured curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.stats import SeriesStats, summarize
+from repro.core.costs import UniformCostModel
+from repro.core.dp_withpre import replica_update
+from repro.core.greedy import greedy_placement
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree, random_preexisting
+
+__all__ = ["Exp1Config", "Exp1Result", "run_experiment1"]
+
+
+@dataclass(frozen=True)
+class Exp1Config:
+    """Parameters of Experiment 1 (defaults: the paper's Figure 4)."""
+
+    n_trees: int = 200
+    n_nodes: int = 100
+    children_range: tuple[int, int] = (6, 9)
+    client_prob: float = 0.5
+    request_range: tuple[int, int] = (1, 6)
+    capacity: int = 10
+    e_values: tuple[int, ...] = tuple(range(0, 101, 5))
+    #: Equation-2 prices; small enough that minimising the server count
+    #: strictly dominates for any N <= 1/(create + delete) (see §2.1).
+    create: float = 1e-4
+    delete: float = 1e-5
+    seed: int = 2011
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ConfigurationError(f"n_trees must be >= 1, got {self.n_trees}")
+        if any(e < 0 or e > self.n_nodes for e in self.e_values):
+            raise ConfigurationError(
+                f"e_values must lie in [0, {self.n_nodes}], got {self.e_values}"
+            )
+
+    def high_trees(self) -> "Exp1Config":
+        """The Figure 6 variant (2–4 children per node)."""
+        return replace(self, children_range=(2, 4))
+
+
+@dataclass(frozen=True)
+class Exp1Result:
+    """Aggregated reuse curves (the Figure 4/6 series)."""
+
+    config: Exp1Config
+    e_values: tuple[int, ...]
+    dp_reuse: tuple[SeriesStats, ...]
+    gr_reuse: tuple[SeriesStats, ...]
+    gap: tuple[SeriesStats, ...]  #: per-E stats of (DP reuse − GR reuse)
+    mean_gap: float  #: paper headline: "DP achieves an average reuse of 4.13 more servers"
+    max_gap: int  #: paper headline: "it can reuse up to 15 more servers"
+    count_mismatches: int  #: replica-count disagreements (must stay 0)
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        """Plot-ready mean curves keyed like the paper's legend."""
+        return {
+            "DP": [(e, s.mean) for e, s in zip(self.e_values, self.dp_reuse)],
+            "GR": [(e, s.mean) for e, s in zip(self.e_values, self.gr_reuse)],
+        }
+
+    def rows(self) -> list[tuple[int, float, float, float]]:
+        """(E, DP mean reuse, GR mean reuse, mean gap) table rows."""
+        return [
+            (e, d.mean, g.mean, gap.mean)
+            for e, d, g, gap in zip(
+                self.e_values, self.dp_reuse, self.gr_reuse, self.gap
+            )
+        ]
+
+
+def run_experiment1(
+    config: Exp1Config = Exp1Config(),
+    *,
+    progress: Callable[[int, int], None] | None = None,
+) -> Exp1Result:
+    """Run Experiment 1 and aggregate the reuse curves.
+
+    ``progress(done, total)`` is invoked after each tree when provided
+    (the CLI uses it; benches keep it None).
+    """
+    rng = np.random.default_rng(config.seed)
+    cost_model = UniformCostModel(config.create, config.delete)
+    dp_samples: list[list[int]] = [[] for _ in config.e_values]
+    gr_samples: list[list[int]] = [[] for _ in config.e_values]
+    gap_samples: list[list[int]] = [[] for _ in config.e_values]
+    mismatches = 0
+
+    for t in range(config.n_trees):
+        tree = paper_tree(
+            n_nodes=config.n_nodes,
+            children_range=config.children_range,
+            client_prob=config.client_prob,
+            request_range=config.request_range,
+            rng=rng,
+        )
+        for idx, e in enumerate(config.e_values):
+            pre = random_preexisting(tree, e, rng=rng)
+            gr = greedy_placement(tree, config.capacity, preexisting=pre)
+            dp = replica_update(tree, config.capacity, pre, cost_model)
+            if gr.n_replicas != dp.n_replicas:
+                mismatches += 1
+            dp_samples[idx].append(dp.n_reused)
+            gr_samples[idx].append(gr.n_reused)
+            gap_samples[idx].append(dp.n_reused - gr.n_reused)
+        if progress is not None:
+            progress(t + 1, config.n_trees)
+
+    all_gaps = [g for bucket in gap_samples for g in bucket]
+    return Exp1Result(
+        config=config,
+        e_values=config.e_values,
+        dp_reuse=tuple(summarize(s) for s in dp_samples),
+        gr_reuse=tuple(summarize(s) for s in gr_samples),
+        gap=tuple(summarize(s) for s in gap_samples),
+        mean_gap=float(np.mean(all_gaps)) if all_gaps else 0.0,
+        max_gap=int(max(all_gaps)) if all_gaps else 0,
+        count_mismatches=mismatches,
+    )

@@ -1,0 +1,146 @@
+"""Experiment 2 — consecutive executions (Figures 5 and 7).
+
+Protocol (§5.1): starting with no pre-existing servers, run 20 update
+steps.  At each step the per-client request volumes are redrawn and each
+algorithm re-places replicas using *its own* previous placement as the
+pre-existing set.  Reported series:
+
+* left panel — cumulative number of reused servers over steps (both
+  algorithms);
+* right panel — histogram of the per-step reuse gap
+  ``reused(DP) − reused(GR)``, averaged over trees ("we count the average
+  number of steps (over 20) at which each value is reached").
+
+Paper scale: 200 fat trees (Figure 5) / high trees (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable
+
+import numpy as np
+
+from repro.analysis.stats import SeriesStats, summarize
+from repro.core.costs import UniformCostModel
+from repro.dynamics.evolution import RedrawRequests
+from repro.dynamics.session import DPUpdateStrategy, GreedyStrategy, run_session
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree
+
+__all__ = ["Exp2Config", "Exp2Result", "run_experiment2"]
+
+
+@dataclass(frozen=True)
+class Exp2Config:
+    """Parameters of Experiment 2 (defaults: the paper's Figure 5)."""
+
+    n_trees: int = 200
+    n_nodes: int = 100
+    children_range: tuple[int, int] = (6, 9)
+    client_prob: float = 0.5
+    request_range: tuple[int, int] = (1, 6)
+    capacity: int = 10
+    n_steps: int = 20
+    create: float = 1e-4
+    delete: float = 1e-5
+    seed: int = 2012
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ConfigurationError(f"n_trees must be >= 1, got {self.n_trees}")
+        if self.n_steps < 1:
+            raise ConfigurationError(f"n_steps must be >= 1, got {self.n_steps}")
+
+    def high_trees(self) -> "Exp2Config":
+        """The Figure 7 variant (2–4 children per node)."""
+        return replace(self, children_range=(2, 4))
+
+
+@dataclass(frozen=True)
+class Exp2Result:
+    """Aggregated dynamic-reuse series (Figure 5/7)."""
+
+    config: Exp2Config
+    steps: tuple[int, ...]
+    dp_cumulative: tuple[SeriesStats, ...]  #: cumulative reuse per step
+    gr_cumulative: tuple[SeriesStats, ...]
+    gap_histogram: dict[int, float]  #: mean #steps per tree at each gap value
+    count_mismatches: int  #: replica-count disagreements (must stay 0)
+
+    def series(self) -> dict[str, list[tuple[float, float]]]:
+        return {
+            "DP": [(s, st.mean) for s, st in zip(self.steps, self.dp_cumulative)],
+            "GR": [(s, st.mean) for s, st in zip(self.steps, self.gr_cumulative)],
+        }
+
+    def rows(self) -> list[tuple[int, float, float]]:
+        return [
+            (s, d.mean, g.mean)
+            for s, d, g in zip(self.steps, self.dp_cumulative, self.gr_cumulative)
+        ]
+
+
+def run_experiment2(
+    config: Exp2Config = Exp2Config(),
+    *,
+    progress: Callable[[int, int], None] | None = None,
+) -> Exp2Result:
+    """Run Experiment 2 and aggregate cumulative-reuse curves + gap histogram."""
+    rng = np.random.default_rng(config.seed)
+    evolution = RedrawRequests(config.request_range)
+    strategies = {
+        "DP": DPUpdateStrategy(UniformCostModel(config.create, config.delete)),
+        "GR": GreedyStrategy(),
+    }
+
+    dp_cum: list[list[int]] = [[] for _ in range(config.n_steps)]
+    gr_cum: list[list[int]] = [[] for _ in range(config.n_steps)]
+    gap_counts: dict[int, list[int]] = {}
+    mismatches = 0
+
+    for t in range(config.n_trees):
+        tree = paper_tree(
+            n_nodes=config.n_nodes,
+            children_range=config.children_range,
+            client_prob=config.client_prob,
+            request_range=config.request_range,
+            rng=rng,
+        )
+        session = run_session(
+            tree,
+            config.capacity,
+            config.n_steps,
+            evolution,
+            strategies,
+            rng=rng,
+        )
+        for rec_dp, rec_gr in zip(session.tracks["DP"], session.tracks["GR"]):
+            if rec_dp.n_replicas != rec_gr.n_replicas:
+                mismatches += 1
+        for step, (c_dp, c_gr) in enumerate(
+            zip(session.cumulative_reuse("DP"), session.cumulative_reuse("GR"))
+        ):
+            dp_cum[step].append(c_dp)
+            gr_cum[step].append(c_gr)
+        per_tree: dict[int, int] = {}
+        for gap in session.reuse_gaps("DP", "GR"):
+            per_tree[gap] = per_tree.get(gap, 0) + 1
+        for gap, count in per_tree.items():
+            gap_counts.setdefault(gap, []).append(count)
+        if progress is not None:
+            progress(t + 1, config.n_trees)
+
+    # Trees that never hit a gap value contribute a zero count to its mean.
+    histogram = {
+        gap: float(sum(counts)) / config.n_trees
+        for gap, counts in sorted(gap_counts.items())
+    }
+    return Exp2Result(
+        config=config,
+        steps=tuple(range(config.n_steps)),
+        dp_cumulative=tuple(summarize(s) for s in dp_cum),
+        gr_cumulative=tuple(summarize(s) for s in gr_cum),
+        gap_histogram=histogram,
+        count_mismatches=mismatches,
+    )

@@ -1,0 +1,164 @@
+"""Parallel experiment execution over process pools.
+
+The paper's campaigns are embarrassingly parallel across trees: each tree
+is generated, solved and scored independently.  These helpers split an
+experiment config into per-worker chunks with *derived seeds*, run the
+chunks in a :class:`concurrent.futures.ProcessPoolExecutor`, and merge the
+aggregated results exactly (pooled means/stddevs via
+:func:`repro.analysis.stats.merge_series`).
+
+Determinism caveat: a parallel run is reproducible for a fixed
+``(seed, n_workers)`` pair, but differs from the sequential run with the
+same seed because trees are drawn from per-chunk RNG streams.  Statistical
+conclusions are unaffected (the chunks are independent experiments);
+EXPERIMENTS.md always states which mode produced its numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, Sequence, TypeVar
+
+from repro.analysis.stats import merge_series
+from repro.exceptions import ConfigurationError
+from repro.experiments.exp1_reuse import Exp1Config, Exp1Result, run_experiment1
+from repro.experiments.exp2_dynamic import Exp2Config, Exp2Result, run_experiment2
+from repro.experiments.exp3_power import Exp3Config, Exp3Result, run_experiment3
+
+__all__ = [
+    "run_experiment1_parallel",
+    "run_experiment2_parallel",
+    "run_experiment3_parallel",
+    "split_config",
+]
+
+_SEED_STRIDE = 7919  # distinct prime stride keeps chunk streams disjoint
+
+ConfigT = TypeVar("ConfigT", Exp1Config, Exp2Config, Exp3Config)
+
+
+def _default_workers(n_workers: int | None) -> int:
+    if n_workers is not None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        return n_workers
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def split_config(config: ConfigT, n_chunks: int) -> list[ConfigT]:
+    """Split ``config.n_trees`` across ``n_chunks`` derived-seed configs."""
+    if n_chunks < 1:
+        raise ConfigurationError(f"n_chunks must be >= 1, got {n_chunks}")
+    n_chunks = min(n_chunks, config.n_trees)
+    base = config.n_trees // n_chunks
+    remainder = config.n_trees % n_chunks
+    chunks = []
+    for i in range(n_chunks):
+        trees = base + (1 if i < remainder else 0)
+        if trees == 0:
+            continue
+        chunks.append(
+            replace(config, n_trees=trees, seed=config.seed + _SEED_STRIDE * i)
+        )
+    return chunks
+
+
+def _run_chunks(runner: Callable, chunks: Sequence, n_workers: int) -> list:
+    if n_workers == 1 or len(chunks) == 1:
+        return [runner(c) for c in chunks]
+    with ProcessPoolExecutor(max_workers=min(n_workers, len(chunks))) as pool:
+        return list(pool.map(runner, chunks))
+
+
+def run_experiment1_parallel(
+    config: Exp1Config = Exp1Config(), *, n_workers: int | None = None
+) -> Exp1Result:
+    """Experiment 1 across a process pool; see module docstring."""
+    workers = _default_workers(n_workers)
+    parts = _run_chunks(run_experiment1, split_config(config, workers), workers)
+    all_gap_means = [
+        (p.mean_gap, p.config.n_trees * len(p.e_values)) for p in parts
+    ]
+    weight = sum(w for _, w in all_gap_means)
+    return Exp1Result(
+        config=config,
+        e_values=config.e_values,
+        dp_reuse=tuple(
+            merge_series([p.dp_reuse[i] for p in parts])
+            for i in range(len(config.e_values))
+        ),
+        gr_reuse=tuple(
+            merge_series([p.gr_reuse[i] for p in parts])
+            for i in range(len(config.e_values))
+        ),
+        gap=tuple(
+            merge_series([p.gap[i] for p in parts])
+            for i in range(len(config.e_values))
+        ),
+        mean_gap=sum(m * w for m, w in all_gap_means) / weight if weight else 0.0,
+        max_gap=max(p.max_gap for p in parts),
+        count_mismatches=sum(p.count_mismatches for p in parts),
+    )
+
+
+def run_experiment2_parallel(
+    config: Exp2Config = Exp2Config(), *, n_workers: int | None = None
+) -> Exp2Result:
+    """Experiment 2 across a process pool; see module docstring."""
+    workers = _default_workers(n_workers)
+    parts = _run_chunks(run_experiment2, split_config(config, workers), workers)
+    total_trees = sum(p.config.n_trees for p in parts)
+    gaps: dict[int, float] = {}
+    for p in parts:
+        for gap, mean_count in p.gap_histogram.items():
+            gaps[gap] = gaps.get(gap, 0.0) + mean_count * p.config.n_trees
+    return Exp2Result(
+        config=config,
+        steps=tuple(range(config.n_steps)),
+        dp_cumulative=tuple(
+            merge_series([p.dp_cumulative[i] for p in parts])
+            for i in range(config.n_steps)
+        ),
+        gr_cumulative=tuple(
+            merge_series([p.gr_cumulative[i] for p in parts])
+            for i in range(config.n_steps)
+        ),
+        gap_histogram={
+            gap: total / total_trees for gap, total in sorted(gaps.items())
+        },
+        count_mismatches=sum(p.count_mismatches for p in parts),
+    )
+
+
+def run_experiment3_parallel(
+    config: Exp3Config = Exp3Config(), *, n_workers: int | None = None
+) -> Exp3Result:
+    """Experiment 3 across a process pool; see module docstring."""
+    workers = _default_workers(n_workers)
+    parts = _run_chunks(run_experiment3, split_config(config, workers), workers)
+    total_trees = sum(p.config.n_trees for p in parts)
+    n_bounds = len(config.cost_bounds)
+
+    def pooled_rate(rates_of) -> tuple[float, ...]:
+        return tuple(
+            sum(rates_of(p)[i] * p.config.n_trees for p in parts) / total_trees
+            for i in range(n_bounds)
+        )
+
+    return Exp3Result(
+        config=config,
+        bounds=config.cost_bounds,
+        dp_inverse=tuple(
+            merge_series([p.dp_inverse[i] for p in parts]) for i in range(n_bounds)
+        ),
+        gr_inverse=tuple(
+            merge_series([p.gr_inverse[i] for p in parts]) for i in range(n_bounds)
+        ),
+        dp_success=pooled_rate(lambda p: p.dp_success),
+        gr_success=pooled_rate(lambda p: p.gr_success),
+        gr_over_dp=tuple(
+            merge_series([p.gr_over_dp[i] for p in parts]) for i in range(n_bounds)
+        ),
+    )

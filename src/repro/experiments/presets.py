@@ -1,0 +1,90 @@
+"""Named workload presets.
+
+One registry for every tree family used in the paper and in the extension
+benches, so the CLI, notebooks and tests can say ``make_preset("fig8")``
+instead of repeating generator parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import attach_zipf_clients, paper_tree
+from repro.tree.model import Tree
+
+__all__ = ["WorkloadPreset", "PRESETS", "make_preset", "preset_names"]
+
+
+@dataclass(frozen=True)
+class WorkloadPreset:
+    """A named tree-generator configuration."""
+
+    name: str
+    description: str
+    build: Callable[[np.random.Generator], Tree]
+
+
+def _fig4(rng: np.random.Generator) -> Tree:
+    return paper_tree(100, children_range=(6, 9), client_prob=0.5,
+                      request_range=(1, 6), rng=rng)
+
+
+def _fig6(rng: np.random.Generator) -> Tree:
+    return paper_tree(100, children_range=(2, 4), client_prob=0.5,
+                      request_range=(1, 6), rng=rng)
+
+
+def _fig8(rng: np.random.Generator) -> Tree:
+    return paper_tree(50, children_range=(6, 9), client_prob=0.5,
+                      request_range=(1, 5), rng=rng)
+
+
+def _fig10(rng: np.random.Generator) -> Tree:
+    return paper_tree(50, children_range=(2, 4), client_prob=0.5,
+                      request_range=(1, 5), rng=rng)
+
+
+def _zipf(rng: np.random.Generator) -> Tree:
+    skeleton = paper_tree(100, children_range=(6, 9), client_prob=0.0, rng=rng)
+    return attach_zipf_clients(
+        list(skeleton.parents), client_prob=0.5, max_requests=6,
+        exponent=1.5, rng=rng,
+    )
+
+
+def _scale500(rng: np.random.Generator) -> Tree:
+    return paper_tree(500, children_range=(6, 9), client_prob=0.5,
+                      request_range=(1, 6), rng=rng)
+
+
+PRESETS: dict[str, WorkloadPreset] = {
+    p.name: p
+    for p in (
+        WorkloadPreset("fig4", "Experiment 1 fat trees (N=100, 6-9 children, r∈[1,6])", _fig4),
+        WorkloadPreset("fig6", "Experiment 1 high trees (N=100, 2-4 children)", _fig6),
+        WorkloadPreset("fig8", "Experiment 3 fat trees (N=50, r∈[1,5])", _fig8),
+        WorkloadPreset("fig10", "Experiment 3 high trees (N=50, 2-4 children)", _fig10),
+        WorkloadPreset("zipf", "fat tree with Zipf(1.5) heavy-tailed volumes", _zipf),
+        WorkloadPreset("scale500", "the paper's 500-node scalability instance", _scale500),
+    )
+}
+
+
+def preset_names() -> list[str]:
+    return sorted(PRESETS)
+
+
+def make_preset(
+    name: str, rng: np.random.Generator | int | None = None
+) -> Tree:
+    """Instantiate a preset workload."""
+    if name not in PRESETS:
+        raise ConfigurationError(
+            f"unknown preset {name!r}; available: {', '.join(preset_names())}"
+        )
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    return PRESETS[name].build(gen)

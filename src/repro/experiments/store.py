@@ -1,0 +1,127 @@
+"""Persist experiment results to JSON.
+
+Research campaigns want the *analysis* re-runnable without re-solving; the
+store serialises the Exp1/2/3 result objects (configs included) with a
+versioned schema and restores them bit-for-bit, so figures can be re-drawn
+or re-aggregated offline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from repro.analysis.stats import SeriesStats
+from repro.exceptions import ConfigurationError
+from repro.experiments.exp1_reuse import Exp1Config, Exp1Result
+from repro.experiments.exp2_dynamic import Exp2Config, Exp2Result
+from repro.experiments.exp3_power import Exp3Config, Exp3Result
+
+__all__ = ["result_to_json", "result_from_json", "save_result", "load_result"]
+
+_SCHEMA = 1
+_KINDS = {
+    "exp1": (Exp1Config, Exp1Result),
+    "exp2": (Exp2Config, Exp2Result),
+    "exp3": (Exp3Config, Exp3Result),
+}
+
+
+def _stats_to_list(stats: SeriesStats) -> list[float]:
+    return [stats.n, stats.mean, stats.std, stats.stderr, stats.minimum, stats.maximum]
+
+
+def _stats_from_list(vals: list[float]) -> SeriesStats:
+    return SeriesStats(
+        n=int(vals[0]),
+        mean=vals[1],
+        std=vals[2],
+        stderr=vals[3],
+        minimum=vals[4],
+        maximum=vals[5],
+    )
+
+
+def _encode(value: Any) -> Any:
+    if isinstance(value, SeriesStats):
+        return {"__stats__": _stats_to_list(value)}
+    if isinstance(value, tuple):
+        return [_encode(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _encode(v) for k, v in value.items()}
+    return value
+
+
+def result_to_json(result: Exp1Result | Exp2Result | Exp3Result) -> str:
+    """Serialise an experiment result (config included) to JSON text."""
+    for kind, (_, result_cls) in _KINDS.items():
+        if isinstance(result, result_cls):
+            break
+    else:
+        raise ConfigurationError(
+            f"unsupported result type {type(result).__name__}"
+        )
+    payload: dict[str, Any] = {"schema": _SCHEMA, "kind": kind}
+    payload["config"] = dataclasses.asdict(result.config)
+    fields: dict[str, Any] = {}
+    for f in dataclasses.fields(result):
+        if f.name == "config":
+            continue
+        fields[f.name] = _encode(getattr(result, f.name))
+    payload["fields"] = fields
+    return json.dumps(payload)
+
+
+def _decode(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__stats__" in value:
+            return _stats_from_list(value["__stats__"])
+        return {k: _decode(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return tuple(_decode(v) for v in value)
+    return value
+
+
+def result_from_json(text: str) -> Exp1Result | Exp2Result | Exp3Result:
+    """Inverse of :func:`result_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    if payload.get("schema") != _SCHEMA:
+        raise ConfigurationError(
+            f"unsupported result schema {payload.get('schema')}"
+        )
+    kind = payload.get("kind")
+    if kind not in _KINDS:
+        raise ConfigurationError(f"unknown result kind {kind!r}")
+    config_cls, result_cls = _KINDS[kind]
+    raw_config = payload["config"]
+    # dataclasses.asdict turned tuples into lists; the configs expect tuples.
+    config_kwargs = {
+        k: tuple(v) if isinstance(v, list) else v for k, v in raw_config.items()
+    }
+    config = config_cls(**config_kwargs)
+    fields = {k: _decode(v) for k, v in payload["fields"].items()}
+    if kind == "exp2":
+        # JSON stringifies integer histogram keys and step indices.
+        fields["gap_histogram"] = {
+            int(k): v for k, v in fields["gap_histogram"].items()
+        }
+        fields["steps"] = tuple(int(s) for s in fields["steps"])
+    return result_cls(config=config, **fields)
+
+
+def save_result(
+    result: Exp1Result | Exp2Result | Exp3Result, path: str
+) -> None:
+    """Write a result to ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(result_to_json(result) + "\n")
+
+
+def load_result(path: str) -> Exp1Result | Exp2Result | Exp3Result:
+    """Read a result written by :func:`save_result`."""
+    with open(path, encoding="utf-8") as fh:
+        return result_from_json(fh.read())

@@ -1,0 +1,21 @@
+"""Solver instrumentation: state-space statistics for the dynamic programs.
+
+The guides' first rule of optimisation is *measure*; this package gives the
+DPs a cheap way to report how much state they actually build, which is what
+the complexity theorems bound.  `benchmarks/bench_ablation_statespace.py`
+plots the measured growth against the Theorem-1/Theorem-3 predictions.
+"""
+
+from repro.perf.stats import (
+    CoreDPStats,
+    ParetoDPStats,
+    instrument_pareto_frontier,
+    instrument_replica_update,
+)
+
+__all__ = [
+    "CoreDPStats",
+    "ParetoDPStats",
+    "instrument_pareto_frontier",
+    "instrument_replica_update",
+]

@@ -1,0 +1,131 @@
+"""State-space collectors for the dynamic programs.
+
+The collectors are plain mutable objects the solvers update when one is
+passed in; overhead is a few integer additions per merge, so they are safe
+to enable in production runs.
+
+* :class:`CoreDPStats` — MinCost-WithPre (Theorem 1): table sizes are the
+  quantity the ``O(N·(N-E+1)²·(E+1)²)`` bound controls.
+* :class:`ParetoDPStats` — the power frontier engine: label counts show
+  how far Pareto pruning compresses the Theorem-3 count-vector space
+  (and how the NP-hardness manifests as label growth on adversarial
+  instances such as the §4.2 gadgets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dp_withpre import CostLike
+    from repro.core.solution import PlacementResult
+    from repro.power.dp_power_pareto import PowerFrontier
+    from repro.power.modes import PowerModel
+    from repro.core.costs import ModalCostModel
+    from repro.tree.model import Tree
+
+__all__ = [
+    "CoreDPStats",
+    "ParetoDPStats",
+    "instrument_replica_update",
+    "instrument_pareto_frontier",
+]
+
+
+@dataclass
+class CoreDPStats:
+    """Table statistics of one MinCost-WithPre run."""
+
+    merges: int = 0
+    total_cells: int = 0  #: sum of post-merge table sizes (work ∝ this)
+    max_cells: int = 0
+    max_e_dim: int = 0
+    max_n_dim: int = 0
+
+    def record_merge(self, e_dim: int, n_dim: int) -> None:
+        cells = e_dim * n_dim
+        self.merges += 1
+        self.total_cells += cells
+        self.max_cells = max(self.max_cells, cells)
+        self.max_e_dim = max(self.max_e_dim, e_dim)
+        self.max_n_dim = max(self.max_n_dim, n_dim)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "merges": self.merges,
+            "total_cells": self.total_cells,
+            "max_cells": self.max_cells,
+            "max_e_dim": self.max_e_dim,
+            "max_n_dim": self.max_n_dim,
+        }
+
+
+@dataclass
+class ParetoDPStats:
+    """Label statistics of one power-frontier run."""
+
+    merges: int = 0
+    labels_created: int = 0  #: candidate labels before pruning
+    labels_kept: int = 0  #: labels surviving Pareto pruning
+    max_front_size: int = 0  #: largest (g, p) front for a single flow value
+    max_flow_keys: int = 0  #: most distinct flow values at one node
+
+    def record_table(self, table: Mapping[int, list]) -> None:
+        self.max_flow_keys = max(self.max_flow_keys, len(table))
+        for labs in table.values():
+            self.labels_kept += len(labs)
+            self.max_front_size = max(self.max_front_size, len(labs))
+
+    def record_created(self, count: int) -> None:
+        self.labels_created += count
+
+    def record_merge(self) -> None:
+        self.merges += 1
+
+    @property
+    def prune_ratio(self) -> float:
+        """Fraction of candidate labels discarded by dominance pruning."""
+        if self.labels_created == 0:
+            return 0.0
+        return 1.0 - self.labels_kept / self.labels_created
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "merges": self.merges,
+            "labels_created": self.labels_created,
+            "labels_kept": self.labels_kept,
+            "max_front_size": self.max_front_size,
+            "max_flow_keys": self.max_flow_keys,
+            "prune_ratio": self.prune_ratio,
+        }
+
+
+def instrument_replica_update(
+    tree: "Tree",
+    capacity: int,
+    preexisting: Iterable[int] = (),
+    cost_model: "CostLike | None" = None,
+) -> tuple["PlacementResult", CoreDPStats]:
+    """Run :func:`repro.core.dp_withpre.replica_update` with a collector."""
+    from repro.core.dp_withpre import replica_update
+
+    stats = CoreDPStats()
+    result = replica_update(tree, capacity, preexisting, cost_model, stats=stats)
+    return result, stats
+
+
+def instrument_pareto_frontier(
+    tree: "Tree",
+    power_model: "PowerModel",
+    cost_model: "ModalCostModel",
+    preexisting_modes: Mapping[int, int] | None = None,
+) -> tuple["PowerFrontier", ParetoDPStats]:
+    """Run :func:`repro.power.dp_power_pareto.power_frontier` with a collector."""
+    from repro.power.dp_power_pareto import power_frontier
+
+    stats = ParetoDPStats()
+    frontier = power_frontier(
+        tree, power_model, cost_model, preexisting_modes, stats=stats
+    )
+    return frontier, stats

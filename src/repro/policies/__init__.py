@@ -1,0 +1,40 @@
+"""Access policies beyond *closest* (extension).
+
+The paper fixes the **closest** policy (§2.1) and cites Benoit,
+Rehn-Sonigo & Robert, *"Replica placement and access policies in tree
+networks"* (IEEE TPDS 2008) — reference [2] — where two siblings are
+studied:
+
+* **Upwards** — a client is served by exactly one ancestor replica, not
+  necessarily the closest (NP-hard even with identical servers);
+* **Multiple** — a client's requests may be *split* across several
+  ancestor replicas (polynomial).
+
+This package implements both as an extension so the closest-policy results
+of the paper can be positioned against the policy hierarchy
+
+    min_replicas(Multiple) <= min_replicas(Upwards) <= min_replicas(Closest),
+
+which the property tests verify on randomized instances and
+`benchmarks/bench_ablation_policies.py` quantifies on paper workloads.
+"""
+
+from repro.policies.multiple import (
+    multiple_feasible,
+    multiple_min_replicas,
+    multiple_placement,
+)
+from repro.policies.upwards import (
+    upwards_feasible,
+    upwards_first_fit,
+    upwards_min_replicas_exhaustive,
+)
+
+__all__ = [
+    "multiple_feasible",
+    "multiple_min_replicas",
+    "multiple_placement",
+    "upwards_feasible",
+    "upwards_first_fit",
+    "upwards_min_replicas_exhaustive",
+]

@@ -1,0 +1,149 @@
+"""The *Multiple* access policy: requests may split across ancestor replicas.
+
+With splitting allowed, serving is a pure flow problem on the tree:
+requests travel upwards and any replica on the way may absorb up to ``W``
+of them.  Benoit–Rehn-Sonigo–Robert (2008) show the policy is polynomial;
+we solve it exactly with a small dynamic program:
+
+* **feasibility** of a *given* replica set is decided greedily — absorb as
+  much as possible as deep as possible (requests only move up, so
+  deferring absorption can never help);
+* the **minimum replica count** comes from per-node tables
+  ``t_j[k] =`` minimal flow leaving ``subtree_j`` (including ``j``) when it
+  hosts ``k`` replicas: children merge by a min-plus convolution (flows
+  add), and a replica on ``j`` turns ``t[k]`` into ``max(t[k] - W, 0)`` at
+  ``k+1``.  Minimal residual per count is the right dominance because any
+  completion is monotone in the residual.  (A naive "open a replica when
+  the flow reaches W" greedy is *not* optimal: with W=10 and two child
+  flows of 6, saturating the root absorbs 10 but strands 2, while
+  ``{child, root}`` serves everything — the DP finds the latter.)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.core.solution import PlacementResult
+from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
+from repro.tree.model import Tree
+
+__all__ = ["multiple_feasible", "multiple_min_replicas", "multiple_placement"]
+
+
+def multiple_feasible(
+    tree: Tree, replicas: Iterable[int], capacity: int
+) -> tuple[bool, dict[int, int]]:
+    """Can ``replicas`` serve the workload under the Multiple policy?
+
+    Returns ``(feasible, loads)`` where ``loads`` is a witness assignment
+    (requests absorbed per replica) when feasible.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    rset = set(replicas)
+    flow = tree.client_loads.astype(np.int64).copy()
+    loads: dict[int, int] = {}
+    for v in tree.post_order():
+        j = int(v)
+        for c in tree.children(j):
+            flow[j] += flow[c]
+        if j in rset:
+            absorbed = int(min(flow[j], capacity))
+            loads[j] = absorbed
+            flow[j] -= absorbed
+    return int(flow[tree.root]) == 0, loads
+
+
+def multiple_placement(tree: Tree, capacity: int) -> PlacementResult:
+    """Minimum-replica placement under the Multiple policy (exact DP).
+
+    Raises :class:`InfeasibleError` when even one replica on every node
+    cannot absorb the workload (some path is over-subscribed).
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    n = tree.n_nodes
+    # tables[j][k] = min flow out of subtree_j (including j) with k replicas.
+    tables: list[np.ndarray | None] = [None] * n
+    # merge_choice[j] = per-child argmin split arrays; place_from[j][k] is
+    # True when the final table value at k used a replica on j itself.
+    merge_choice: list[list[np.ndarray]] = [[] for _ in range(n)]
+    place_from: list[np.ndarray | None] = [None] * n
+
+    for v in tree.post_order():
+        j = int(v)
+        acc = np.array([tree.client_load(j)], dtype=np.int64)
+        for child in tree.children(j):
+            child_t = tables[child]
+            assert child_t is not None
+            tables[child] = None
+            na, nc = acc.shape[0], child_t.shape[0]
+            out = np.full(na + nc - 1, np.iinfo(np.int64).max, dtype=np.int64)
+            choice = np.zeros(na + nc - 1, dtype=np.int64)
+            for d in range(nc):
+                cand = acc + child_t[d]
+                region = out[d : d + na]
+                better = cand < region
+                if better.any():
+                    region[better] = cand[better]
+                    choice[d : d + na][better] = d
+            merge_choice[j].append(choice)
+            acc = out
+        # Replica-on-j option: one extra replica absorbs up to W.
+        final = np.full(acc.shape[0] + 1, np.iinfo(np.int64).max, dtype=np.int64)
+        placed = np.zeros(acc.shape[0] + 1, dtype=bool)
+        final[: acc.shape[0]] = acc
+        with_rep = np.maximum(acc - capacity, 0)
+        better = with_rep < final[1:]
+        final[1:][better] = with_rep[better]
+        placed[1:][better] = True
+        tables[j] = final
+        place_from[j] = placed
+
+    root = tree.root
+    root_t = tables[root]
+    assert root_t is not None
+    feas = np.flatnonzero(root_t == 0)
+    if feas.size == 0:
+        raise InfeasibleError(
+            "no replica placement can serve this workload under the "
+            "Multiple policy (an over-subscribed path exists)"
+        )
+    best_k = int(feas[0])
+
+    # Reconstruction: unwind the place-on-node flag, then the child splits.
+    replicas: list[int] = []
+    stack: list[tuple[int, int]] = [(root, best_k)]
+    while stack:
+        j, k = stack.pop()
+        placed_j = place_from[j]
+        assert placed_j is not None
+        if placed_j[k]:
+            replicas.append(j)
+            k -= 1
+        children = tree.children(j)
+        for idx in range(len(children) - 1, -1, -1):
+            d = int(merge_choice[j][idx][k])
+            stack.append((children[idx], d))
+            k -= d
+        if k != 0:
+            raise SolverError(f"Multiple-policy backtracking left budget {k}")
+    if len(replicas) != best_k:
+        raise SolverError(
+            f"reconstructed {len(replicas)} replicas, expected {best_k}"
+        )
+    feasible, loads = multiple_feasible(tree, replicas, capacity)
+    if not feasible:
+        raise SolverError("reconstructed Multiple placement is not feasible")
+    return PlacementResult(
+        replicas=frozenset(replicas),
+        loads=loads,
+        extra={"policy": "multiple"},
+    )
+
+
+def multiple_min_replicas(tree: Tree, capacity: int) -> int:
+    """Minimal replica count under the Multiple policy."""
+    return multiple_placement(tree, capacity).n_replicas

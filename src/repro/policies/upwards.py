@@ -1,0 +1,140 @@
+"""The *Upwards* access policy: one ancestor replica per client, any depth.
+
+Relaxing *closest* to "any single ancestor" makes even feasibility of a
+given replica set a bin-packing problem (clients are items, ancestor
+replicas are bins) — Benoit–Rehn-Sonigo–Robert (2008) prove the policy
+NP-hard for identical servers.  Accordingly this module provides:
+
+* :func:`upwards_feasible` — exact feasibility by backtracking over
+  clients (heaviest first, with capacity pruning); exponential worst case,
+  intended for the small instances of tests and the policy ablation;
+* :func:`upwards_first_fit` — a first-fit-decreasing heuristic assignment;
+* :func:`upwards_min_replicas_exhaustive` — exact minimal replica count by
+  enumerating placements (oracle-sized trees only).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable
+
+from repro.core.solution import PlacementResult
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.tree.model import Tree
+
+__all__ = [
+    "upwards_feasible",
+    "upwards_first_fit",
+    "upwards_min_replicas_exhaustive",
+]
+
+_MAX_NODES = 18
+_MAX_CLIENTS = 16
+
+
+def _ancestor_replicas(tree: Tree, node: int, rset: frozenset[int]) -> list[int]:
+    return [v for v in tree.ancestors(node, include_self=True) if v in rset]
+
+
+def upwards_feasible(
+    tree: Tree, replicas: Iterable[int], capacity: int
+) -> tuple[bool, dict[int, int] | None]:
+    """Exact feasibility of ``replicas`` under the Upwards policy.
+
+    Returns ``(feasible, loads)``; ``loads`` is a witness when feasible.
+    Exponential in the number of clients (guarded at 16) — the policy's
+    NP-hardness lives exactly here.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    if tree.n_clients > _MAX_CLIENTS:
+        raise ConfigurationError(
+            f"upwards_feasible is exact and capped at {_MAX_CLIENTS} clients "
+            f"(got {tree.n_clients})"
+        )
+    rset = frozenset(int(v) for v in replicas)
+    options: list[tuple[int, list[int]]] = []
+    for c in tree.clients:
+        anc = _ancestor_replicas(tree, c.node, rset)
+        if not anc:
+            return False, None
+        options.append((c.requests, anc))
+    # Heaviest clients first: fail fast on the hardest items.
+    order = sorted(range(len(options)), key=lambda i: -options[i][0])
+    remaining = {v: capacity for v in rset}
+    assignment: dict[int, int] = {}
+
+    def backtrack(idx: int) -> bool:
+        if idx == len(order):
+            return True
+        req, anc = options[order[idx]]
+        tried: set[int] = set()
+        for v in anc:
+            room = remaining[v]
+            if room < req or room in tried:
+                continue
+            tried.add(room)  # symmetric capacities are interchangeable
+            remaining[v] -= req
+            assignment[order[idx]] = v
+            if backtrack(idx + 1):
+                return True
+            remaining[v] += req
+        return False
+
+    if not backtrack(0):
+        return False, None
+    loads = {v: 0 for v in rset}
+    for i, server in assignment.items():
+        loads[server] += options[i][0]
+    return True, {v: q for v, q in loads.items()}
+
+
+def upwards_first_fit(
+    tree: Tree, replicas: Iterable[int], capacity: int
+) -> tuple[bool, dict[int, int] | None]:
+    """First-fit-decreasing heuristic assignment (deepest ancestor first).
+
+    Sound but incomplete: a ``True`` answer is a certificate, a ``False``
+    answer may be a false negative — the gap the ablation measures.
+    """
+    if capacity < 1:
+        raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+    rset = frozenset(int(v) for v in replicas)
+    remaining = {v: capacity for v in rset}
+    loads = {v: 0 for v in rset}
+    for c in sorted(tree.clients, key=lambda c: -c.requests):
+        for v in _ancestor_replicas(tree, c.node, rset):  # deepest first
+            if remaining[v] >= c.requests:
+                remaining[v] -= c.requests
+                loads[v] += c.requests
+                break
+        else:
+            return False, None
+    return True, loads
+
+
+def upwards_min_replicas_exhaustive(tree: Tree, capacity: int) -> PlacementResult:
+    """Exact minimal replica count under the Upwards policy (oracle).
+
+    Enumerates placements by increasing size; each is checked with the
+    exact backtracking feasibility test.  Guarded to tiny instances.
+    """
+    if tree.n_nodes > _MAX_NODES:
+        raise ConfigurationError(
+            f"exhaustive Upwards solver capped at {_MAX_NODES} nodes "
+            f"(got {tree.n_nodes})"
+        )
+    nodes = range(tree.n_nodes)
+    for size in range(tree.n_nodes + 1):
+        for combo in combinations(nodes, size):
+            ok, loads = upwards_feasible(tree, combo, capacity)
+            if ok:
+                assert loads is not None
+                return PlacementResult(
+                    replicas=frozenset(combo),
+                    loads=loads,
+                    extra={"policy": "upwards"},
+                )
+    raise InfeasibleError(
+        "no replica placement serves this workload under the Upwards policy"
+    )

@@ -1,0 +1,57 @@
+"""Power-aware placement (the paper's §4 contribution).
+
+* :mod:`~repro.power.modes` — mode sets and the Equation-3 power model;
+* :mod:`~repro.power.dp_power_pareto` — exact MinPower(-BoundedCost) solver
+  returning the full cost/power frontier (production engine);
+* :mod:`~repro.power.dp_power_counts` — paper-faithful count-vector DP
+  (Theorem 3 state space; validation reference);
+* :mod:`~repro.power.greedy_power` — the GR capacity-sweep baseline of §5.2;
+* :mod:`~repro.power.exhaustive_power` — brute-force oracle;
+* :mod:`~repro.power.npcomplete` — Theorem 2's 2-Partition reduction;
+* :mod:`~repro.power.heuristics` — §6 future-work heuristics.
+"""
+
+from repro.power.dp_power_counts import power_frontier_counts
+from repro.power.dp_power_pareto import (
+    FrontierPoint,
+    PowerFrontier,
+    min_power,
+    min_power_bounded_cost,
+    power_frontier,
+)
+from repro.power.exhaustive_power import exhaustive_min_power, exhaustive_power_frontier
+from repro.power.greedy_power import GreedyPowerCandidates, greedy_power_candidates
+from repro.power.heuristics import local_search_power, reuse_aware_greedy_power
+from repro.power.modes import ModeSet, PowerModel
+from repro.power.npcomplete import (
+    TwoPartitionReduction,
+    build_reduction,
+    partition_from_placement,
+    solve_two_partition_via_minpower,
+    two_partition_reference,
+)
+from repro.power.result import ModalPlacementResult, modal_from_replicas
+
+__all__ = [
+    "FrontierPoint",
+    "GreedyPowerCandidates",
+    "ModalPlacementResult",
+    "ModeSet",
+    "PowerFrontier",
+    "PowerModel",
+    "TwoPartitionReduction",
+    "build_reduction",
+    "exhaustive_min_power",
+    "exhaustive_power_frontier",
+    "greedy_power_candidates",
+    "local_search_power",
+    "min_power",
+    "min_power_bounded_cost",
+    "modal_from_replicas",
+    "partition_from_placement",
+    "power_frontier",
+    "power_frontier_counts",
+    "reuse_aware_greedy_power",
+    "solve_two_partition_via_minpower",
+    "two_partition_reference",
+]

@@ -1,0 +1,408 @@
+"""MinPower / MinPower-BoundedCost — exact Pareto-label dynamic program.
+
+This is the production engine behind the paper's §4.3 algorithm.  The paper
+parameterises per-subtree tables by full count vectors — ``n_j`` new servers
+per mode and ``e_{j,j'}`` reused servers per mode change — and minimises the
+requests traversing the subtree root for every vector (complexity
+``O(N·M·(N-E+1)^{2M}·(E+1)^{2M²})``, Theorem 3).  We observe that a count
+vector influences the completion of a partial solution **only** through three
+additive quantities:
+
+* ``flow`` — requests leaving the subtree (integer, ``<= W_M``);
+* ``g`` — cost accumulated so far, with reuse credited against the deletion
+  charge (a reused server contributes ``1 + changed[o][m] - delete[o]``; a
+  new one ``1 + create[m]``; the constant ``Σ_E delete[o]`` is re-added at
+  the root, recovering Equation 4 exactly);
+* ``p`` — power accumulated so far (Equation 3 summands).
+
+Two partial solutions with equal flow and component-wise ordered ``(g, p)``
+admit exactly the same completions with ordered totals, so dominated labels
+can be discarded: per node we keep, for every flow value, only the Pareto
+frontier over ``(g, p)``.  This is exact — it returns the same optima as the
+count-vector DP (:mod:`repro.power.dp_power_counts`, cross-checked in the
+tests) — and usually exponentially smaller.  Worst-case label growth remains
+super-polynomial, as it must, since MinPower is NP-complete (Theorem 2).
+
+Modes are *load-determined* (§2.2: ``W_{i-1} < req_j <= W_i`` ⇒ mode ``i``):
+a placed server absorbing flow ``f`` runs at ``mode_of(f)``.  The paper's
+pseudo-code loops over all modes with sufficient capacity; under Equation 3
+power is strictly increasing in the mode, so only the load-determined mode
+can appear in an optimal solution and the loop is redundant (see DESIGN.md).
+
+The solver returns the **entire cost/power frontier**, so a single run
+answers every cost-bound query of Experiment 3 (Figures 8–11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.stats import ParetoDPStats
+
+from repro.core.costs import ModalCostModel
+from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
+from repro.power.modes import PowerModel
+from repro.power.result import ModalPlacementResult, modal_from_replicas
+from repro.tree.model import Tree
+
+__all__ = [
+    "PowerFrontier",
+    "FrontierPoint",
+    "power_frontier",
+    "min_power",
+    "min_power_bounded_cost",
+]
+
+_EPS = 1e-9
+
+
+class _Label:
+    """A non-dominated partial solution for one subtree.
+
+    ``back`` encodes provenance for reconstruction:
+
+    * ``None`` — base label (clients of the node itself);
+    * ``("merge", acc_label, option_label)`` — child merged in;
+    * ``("pass", child_label)`` — child kept replica-free;
+    * ``("place", child_label, node, mode)`` — replica placed on the child.
+    """
+
+    __slots__ = ("flow", "g", "p", "back")
+
+    def __init__(self, flow: int, g: float, p: float, back: tuple | None):
+        self.flow = flow
+        self.g = g
+        self.p = p
+        self.back = back
+
+
+def _prune(labels: list[_Label]) -> list[_Label]:
+    """Pareto-prune labels sharing a flow value: keep minimal (g, p)."""
+    if len(labels) <= 1:
+        return labels
+    labels.sort(key=lambda L: (L.g, L.p))
+    kept: list[_Label] = []
+    best_p = float("inf")
+    for lab in labels:
+        if lab.p < best_p - _EPS:
+            kept.append(lab)
+            best_p = lab.p
+    return kept
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated ``(cost, power)`` outcome at the root."""
+
+    cost: float
+    power: float
+    _label: _Label
+    _root_mode: int | None
+
+    def placement(self) -> dict[int, int]:
+        """Reconstruct the ``{node: mode}`` placement for this point."""
+        out: dict[int, int] = {}
+        stack = [self._label]
+        while stack:
+            lab = stack.pop()
+            back = lab.back
+            if back is None:
+                continue
+            tag = back[0]
+            if tag == "merge":
+                stack.append(back[1])
+                stack.append(back[2])
+            elif tag == "pass":
+                stack.append(back[1])
+            else:  # "place"
+                out[back[2]] = back[3]
+                stack.append(back[1])
+        return out
+
+
+class PowerFrontier:
+    """Full Pareto frontier of (cost, power) for one instance.
+
+    Points are sorted by increasing cost (hence decreasing power).  The
+    frontier answers all bi-criteria queries:
+
+    * :meth:`best_under_cost` — MinPower-BoundedCost for any bound;
+    * :meth:`min_power` — the unconstrained MinPower optimum;
+    * :meth:`pairs` — raw series for plots (Figures 8–11).
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        points: Sequence[FrontierPoint],
+        power_model: PowerModel,
+        cost_model: ModalCostModel,
+        preexisting_modes: Mapping[int, int],
+        root_node: int,
+    ) -> None:
+        self._tree = tree
+        self.points = list(points)
+        self._power_model = power_model
+        self._cost_model = cost_model
+        self._pre = dict(preexisting_modes)
+        self._root = root_node
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def pairs(self) -> list[tuple[float, float]]:
+        """Non-dominated ``(cost, power)`` pairs, cost-ascending."""
+        return [(pt.cost, pt.power) for pt in self.points]
+
+    def min_cost(self) -> float:
+        """Cheapest achievable cost (power is then maximal on the frontier)."""
+        return self.points[0].cost
+
+    def best_under_cost(self, cost_bound: float) -> ModalPlacementResult | None:
+        """Minimal-power solution with ``cost <= cost_bound`` (or ``None``).
+
+        Power is non-increasing in cost along the frontier, so the answer is
+        the *last* frontier point within the bound.
+        """
+        chosen: FrontierPoint | None = None
+        for pt in self.points:
+            if pt.cost <= cost_bound + _EPS:
+                chosen = pt
+            else:
+                break
+        if chosen is None:
+            return None
+        return self._materialise(chosen)
+
+    def min_power(self) -> ModalPlacementResult:
+        """Unconstrained MinPower optimum (the paper's mono-criterion goal)."""
+        return self._materialise(self.points[-1])
+
+    def best_under_power(self, power_bound: float) -> ModalPlacementResult | None:
+        """Minimal-cost solution with ``power <= power_bound`` (or ``None``).
+
+        The dual of :meth:`best_under_cost` — the paper's bi-criteria
+        problem with the roles of the objectives swapped (a power *cap*
+        with a cost objective, e.g. a rack power budget).  Cost is
+        non-increasing in allowed power along the frontier, so the answer
+        is the first frontier point within the bound.
+        """
+        for pt in self.points:
+            if pt.power <= power_bound + _EPS:
+                return self._materialise(pt)
+        return None
+
+    def _materialise(self, pt: FrontierPoint) -> ModalPlacementResult:
+        placement = pt.placement()
+        if pt._root_mode is not None:
+            placement[self._root] = pt._root_mode
+        result = modal_from_replicas(
+            self._tree,
+            placement.keys(),
+            self._power_model,
+            self._cost_model,
+            self._pre,
+            extra={"frontier_point": (pt.cost, pt.power)},
+        )
+        # The reconstruction must reproduce the label's bookkeeping exactly;
+        # any drift indicates corrupted DP state.
+        if abs(result.cost - pt.cost) > 1e-6 or abs(result.power - pt.power) > 1e-6:
+            raise SolverError(
+                f"reconstructed solution prices (cost={result.cost}, "
+                f"power={result.power}) differ from frontier point "
+                f"({pt.cost}, {pt.power})"
+            )
+        if result.server_modes != placement:
+            raise SolverError(
+                "load-determined modes of the reconstructed placement differ "
+                "from the modes recorded during the DP"
+            )
+        return result
+
+
+def power_frontier(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    preexisting_modes: Mapping[int, int] | None = None,
+    *,
+    stats: "ParetoDPStats | None" = None,
+) -> PowerFrontier:
+    """Compute the exact cost/power frontier for an instance.
+
+    Parameters
+    ----------
+    tree:
+        The distribution tree.
+    power_model:
+        Mode set and Equation-3 parameters.
+    cost_model:
+        Equation-4 modal cost model; must cover the same number of modes.
+    preexisting_modes:
+        ``{node: old_mode_index}`` for the pre-existing servers ``E``
+        (empty for the NoPre variants).
+    stats:
+        Optional :class:`repro.perf.ParetoDPStats` collector; accumulates
+        label-count statistics with negligible overhead.
+
+    Raises
+    ------
+    InfeasibleError
+        When no valid placement exists.
+    """
+    modes = power_model.modes
+    if cost_model.n_modes != modes.n_modes:
+        raise ConfigurationError(
+            f"cost model covers {cost_model.n_modes} modes but the mode set "
+            f"has {modes.n_modes}"
+        )
+    pre = dict(preexisting_modes or {})
+    for v, old in pre.items():
+        if not (0 <= v < tree.n_nodes):
+            raise ConfigurationError(f"pre-existing server {v} is not a tree node")
+        if not (0 <= old < modes.n_modes):
+            raise ConfigurationError(
+                f"pre-existing server {v} has invalid mode {old}"
+            )
+    w_max = modes.max_capacity
+
+    # Placement price of a replica on `node` absorbing flow -> (dg, dp, mode)
+    def place_price(node: int, flow: int) -> tuple[float, float, int]:
+        m = modes.mode_of(flow)
+        if node in pre:
+            old = pre[node]
+            dg = 1.0 + cost_model.changed[old][m] - cost_model.delete[old]
+        else:
+            dg = 1.0 + cost_model.create[m]
+        return dg, power_model.mode_power(m), m
+
+    tables: list[dict[int, list[_Label]] | None] = [None] * tree.n_nodes
+
+    for v in tree.post_order():
+        j = int(v)
+        load = tree.client_load(j)
+        if load > w_max:
+            raise InfeasibleError(
+                f"direct client load {load} at node {j} exceeds W={w_max}",
+                node=j,
+            )
+        acc: dict[int, list[_Label]] = {load: [_Label(load, 0.0, 0.0, None)]}
+        for child in tree.children(j):
+            child_table = tables[child]
+            assert child_table is not None
+            tables[child] = None
+            # Child options: pass the flow up, or absorb it with a replica
+            # on the child (mode determined by the absorbed flow).
+            options: dict[int, list[_Label]] = {}
+            for f, labs in child_table.items():
+                dg, dp, m = place_price(child, f)
+                for lab in labs:
+                    options.setdefault(f, []).append(
+                        _Label(f, lab.g, lab.p, ("pass", lab))
+                    )
+                    options.setdefault(0, []).append(
+                        _Label(0, lab.g + dg, lab.p + dp, ("place", lab, child, m))
+                    )
+            for f in options:
+                options[f] = _prune(options[f])
+            merged: dict[int, list[_Label]] = {}
+            for f1, labs1 in acc.items():
+                for f2, labs2 in options.items():
+                    f = f1 + f2
+                    if f > w_max:
+                        continue
+                    bucket = merged.setdefault(f, [])
+                    for l1 in labs1:
+                        for l2 in labs2:
+                            bucket.append(
+                                _Label(f, l1.g + l2.g, l1.p + l2.p, ("merge", l1, l2))
+                            )
+            if stats is not None:
+                stats.record_merge()
+                stats.record_created(sum(len(b) for b in merged.values()))
+            for f in merged:
+                merged[f] = _prune(merged[f])
+            if stats is not None:
+                stats.record_table(merged)
+            acc = merged
+        tables[j] = acc
+
+    root = tree.root
+    root_table = tables[root]
+    assert root_table is not None
+    delete_constant = sum(cost_model.delete[old] for old in pre.values())
+
+    # Costs/powers are rounded to 9 decimals so that mathematically equal
+    # sums accumulated in different orders collapse to one frontier point
+    # (keeps frontiers comparable across solvers).
+    def point(g: float, p: float, lab: _Label, mode: int | None) -> FrontierPoint:
+        return FrontierPoint(round(g, 9), round(p, 9), lab, mode)
+
+    candidates: list[FrontierPoint] = []
+    for f, labs in root_table.items():
+        for lab in labs:
+            if f == 0:
+                candidates.append(point(lab.g + delete_constant, lab.p, lab, None))
+                if root in pre:
+                    # Idle reused root (only ever optimal when deletion is
+                    # dearer than keeping a lowest-mode server).
+                    dg, dp, m = place_price(root, 0)
+                    candidates.append(
+                        point(lab.g + dg + delete_constant, lab.p + dp, lab, m)
+                    )
+            else:
+                dg, dp, m = place_price(root, f)
+                candidates.append(
+                    point(lab.g + dg + delete_constant, lab.p + dp, lab, m)
+                )
+    if not candidates:
+        raise InfeasibleError("no valid replica placement exists")
+
+    candidates.sort(key=lambda pt: (pt.cost, pt.power))
+    frontier: list[FrontierPoint] = []
+    best_power = float("inf")
+    for pt in candidates:
+        if pt.power < best_power - _EPS:
+            frontier.append(pt)
+            best_power = pt.power
+    return PowerFrontier(tree, frontier, power_model, cost_model, pre, root)
+
+
+def min_power(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel | None = None,
+    preexisting_modes: Mapping[int, int] | None = None,
+) -> ModalPlacementResult:
+    """Solve MinPower (§2.3): minimal power, cost unconstrained.
+
+    The problem is NP-complete for arbitrary mode counts (Theorem 2); this
+    exact solver is practical for the small mode counts of real processors
+    and for the reduction instances of §4.2.
+    """
+    cm = cost_model or ModalCostModel.uniform(power_model.modes.n_modes)
+    return power_frontier(tree, power_model, cm, preexisting_modes).min_power()
+
+
+def min_power_bounded_cost(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    cost_bound: float,
+    preexisting_modes: Mapping[int, int] | None = None,
+) -> ModalPlacementResult:
+    """Solve MinPower-BoundedCost (§2.3) for one bound.
+
+    Raises :class:`InfeasibleError` when no placement meets the bound; use
+    :func:`power_frontier` directly when sweeping bounds (Experiment 3).
+    """
+    frontier = power_frontier(tree, power_model, cost_model, preexisting_modes)
+    result = frontier.best_under_cost(cost_bound)
+    if result is None:
+        raise InfeasibleError(
+            f"no placement has cost <= {cost_bound} (cheapest is "
+            f"{frontier.min_cost():.3f})"
+        )
+    return result

@@ -1,0 +1,73 @@
+"""Exhaustive power oracle for tiny instances.
+
+Enumerates every valid replica set, prices it with load-determined modes,
+and keeps the (cost, power) frontier.  Ground truth for both power DPs in
+the test-suite; guarded against large trees.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.costs import ModalCostModel
+from repro.core.exhaustive import iter_valid_placements
+from repro.exceptions import InfeasibleError
+from repro.power.modes import PowerModel
+from repro.power.result import ModalPlacementResult, modal_from_replicas
+from repro.tree.model import Tree
+
+__all__ = ["exhaustive_power_frontier", "exhaustive_min_power"]
+
+_EPS = 1e-9
+
+
+def exhaustive_power_frontier(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    preexisting_modes: Mapping[int, int] | None = None,
+) -> list[tuple[float, float]]:
+    """Ground-truth (cost, power) frontier by full enumeration."""
+    pre = dict(preexisting_modes or {})
+    pairs: list[tuple[float, float]] = []
+    for replicas, _loads in iter_valid_placements(
+        tree, power_model.modes.max_capacity
+    ):
+        res = modal_from_replicas(tree, replicas, power_model, cost_model, pre)
+        # Round like the DP solvers so frontiers compare exactly.
+        pairs.append((round(res.cost, 9), round(res.power, 9)))
+    if not pairs:
+        raise InfeasibleError("no valid replica placement exists")
+    pairs.sort()
+    frontier: list[tuple[float, float]] = []
+    best_power = float("inf")
+    for cost, power in pairs:
+        if power < best_power - _EPS:
+            frontier.append((cost, power))
+            best_power = power
+    return frontier
+
+
+def exhaustive_min_power(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    preexisting_modes: Mapping[int, int] | None = None,
+    cost_bound: float = float("inf"),
+) -> ModalPlacementResult:
+    """Ground-truth MinPower(-BoundedCost) solution by full enumeration."""
+    pre = dict(preexisting_modes or {})
+    best: ModalPlacementResult | None = None
+    for replicas, _loads in iter_valid_placements(
+        tree, power_model.modes.max_capacity
+    ):
+        res = modal_from_replicas(tree, replicas, power_model, cost_model, pre)
+        if res.cost > cost_bound + _EPS:
+            continue
+        if best is None or res.power < best.power - _EPS:
+            best = res
+    if best is None:
+        raise InfeasibleError(
+            f"no valid replica placement has cost <= {cost_bound}"
+        )
+    return best

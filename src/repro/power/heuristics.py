@@ -1,0 +1,138 @@
+"""Polynomial-time power heuristics (§6 future work, implemented).
+
+The paper's conclusion calls for "polynomial time heuristics with a lower
+complexity than the optimal solution … perform some local optimizations to
+better load-balance the number of requests per replica, with the goal of
+minimizing the power consumption".  Two such heuristics live here:
+
+* :func:`reuse_aware_greedy_power` — the GR capacity sweep with a
+  reuse-preferring tie-break (cheap, improves cost, not power-aware);
+* :func:`local_search_power` — hill-climbing over placements with
+  add / remove / slide moves, minimising power subject to the cost bound.
+
+`benchmarks/bench_ablation_heuristics.py` measures both against the optimal
+bi-criteria DP on the Experiment-3 workload.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.costs import ModalCostModel
+from repro.exceptions import InfeasibleError
+from repro.power.greedy_power import GreedyPowerCandidates, greedy_power_candidates
+from repro.power.modes import PowerModel
+from repro.power.result import ModalPlacementResult, modal_from_replicas
+from repro.tree.model import Tree
+
+__all__ = ["reuse_aware_greedy_power", "local_search_power"]
+
+_EPS = 1e-9
+
+
+def reuse_aware_greedy_power(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    preexisting_modes: Mapping[int, int] | None = None,
+) -> GreedyPowerCandidates:
+    """GR sweep that prefers pre-existing servers on flow ties.
+
+    Same asymptotic cost as GR; the tie-break lowers the Equation-4 cost of
+    the candidates (more reuse, fewer create/delete charges), which lets
+    more of them fit under tight cost bounds.
+    """
+    return greedy_power_candidates(
+        tree,
+        power_model,
+        cost_model,
+        preexisting_modes,
+        tie_break="prefer_preexisting",
+    )
+
+
+def local_search_power(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    cost_bound: float,
+    preexisting_modes: Mapping[int, int] | None = None,
+    *,
+    initial: ModalPlacementResult | None = None,
+    max_rounds: int = 100,
+) -> ModalPlacementResult | None:
+    """Hill-climb placements to reduce power under a cost bound.
+
+    Moves per round, applied to the current replica set ``R``:
+
+    * **add** — open a server on any node outside ``R`` (may downgrade an
+      overloaded ancestor to a lower mode);
+    * **remove** — close a server (its flow shifts to the closest ancestor
+      server, which must have headroom);
+    * **slide** — move a server to its parent or to one of its children
+      (re-balances load along a path).
+
+    The best strictly-power-improving valid move with ``cost <= cost_bound``
+    is taken; ties on power prefer lower cost.  Terminates at a local
+    optimum or after ``max_rounds``.
+
+    Returns ``None`` when no feasible starting point under the bound exists
+    (GR seeds the search unless ``initial`` is given).
+    """
+    pre = dict(preexisting_modes or {})
+    current = initial
+    if current is None:
+        current = greedy_power_candidates(
+            tree, power_model, cost_model, pre
+        ).best_under_cost(cost_bound)
+    if current is None or current.cost > cost_bound + _EPS:
+        return None
+
+    evaluations = 0
+
+    def evaluate(replicas: frozenset[int]) -> ModalPlacementResult | None:
+        nonlocal evaluations
+        evaluations += 1
+        try:
+            res = modal_from_replicas(tree, replicas, power_model, cost_model, pre)
+        except InfeasibleError:
+            return None
+        return res if res.cost <= cost_bound + _EPS else None
+
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        base = frozenset(current.server_modes)
+        neighbours: set[frozenset[int]] = set()
+        for v in range(tree.n_nodes):
+            if v not in base:
+                neighbours.add(base | {v})
+        for v in base:
+            neighbours.add(base - {v})
+            p = tree.parent(v)
+            if p is not None:
+                neighbours.add((base - {v}) | {p})
+            for c in tree.children(v):
+                neighbours.add((base - {v}) | {c})
+        neighbours.discard(base)
+
+        best = current
+        for cand in neighbours:
+            res = evaluate(cand)
+            if res is None:
+                continue
+            if res.power < best.power - _EPS or (
+                abs(res.power - best.power) <= _EPS and res.cost < best.cost - _EPS
+            ):
+                best = res
+        if best is current:
+            break
+        current = best
+
+    return ModalPlacementResult(
+        server_modes=current.server_modes,
+        loads=current.loads,
+        power=current.power,
+        cost=current.cost,
+        preexisting_modes=pre,
+        extra={**dict(current.extra), "rounds": rounds, "evaluations": evaluations},
+    )

@@ -1,0 +1,111 @@
+"""Modal placement results: replica sets with per-server modes.
+
+Under the paper's §2.2 semantics a server's operated mode is *determined by
+its load* (smallest mode covering ``req_j``), so a modal solution is fully
+described by the replica set; :func:`modal_from_replicas` derives modes,
+cost and power in one pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.core.costs import ModalCostModel
+from repro.core.solution import server_loads
+from repro.exceptions import InfeasibleError
+from repro.power.modes import PowerModel
+from repro.tree.model import Tree
+
+__all__ = ["ModalPlacementResult", "modal_from_replicas"]
+
+
+@dataclass(frozen=True)
+class ModalPlacementResult:
+    """A power-aware solution.
+
+    Attributes
+    ----------
+    server_modes:
+        ``{node: mode_index}`` for every server in the solution; modes are
+        load-determined (§2.2).
+    loads:
+        Requests served per server (Equation 1's ``req_j``).
+    power:
+        Total power consumption (Equation 3).
+    cost:
+        Total cost (Equation 4) against the instance's pre-existing servers.
+    """
+
+    server_modes: Mapping[int, int]
+    loads: Mapping[int, int]
+    power: float
+    cost: float
+    preexisting_modes: Mapping[int, int] = field(default_factory=dict)
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def replicas(self) -> frozenset[int]:
+        return frozenset(self.server_modes)
+
+    @property
+    def n_replicas(self) -> int:
+        return len(self.server_modes)
+
+    @property
+    def reused(self) -> frozenset[int]:
+        return frozenset(self.server_modes) & frozenset(self.preexisting_modes)
+
+    @property
+    def deleted(self) -> frozenset[int]:
+        return frozenset(self.preexisting_modes) - frozenset(self.server_modes)
+
+    @property
+    def created(self) -> frozenset[int]:
+        return frozenset(self.server_modes) - frozenset(self.preexisting_modes)
+
+
+def modal_from_replicas(
+    tree: Tree,
+    replicas: Iterable[int],
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    preexisting_modes: Mapping[int, int] | None = None,
+    *,
+    extra: Mapping[str, object] | None = None,
+) -> ModalPlacementResult:
+    """Evaluate a replica set as a modal solution.
+
+    Verifies validity against the maximal capacity, derives per-server
+    modes from loads, and prices the solution with both models.
+
+    Raises
+    ------
+    InfeasibleError
+        When the placement leaves requests unserved or overloads a server
+        beyond ``W_M``.
+    """
+    pre = dict(preexisting_modes or {})
+    modes = power_model.modes
+    loads, unserved = server_loads(tree, replicas)
+    if unserved:
+        raise InfeasibleError(
+            f"{unserved} requests reach the root unserved by this placement"
+        )
+    overloaded = [v for v, q in loads.items() if q > modes.max_capacity]
+    if overloaded:
+        raise InfeasibleError(
+            f"servers {sorted(overloaded)} exceed the maximal capacity "
+            f"{modes.max_capacity}"
+        )
+    server_modes = {v: modes.mode_of(q) for v, q in loads.items()}
+    power = power_model.placement_power(server_modes)
+    cost = cost_model.of_modal_placement(server_modes, pre)
+    return ModalPlacementResult(
+        server_modes=server_modes,
+        loads=loads,
+        power=power,
+        cost=cost,
+        preexisting_modes=pre,
+        extra=dict(extra or {}),
+    )

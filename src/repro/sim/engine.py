@@ -1,0 +1,248 @@
+"""Event-driven simulation of the closest-policy service system.
+
+Time is continuous; servers are rate-limited per unit-length window
+(capacity ``W`` requests per window, matching the paper's "maximum number
+W of requests" per time unit).  Requests that arrive at a saturated server
+wait for the next window — for any *valid* placement under deterministic
+arrivals no request ever waits, which is the semantic bridge between the
+solvers' algebra and a running system (see ``tests/test_sim.py``).
+
+Arrival models:
+
+* ``uniform`` — client ``i`` emits exactly ``r_i`` requests per unit,
+  evenly spaced (the paper's deterministic steady state);
+* ``poisson`` — client ``i`` emits a Poisson process with rate ``r_i``
+  (bursty traffic; transient queues appear even for valid placements).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass
+from typing import Iterable, Literal, Mapping
+
+import numpy as np
+
+from repro.core.solution import assign_clients
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Tree
+
+__all__ = [
+    "ArrivalModel",
+    "SimulationReport",
+    "ClosestPolicySimulation",
+    "simulate_placement",
+]
+
+ArrivalModel = Literal["uniform", "poisson"]
+
+
+@dataclass(frozen=True)
+class SimulationReport:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    duration:
+        Simulated time units.
+    arrivals:
+        Requests emitted per client index.
+    processed:
+        Requests processed per server node.
+    unserved:
+        Requests emitted by clients with no replica on their root path
+        (never happens for valid placements).
+    max_backlog:
+        Largest number of requests simultaneously waiting at any server.
+    final_backlog:
+        Requests still queued when the clock stopped.
+    """
+
+    duration: float
+    arrivals: tuple[int, ...]
+    processed: Mapping[int, int]
+    unserved: int
+    max_backlog: int
+    final_backlog: int
+
+    @property
+    def total_arrivals(self) -> int:
+        return int(sum(self.arrivals))
+
+    @property
+    def total_processed(self) -> int:
+        return int(sum(self.processed.values()))
+
+    def utilization(self, capacity: int) -> dict[int, float]:
+        """Mean processed requests per window over capacity, per server."""
+        return {
+            v: self.processed[v] / (capacity * self.duration)
+            for v in self.processed
+        }
+
+    def conservation_ok(self) -> bool:
+        """Every emitted request is processed, queued or unserved."""
+        return (
+            self.total_arrivals
+            == self.total_processed + self.final_backlog + self.unserved
+        )
+
+
+class _Server:
+    """Rate limiter: at most ``capacity`` requests per unit window.
+
+    Within a window, queued backlog is served before fresh arrivals
+    (FIFO); advancing the clock lets complete windows drain the backlog at
+    full capacity.
+    """
+
+    __slots__ = ("capacity", "window", "used", "processed", "backlog", "max_backlog")
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.window = 0
+        self.used = 0
+        self.processed = 0
+        self.backlog = 0
+        self.max_backlog = 0
+
+    def _advance(self, window: int) -> None:
+        """Move the clock to the start of ``window`` (drains backlog)."""
+        if window <= self.window:
+            return
+        # Leftover room in the current window serves backlog first …
+        take = min(self.capacity - self.used, self.backlog)
+        self.processed += take
+        self.backlog -= take
+        # … then every complete window in between runs at full capacity.
+        gap = window - self.window - 1
+        take = min(gap * self.capacity, self.backlog)
+        self.processed += take
+        self.backlog -= take
+        self.window = window
+        self.used = 0
+
+    def offer(self, time: float) -> None:
+        """One request arrives at ``time``."""
+        self._advance(int(math.floor(time)))
+        # Backlog is served ahead of the new arrival within this window.
+        take = min(self.capacity - self.used, self.backlog)
+        self.processed += take
+        self.backlog -= take
+        self.used += take
+        if self.backlog == 0 and self.used < self.capacity:
+            self.used += 1
+            self.processed += 1
+        else:
+            self.backlog += 1
+            self.max_backlog = max(self.max_backlog, self.backlog)
+
+    def finish(self, end_time: float) -> None:
+        """Run out the clock; the final backlog is whatever remains."""
+        self._advance(int(math.floor(end_time)))
+
+
+class ClosestPolicySimulation:
+    """Simulate a placement serving a tree's clients.
+
+    Parameters
+    ----------
+    tree, replicas, capacity:
+        The instance; ``replicas`` may be any iterable of nodes (validity
+        is *not* required — overloaded placements are precisely the
+        interesting case for the backlog metrics).
+    arrivals:
+        ``"uniform"`` (deterministic, the paper's model) or ``"poisson"``.
+    rng:
+        Only used by the Poisson model.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        replicas: Iterable[int],
+        capacity: int,
+        *,
+        arrivals: ArrivalModel = "uniform",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        if arrivals not in ("uniform", "poisson"):
+            raise ConfigurationError(f"unknown arrival model {arrivals!r}")
+        self._tree = tree
+        self._replicas = frozenset(int(v) for v in replicas)
+        self._capacity = capacity
+        self._arrivals = arrivals
+        self._rng = (
+            rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        )
+        self._routing = assign_clients(tree, self._replicas)
+
+    def run(self, duration: int) -> SimulationReport:
+        """Simulate ``duration`` whole time units."""
+        if duration < 1:
+            raise ConfigurationError(f"duration must be >= 1, got {duration}")
+        tree = self._tree
+        servers = {v: _Server(self._capacity) for v in self._replicas}
+        events: list[tuple[float, int, int]] = []  # (time, seq, client_idx)
+        seq = 0
+        arrivals = [0] * tree.n_clients
+        unserved = 0
+        for idx, client in enumerate(tree.clients):
+            if self._arrivals == "uniform":
+                # r_i evenly spaced arrivals per unit, phase-shifted per
+                # client so a window never sees a synchronized burst.
+                step = 1.0 / client.requests
+                phase = (idx % 7) / 7.0 * step
+                times = [
+                    u + k * step + phase
+                    for u in range(duration)
+                    for k in range(client.requests)
+                ]
+            else:
+                times = []
+                t = float(self._rng.exponential(1.0 / client.requests))
+                while t < duration:
+                    times.append(t)
+                    t += float(self._rng.exponential(1.0 / client.requests))
+            arrivals[idx] = len(times)
+            for t in times:
+                heapq.heappush(events, (t, seq, idx))
+                seq += 1
+
+        while events:
+            t, _, idx = heapq.heappop(events)
+            server = self._routing[idx]
+            if server is None:
+                unserved += 1
+                continue
+            servers[server].offer(t)
+        for srv in servers.values():
+            srv.finish(float(duration))
+
+        return SimulationReport(
+            duration=float(duration),
+            arrivals=tuple(arrivals),
+            processed={v: s.processed for v, s in servers.items()},
+            unserved=unserved,
+            max_backlog=max((s.max_backlog for s in servers.values()), default=0),
+            final_backlog=sum(s.backlog for s in servers.values()),
+        )
+
+
+def simulate_placement(
+    tree: Tree,
+    replicas: Iterable[int],
+    capacity: int,
+    duration: int = 20,
+    *,
+    arrivals: ArrivalModel = "uniform",
+    rng: np.random.Generator | int | None = None,
+) -> SimulationReport:
+    """One-call wrapper around :class:`ClosestPolicySimulation`."""
+    sim = ClosestPolicySimulation(
+        tree, replicas, capacity, arrivals=arrivals, rng=rng
+    )
+    return sim.run(duration)

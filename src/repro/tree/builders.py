@@ -1,0 +1,69 @@
+"""Incremental tree construction.
+
+:class:`TreeBuilder` lets tests, examples and generators grow a tree node by
+node without worrying about parent-vector bookkeeping, then freeze it into an
+immutable :class:`~repro.tree.model.Tree`.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import TreeStructureError, WorkloadError
+from repro.tree.model import Client, Tree
+
+__all__ = ["TreeBuilder"]
+
+
+class TreeBuilder:
+    """Grow a distribution tree imperatively.
+
+    Example
+    -------
+    >>> b = TreeBuilder()
+    >>> root = b.add_root()
+    >>> a = b.add_node(root)
+    >>> _ = b.add_client(a, requests=4)
+    >>> tree = b.build()
+    >>> tree.n_nodes, tree.total_requests
+    (2, 4)
+    """
+
+    def __init__(self) -> None:
+        self._parents: list[int | None] = []
+        self._clients: list[Client] = []
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._parents)
+
+    def add_root(self) -> int:
+        """Create the root node; must be called first and only once."""
+        if self._parents:
+            raise TreeStructureError("root already exists; use add_node(parent)")
+        self._parents.append(None)
+        return 0
+
+    def add_node(self, parent: int) -> int:
+        """Create an internal node under ``parent`` and return its id."""
+        if not self._parents:
+            raise TreeStructureError("add_root() must be called before add_node()")
+        if not (0 <= parent < len(self._parents)):
+            raise TreeStructureError(f"unknown parent node {parent}")
+        node = len(self._parents)
+        self._parents.append(parent)
+        return node
+
+    def add_nodes(self, parent: int, count: int) -> list[int]:
+        """Create ``count`` sibling nodes under ``parent``."""
+        return [self.add_node(parent) for _ in range(count)]
+
+    def add_client(self, node: int, requests: int) -> Client:
+        """Attach a client issuing ``requests`` to internal node ``node``."""
+        if not (0 <= node < len(self._parents)):
+            raise WorkloadError(f"cannot attach client to unknown node {node}")
+        client = Client(node, requests)
+        self._clients.append(client)
+        return client
+
+    def build(self, *, validate: bool = True) -> Tree:
+        """Freeze into an immutable :class:`Tree`."""
+        return Tree(self._parents, self._clients, validate=validate)

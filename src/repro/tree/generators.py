@@ -1,0 +1,310 @@
+"""Random tree and workload generators.
+
+:func:`paper_tree` reproduces the generator described in §5 of the paper:
+
+    "we randomly build a set of distribution trees with N = 100 internal
+    nodes of maximum capacity W = 10.  Each internal node has between 6 and
+    9 children, and clients are distributed randomly throughout the tree:
+    each internal node has a client with a probability 0.5, and this client
+    has between 1 and 6 requests."
+
+The "high trees" variants (Figures 6, 7, 10) use 2–4 children per node; both
+shapes are obtained by changing ``children_range``.  All generators take an
+explicit :class:`numpy.random.Generator` so every experiment is reproducible
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Client, Tree
+
+__all__ = [
+    "paper_tree",
+    "balanced_tree",
+    "path_tree",
+    "star_tree",
+    "caterpillar_tree",
+    "random_recursive_tree",
+    "attach_random_clients",
+    "attach_zipf_clients",
+    "random_preexisting",
+    "random_preexisting_modes",
+]
+
+
+def _as_rng(rng: np.random.Generator | int | None) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def attach_random_clients(
+    parents: Sequence[int | None],
+    *,
+    client_prob: float = 0.5,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Attach the paper's Bernoulli client workload to a parent vector.
+
+    Each internal node independently receives one client with probability
+    ``client_prob``; the client issues ``uniform[request_range]`` requests.
+    """
+    if not (0.0 <= client_prob <= 1.0):
+        raise ConfigurationError(f"client_prob must be in [0, 1], got {client_prob}")
+    lo, hi = request_range
+    if lo < 1 or hi < lo:
+        raise ConfigurationError(
+            f"request_range must satisfy 1 <= lo <= hi, got {request_range}"
+        )
+    gen = _as_rng(rng)
+    n = len(parents)
+    has_client = gen.random(n) < client_prob
+    requests = gen.integers(lo, hi + 1, size=n)
+    clients = [
+        Client(int(v), int(requests[v])) for v in range(n) if has_client[v]
+    ]
+    return Tree(parents, clients, validate=False)
+
+
+def attach_zipf_clients(
+    parents: Sequence[int | None],
+    *,
+    client_prob: float = 0.5,
+    max_requests: int = 6,
+    exponent: float = 1.5,
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Attach clients with Zipf-skewed request volumes.
+
+    Real content workloads are heavy-tailed (a few hot objects dominate);
+    this generator draws each present client's volume from a truncated
+    Zipf(``exponent``) on ``1..max_requests``.  Useful for stressing the
+    solvers beyond the paper's uniform workloads — the qualitative results
+    of Figures 4/8 are insensitive to the switch (see the workload tests).
+    """
+    if not (0.0 <= client_prob <= 1.0):
+        raise ConfigurationError(f"client_prob must be in [0, 1], got {client_prob}")
+    if max_requests < 1:
+        raise ConfigurationError(f"max_requests must be >= 1, got {max_requests}")
+    if exponent <= 0:
+        raise ConfigurationError(f"exponent must be > 0, got {exponent}")
+    gen = _as_rng(rng)
+    n = len(parents)
+    has_client = gen.random(n) < client_prob
+    # Truncated Zipf via inverse-CDF on the normalised mass of 1..max.
+    weights = np.arange(1, max_requests + 1, dtype=np.float64) ** (-exponent)
+    cdf = np.cumsum(weights / weights.sum())
+    draws = np.searchsorted(cdf, gen.random(n)) + 1
+    clients = [
+        Client(int(v), int(draws[v])) for v in range(n) if has_client[v]
+    ]
+    return Tree(parents, clients, validate=False)
+
+
+def _grow_parents(
+    n_nodes: int,
+    children_range: tuple[int, int],
+    gen: np.random.Generator,
+) -> list[int | None]:
+    """BFS growth: pop a node, give it ``uniform[children_range]`` children
+    until ``n_nodes`` internal nodes exist (the last node's brood may be cut
+    short)."""
+    lo, hi = children_range
+    if lo < 1 or hi < lo:
+        raise ConfigurationError(
+            f"children_range must satisfy 1 <= lo <= hi, got {children_range}"
+        )
+    if n_nodes < 1:
+        raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+    parents: list[int | None] = [None]
+    queue = [0]
+    head = 0
+    while len(parents) < n_nodes:
+        if head >= len(queue):  # pragma: no cover - unreachable with lo >= 1
+            raise ConfigurationError("tree growth stalled; widen children_range")
+        v = queue[head]
+        head += 1
+        k = int(gen.integers(lo, hi + 1))
+        for _ in range(k):
+            if len(parents) >= n_nodes:
+                break
+            child = len(parents)
+            parents.append(v)
+            queue.append(child)
+    return parents
+
+
+def paper_tree(
+    n_nodes: int = 100,
+    *,
+    children_range: tuple[int, int] = (6, 9),
+    client_prob: float = 0.5,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Random tree with the paper's §5 generator.
+
+    Defaults reproduce Experiment 1's *fat* trees; pass
+    ``children_range=(2, 4)`` for the *high* trees of Figures 6/7/10 and
+    ``request_range=(1, 5)`` with ``n_nodes=50`` for Experiment 3.
+    """
+    gen = _as_rng(rng)
+    parents = _grow_parents(n_nodes, children_range, gen)
+    return attach_random_clients(
+        parents, client_prob=client_prob, request_range=request_range, rng=gen
+    )
+
+
+def balanced_tree(
+    branching: int,
+    height: int,
+    *,
+    client_prob: float = 0.0,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Complete ``branching``-ary tree of the given height (height 0 = root)."""
+    if branching < 1:
+        raise ConfigurationError(f"branching must be >= 1, got {branching}")
+    if height < 0:
+        raise ConfigurationError(f"height must be >= 0, got {height}")
+    parents: list[int | None] = [None]
+    level = [0]
+    for _ in range(height):
+        nxt: list[int] = []
+        for v in level:
+            for _ in range(branching):
+                child = len(parents)
+                parents.append(v)
+                nxt.append(child)
+        level = nxt
+    return attach_random_clients(
+        parents, client_prob=client_prob, request_range=request_range, rng=rng
+    )
+
+
+def path_tree(
+    n_nodes: int,
+    *,
+    client_prob: float = 0.0,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Chain of ``n_nodes`` internal nodes (worst-case depth)."""
+    if n_nodes < 1:
+        raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+    parents: list[int | None] = [None] + list(range(n_nodes - 1))
+    return attach_random_clients(
+        parents, client_prob=client_prob, request_range=request_range, rng=rng
+    )
+
+
+def star_tree(
+    n_leaves: int,
+    *,
+    client_prob: float = 0.0,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Root with ``n_leaves`` internal children (worst-case branching)."""
+    if n_leaves < 0:
+        raise ConfigurationError(f"n_leaves must be >= 0, got {n_leaves}")
+    parents: list[int | None] = [None] + [0] * n_leaves
+    return attach_random_clients(
+        parents, client_prob=client_prob, request_range=request_range, rng=rng
+    )
+
+
+def caterpillar_tree(
+    spine: int,
+    legs_per_node: int = 1,
+    *,
+    client_prob: float = 0.0,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Spine chain with ``legs_per_node`` pendant internal nodes per spine node."""
+    if spine < 1:
+        raise ConfigurationError(f"spine must be >= 1, got {spine}")
+    if legs_per_node < 0:
+        raise ConfigurationError(f"legs_per_node must be >= 0, got {legs_per_node}")
+    parents: list[int | None] = [None]
+    prev = 0
+    for _ in range(spine - 1):
+        node = len(parents)
+        parents.append(prev)
+        prev = node
+    spine_nodes = list(range(spine))
+    for v in spine_nodes:
+        for _ in range(legs_per_node):
+            parents.append(v)
+    return attach_random_clients(
+        parents, client_prob=client_prob, request_range=request_range, rng=rng
+    )
+
+
+def random_recursive_tree(
+    n_nodes: int,
+    *,
+    client_prob: float = 0.0,
+    request_range: tuple[int, int] = (1, 6),
+    rng: np.random.Generator | int | None = None,
+) -> Tree:
+    """Uniform-attachment random tree (each node picks a uniform parent)."""
+    if n_nodes < 1:
+        raise ConfigurationError(f"n_nodes must be >= 1, got {n_nodes}")
+    gen = _as_rng(rng)
+    parents: list[int | None] = [None]
+    for v in range(1, n_nodes):
+        parents.append(int(gen.integers(0, v)))
+    return attach_random_clients(
+        parents, client_prob=client_prob, request_range=request_range, rng=gen
+    )
+
+
+def random_preexisting(
+    tree: Tree,
+    count: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+) -> frozenset[int]:
+    """Sample ``count`` distinct internal nodes as pre-existing servers ``E``."""
+    if not (0 <= count <= tree.n_nodes):
+        raise ConfigurationError(
+            f"pre-existing count must be in [0, {tree.n_nodes}], got {count}"
+        )
+    gen = _as_rng(rng)
+    chosen = gen.choice(tree.n_nodes, size=count, replace=False)
+    return frozenset(int(v) for v in chosen)
+
+
+def random_preexisting_modes(
+    tree: Tree,
+    count: int,
+    n_modes: int,
+    *,
+    rng: np.random.Generator | int | None = None,
+    mode: int | None = None,
+) -> dict[int, int]:
+    """Sample pre-existing servers with an initial mode each.
+
+    Returns ``{node: mode_index}`` with mode indices in ``0..n_modes-1``.
+    When ``mode`` is given every server starts in that mode (the experiments
+    in §5.2 deploy pre-existing servers at full capacity by default);
+    otherwise modes are drawn uniformly.
+    """
+    if n_modes < 1:
+        raise ConfigurationError(f"n_modes must be >= 1, got {n_modes}")
+    if mode is not None and not (0 <= mode < n_modes):
+        raise ConfigurationError(f"mode must be in [0, {n_modes - 1}], got {mode}")
+    gen = _as_rng(rng)
+    nodes = random_preexisting(tree, count, rng=gen)
+    if mode is not None:
+        return {v: mode for v in sorted(nodes)}
+    return {v: int(gen.integers(0, n_modes)) for v in sorted(nodes)}

@@ -1,0 +1,64 @@
+"""Structural statistics over distribution trees.
+
+Used by the experiment reports to characterise generated workloads (the
+paper distinguishes *fat* trees — 6–9 children — from *high* trees — 2–4
+children; these metrics let tests assert the generators actually produce the
+intended shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tree.model import Tree
+
+__all__ = ["TreeStats", "tree_stats"]
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary statistics of a distribution tree."""
+
+    n_nodes: int
+    n_clients: int
+    total_requests: int
+    height: int
+    mean_depth: float
+    max_branching: int
+    mean_branching: float
+    internal_leaves: int
+    max_direct_load: int
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "n_nodes": self.n_nodes,
+            "n_clients": self.n_clients,
+            "total_requests": self.total_requests,
+            "height": self.height,
+            "mean_depth": self.mean_depth,
+            "max_branching": self.max_branching,
+            "mean_branching": self.mean_branching,
+            "internal_leaves": self.internal_leaves,
+            "max_direct_load": self.max_direct_load,
+        }
+
+
+def tree_stats(tree: Tree) -> TreeStats:
+    """Compute :class:`TreeStats` in a single pass."""
+    n = tree.n_nodes
+    branchings = np.array([len(tree.children(v)) for v in range(n)], dtype=np.int64)
+    depths = np.array([tree.depth(v) for v in range(n)], dtype=np.int64)
+    nonleaf = branchings[branchings > 0]
+    return TreeStats(
+        n_nodes=n,
+        n_clients=tree.n_clients,
+        total_requests=tree.total_requests,
+        height=tree.height,
+        mean_depth=float(depths.mean()) if n else 0.0,
+        max_branching=int(branchings.max()) if n else 0,
+        mean_branching=float(nonleaf.mean()) if nonleaf.size else 0.0,
+        internal_leaves=int((branchings == 0).sum()),
+        max_direct_load=int(tree.client_loads.max()) if n else 0,
+    )

@@ -1,0 +1,69 @@
+"""networkx interoperability.
+
+networkx is used strictly as an *exchange and cross-checking* layer — the
+solvers run on :class:`~repro.tree.model.Tree` directly.  The conversion
+keeps clients as attributed leaf nodes so a round-trip preserves the full
+instance.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import TreeStructureError
+from repro.tree.model import Client, Tree
+
+__all__ = ["to_networkx", "from_networkx"]
+
+_KIND = "kind"
+_REQUESTS = "requests"
+
+
+def to_networkx(tree: Tree) -> nx.DiGraph:
+    """Convert to a ``networkx.DiGraph`` (edges point parent -> child).
+
+    Internal nodes are labelled ``("node", v)`` with ``kind="internal"``;
+    clients are ``("client", i)`` with ``kind="client"`` and a ``requests``
+    attribute.
+    """
+    g = nx.DiGraph()
+    for v in range(tree.n_nodes):
+        g.add_node(("node", v), **{_KIND: "internal"})
+    for v in range(tree.n_nodes):
+        p = tree.parent(v)
+        if p is not None:
+            g.add_edge(("node", p), ("node", v))
+    for i, c in enumerate(tree.clients):
+        g.add_node(("client", i), **{_KIND: "client", _REQUESTS: c.requests})
+        g.add_edge(("node", c.node), ("client", i))
+    return g
+
+
+def from_networkx(g: nx.DiGraph) -> Tree:
+    """Rebuild a :class:`Tree` from a graph produced by :func:`to_networkx`.
+
+    The internal-node subgraph must be an arborescence (a directed rooted
+    tree); anything else raises :class:`TreeStructureError`.
+    """
+    internal = [n for n, d in g.nodes(data=True) if d.get(_KIND) == "internal"]
+    if not internal:
+        raise TreeStructureError("graph contains no internal nodes")
+    ids = sorted(idx for _, idx in internal)
+    if ids != list(range(len(ids))):
+        raise TreeStructureError(
+            "internal node ids must be contiguous 0..n-1 to rebuild a Tree"
+        )
+    sub = g.subgraph(internal)
+    if not nx.is_arborescence(sub):
+        raise TreeStructureError("internal-node subgraph is not a rooted tree")
+    parents: list[int | None] = [None] * len(ids)
+    for (_, pid), (_, cid) in sub.edges():
+        parents[cid] = pid
+    clients = []
+    for n, d in g.nodes(data=True):
+        if d.get(_KIND) == "client":
+            preds = list(g.predecessors(n))
+            if len(preds) != 1 or preds[0][0] != "node":
+                raise TreeStructureError(f"client {n} must hang off one internal node")
+            clients.append(Client(preds[0][1], int(d[_REQUESTS])))
+    return Tree(parents, clients)

@@ -1,0 +1,106 @@
+"""Tree (de)serialization: dict/JSON round-trips and Graphviz DOT export.
+
+The dict schema is versioned so saved workloads stay loadable:
+
+.. code-block:: python
+
+    {
+        "schema": 1,
+        "parents": [None, 0, 0, 1],
+        "clients": [[1, 4], [3, 2]],          # (node, requests) pairs
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Client, Tree
+
+__all__ = [
+    "tree_to_dict",
+    "tree_from_dict",
+    "tree_to_json",
+    "tree_from_json",
+    "tree_to_dot",
+]
+
+_SCHEMA = 1
+
+
+def tree_to_dict(tree: Tree) -> dict[str, Any]:
+    """Serialize a tree (structure + workload) to a JSON-friendly dict."""
+    return {
+        "schema": _SCHEMA,
+        "parents": list(tree.parents),
+        "clients": [[c.node, c.requests] for c in tree.clients],
+    }
+
+
+def tree_from_dict(data: Mapping[str, Any]) -> Tree:
+    """Inverse of :func:`tree_to_dict`."""
+    schema = data.get("schema", _SCHEMA)
+    if schema != _SCHEMA:
+        raise ConfigurationError(f"unsupported tree schema version {schema}")
+    try:
+        parents = [None if p is None else int(p) for p in data["parents"]]
+        clients = [Client(int(n), int(r)) for n, r in data["clients"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed tree dict: {exc}") from exc
+    return Tree(parents, clients)
+
+
+def tree_to_json(tree: Tree, *, indent: int | None = None) -> str:
+    """Serialize a tree to a JSON string."""
+    return json.dumps(tree_to_dict(tree), indent=indent)
+
+
+def tree_from_json(text: str) -> Tree:
+    """Parse a tree from a JSON string produced by :func:`tree_to_json`."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    return tree_from_dict(data)
+
+
+def tree_to_dot(
+    tree: Tree,
+    *,
+    replicas: Iterable[int] = (),
+    preexisting: Iterable[int] = (),
+    name: str = "distribution_tree",
+) -> str:
+    """Render the tree as Graphviz DOT.
+
+    Internal nodes are boxes; clients are ellipses labelled with their
+    request count.  Nodes in ``replicas`` are filled; nodes in
+    ``preexisting`` get a double border — handy when eyeballing update
+    strategies.
+    """
+    rep = set(replicas)
+    pre = set(preexisting)
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    for v in range(tree.n_nodes):
+        attrs = ["shape=box"]
+        label = f"n{v}"
+        if v in pre:
+            attrs.append("peripheries=2")
+            label += " (pre)"
+        if v in rep:
+            attrs.append('style=filled fillcolor="lightblue"')
+        attrs.append(f'label="{label}"')
+        lines.append(f"  n{v} [{' '.join(attrs)}];")
+    for v in range(tree.n_nodes):
+        p = tree.parent(v)
+        if p is not None:
+            lines.append(f"  n{p} -> n{v};")
+    for idx, c in enumerate(tree.clients):
+        lines.append(
+            f'  c{idx} [shape=ellipse label="r={c.requests}"];'
+        )
+        lines.append(f"  n{c.node} -> c{idx} [style=dashed];")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""Structure-preserving tree transformations.
+
+These exist for *metamorphic testing*: each transformation provably
+preserves (or maps predictably) the optimal replica count, so the
+test-suite can hammer the solvers with derived instances whose answers are
+known relative to the original:
+
+* :func:`relabel` — node ids are arbitrary; optima are invariant.  Since
+  child order (and hence DP merge order) is derived from ids, relabeling
+  also exercises merge-order independence;
+* :func:`scale_workload` — multiplying every request *and* the capacity by
+  ``k`` preserves all feasibility comparisons, hence every optimum;
+* :func:`split_client` — splitting one client into two with the same total
+  at the same node is invisible to the closest policy (only aggregated
+  per-node load matters).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tree.model import Client, Tree
+
+__all__ = ["relabel", "scale_workload", "split_client"]
+
+
+def relabel(tree: Tree, permutation: Sequence[int]) -> tuple[Tree, list[int]]:
+    """Apply a node-id permutation; returns ``(tree', mapping)``.
+
+    ``permutation[v]`` is the new id of old node ``v``; the returned
+    mapping equals the permutation (handy for translating replica sets).
+    """
+    perm = list(int(p) for p in permutation)
+    if sorted(perm) != list(range(tree.n_nodes)):
+        raise ConfigurationError(
+            f"permutation must be a bijection on 0..{tree.n_nodes - 1}"
+        )
+    parents: list[int | None] = [None] * tree.n_nodes
+    for v in range(tree.n_nodes):
+        p = tree.parent(v)
+        parents[perm[v]] = None if p is None else perm[p]
+    clients = [Client(perm[c.node], c.requests) for c in tree.clients]
+    return Tree(parents, clients), perm
+
+
+def scale_workload(tree: Tree, factor: int) -> Tree:
+    """Multiply every client's requests by a positive integer factor."""
+    if factor < 1:
+        raise ConfigurationError(f"factor must be >= 1, got {factor}")
+    return tree.with_clients(
+        Client(c.node, c.requests * factor) for c in tree.clients
+    )
+
+
+def split_client(
+    tree: Tree, client_index: int, rng: np.random.Generator | int | None = None
+) -> Tree:
+    """Split one client into two at the same node with the same total.
+
+    Clients with a single request are returned unchanged (nothing to
+    split).  Under the closest policy only per-node aggregate load matters,
+    so every solver's optimum is invariant.
+    """
+    if not (0 <= client_index < tree.n_clients):
+        raise ConfigurationError(
+            f"client_index must be in [0, {tree.n_clients - 1}], got {client_index}"
+        )
+    target = tree.clients[client_index]
+    if target.requests < 2:
+        return tree
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    left = int(gen.integers(1, target.requests))
+    right = target.requests - left
+    new_clients: list[Client] = []
+    for i, c in enumerate(tree.clients):
+        if i == client_index:
+            new_clients.append(Client(c.node, left))
+            new_clients.append(Client(c.node, right))
+        else:
+            new_clients.append(c)
+    return tree.with_clients(new_clients)

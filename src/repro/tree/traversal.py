@@ -1,0 +1,64 @@
+"""Traversal helpers beyond the methods on :class:`~repro.tree.model.Tree`.
+
+These free functions are used by the validators, the greedy baseline and the
+dynamics package; they deliberately work on the public ``Tree`` API only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.tree.model import Tree
+
+__all__ = [
+    "bfs_order",
+    "leaves",
+    "lowest_common_ancestor",
+    "path_to_root",
+    "nodes_by_depth",
+]
+
+
+def bfs_order(tree: Tree) -> list[int]:
+    """Breadth-first order of internal nodes starting at the root."""
+    order = [tree.root]
+    head = 0
+    while head < len(order):
+        v = order[head]
+        head += 1
+        order.extend(tree.children(v))
+    return order
+
+
+def leaves(tree: Tree) -> list[int]:
+    """Internal nodes without internal children (clients may be attached)."""
+    return [v for v in range(tree.n_nodes) if not tree.children(v)]
+
+
+def path_to_root(tree: Tree, v: int) -> list[int]:
+    """Nodes on the unique path ``v -> root``, inclusive on both ends."""
+    return [v, *tree.ancestors(v)]
+
+
+def lowest_common_ancestor(tree: Tree, u: int, v: int) -> int:
+    """Lowest common ancestor of two internal nodes (simple walk-up)."""
+    du, dv = tree.depth(u), tree.depth(v)
+    while du > dv:
+        u = tree.parent(u)  # type: ignore[assignment]
+        du -= 1
+    while dv > du:
+        v = tree.parent(v)  # type: ignore[assignment]
+        dv -= 1
+    while u != v:
+        u = tree.parent(u)  # type: ignore[assignment]
+        v = tree.parent(v)  # type: ignore[assignment]
+    return u
+
+
+def nodes_by_depth(tree: Tree) -> Iterator[tuple[int, list[int]]]:
+    """Yield ``(depth, nodes)`` pairs from the root downwards."""
+    buckets: dict[int, list[int]] = {}
+    for v in range(tree.n_nodes):
+        buckets.setdefault(tree.depth(v), []).append(v)
+    for d in sorted(buckets):
+        yield d, buckets[d]

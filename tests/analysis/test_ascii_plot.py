@@ -1,0 +1,57 @@
+"""Tests for :mod:`repro.analysis.ascii_plot`."""
+
+from __future__ import annotations
+
+from repro.analysis.ascii_plot import bar_plot, line_plot
+
+
+class TestLinePlot:
+    def test_renders_markers_and_legend(self):
+        out = line_plot(
+            {"DP": [(0, 0.0), (1, 1.0)], "GR": [(0, 0.5), (1, 0.5)]},
+            title="demo", xlabel="x", ylabel="y",
+        )
+        assert "demo" in out
+        assert "o=DP" in out and "x=GR" in out
+        assert "o" in out and "x" in out
+        assert "x: x" in out and "y: y" in out
+
+    def test_empty(self):
+        assert "(no data)" in line_plot({"DP": []})
+
+    def test_nan_points_skipped(self):
+        out = line_plot({"A": [(0, float("nan")), (1, 2.0)]})
+        assert "2" in out
+
+    def test_constant_series(self):
+        out = line_plot({"A": [(0, 1.0), (5, 1.0)]})
+        assert "o" in out
+
+    def test_single_point(self):
+        out = line_plot({"A": [(3, 4.0)]})
+        assert "o" in out
+
+    def test_grid_dimensions(self):
+        out = line_plot({"A": [(0, 0.0), (1, 1.0)]}, width=30, height=5)
+        data_rows = [l for l in out.splitlines() if "|" in l and "=" not in l]
+        assert len(data_rows) == 5
+
+
+class TestBarPlot:
+    def test_bars_scaled_to_peak(self):
+        out = bar_plot({0: 1.0, 1: 2.0}, width=10, title="hist")
+        assert "hist" in out
+        lines = out.splitlines()
+        assert lines[2].count("#") == 10  # peak value fills the width
+        assert lines[1].count("#") == 5
+
+    def test_keys_sorted(self):
+        out = bar_plot({2: 1.0, -1: 1.0, 0: 1.0})
+        idx = [out.index(s) for s in ("-1", " 0 ", " 2 ")]
+        assert idx == sorted(idx)
+
+    def test_empty(self):
+        assert "(no data)" in bar_plot({})
+
+    def test_xlabel(self):
+        assert "(x: gap)" in bar_plot({0: 1.0}, xlabel="gap")

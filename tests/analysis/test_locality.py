@@ -1,0 +1,59 @@
+"""Tests for :mod:`repro.analysis.locality`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.locality import locality_report
+from repro.core.dp_nopre import dp_nopre_placement
+from repro.exceptions import InfeasibleError
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+
+class TestLocalityReport:
+    def test_root_serving_everything(self, chain_tree):
+        rep = locality_report(chain_tree, [0])
+        # clients at depths 0,1,2 with volumes 2,3,4 -> hops 0,1,2
+        assert rep.hop_histogram == {0: 2, 1: 3, 2: 4}
+        assert rep.served_requests == 9
+        assert rep.mean_hops == pytest.approx((0 * 2 + 1 * 3 + 2 * 4) / 9)
+        assert rep.max_hops == 2
+
+    def test_local_servers_zero_hops(self, chain_tree):
+        rep = locality_report(chain_tree, [0, 1, 2])
+        assert rep.hop_histogram == {0: 9}
+        assert rep.mean_hops == 0.0
+        assert rep.fraction_within(0) == 1.0
+
+    def test_unserved_tracked(self, chain_tree):
+        rep = locality_report(chain_tree, [2])
+        assert rep.unserved_requests == 5
+        assert rep.served_requests == 4
+
+    def test_empty_placement(self, chain_tree):
+        rep = locality_report(chain_tree, [])
+        assert math.isnan(rep.mean_hops)
+        assert rep.unserved_requests == 9
+
+    def test_fraction_within(self, chain_tree):
+        rep = locality_report(chain_tree, [0])
+        assert rep.fraction_within(0) == pytest.approx(2 / 9)
+        assert rep.fraction_within(1) == pytest.approx(5 / 9)
+        assert rep.fraction_within(5) == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=10, max_requests=6))
+    def test_served_plus_unserved_is_total(self, tree):
+        try:
+            placement = dp_nopre_placement(tree, 10)
+        except InfeasibleError:
+            return
+        rep = locality_report(tree, placement.replicas)
+        assert rep.served_requests + rep.unserved_requests == tree.total_requests
+        assert rep.unserved_requests == 0  # valid placements serve everyone
+        assert rep.max_hops <= tree.height

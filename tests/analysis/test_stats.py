@@ -1,0 +1,59 @@
+"""Tests for :mod:`repro.analysis.stats`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stats import histogram_counts, summarize
+
+
+class TestSummarize:
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s.n == 3
+        assert s.mean == pytest.approx(2.0)
+        assert s.minimum == 1.0 and s.maximum == 3.0
+        assert s.std == pytest.approx(1.0)
+        assert s.stderr == pytest.approx(1.0 / math.sqrt(3))
+
+    def test_single_sample(self):
+        s = summarize([4.2])
+        assert (s.std, s.stderr) == (0.0, 0.0)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.n == 0
+        assert math.isnan(s.mean)
+
+    def test_str(self):
+        assert "n=2" in str(summarize([1.0, 2.0]))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.floats(-100, 100), min_size=1, max_size=30))
+    def test_bounds(self, xs):
+        s = summarize(xs)
+        # Up to one ulp of float rounding in the mean accumulation.
+        tol = 1e-12 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+        assert s.std >= 0.0
+
+
+class TestHistogramCounts:
+    def test_basic(self):
+        h = histogram_counts([1, 1, 3])
+        assert h == {1: 2, 2: 0, 3: 1}
+
+    def test_explicit_range_pads(self):
+        h = histogram_counts([1], lo=0, hi=2)
+        assert h == {0: 0, 1: 1, 2: 0}
+
+    def test_empty(self):
+        assert histogram_counts([]) == {}
+
+    def test_values_outside_range_counted(self):
+        h = histogram_counts([5], lo=0, hi=2)
+        assert h[5] == 1

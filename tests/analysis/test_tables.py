@@ -1,0 +1,40 @@
+"""Tests for :mod:`repro.analysis.tables`."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.analysis.tables import format_table, to_csv
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(("name", "value"), [("a", 1), ("bb", 2.5)])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) <= {"-", "+"}
+        assert "2.500" in lines[3]
+
+    def test_float_format_override(self):
+        out = format_table(("x",), [(1.23456,)], float_fmt="{:.1f}")
+        assert "1.2" in out
+
+    def test_wide_cells_stretch_columns(self):
+        out = format_table(("h",), [("a-very-long-cell",)])
+        assert "a-very-long-cell" in out
+
+    def test_bools_not_float_formatted(self):
+        out = format_table(("flag",), [(True,)])
+        assert "True" in out
+
+    def test_empty_rows(self):
+        out = format_table(("a", "b"), [])
+        assert len(out.splitlines()) == 2
+
+
+class TestToCsv:
+    def test_round_trips_through_csv_reader(self):
+        text = to_csv(("a", "b"), [(1, "x"), (2, "y,z")])
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows == [["a", "b"], ["1", "x"], ["2", "y,z"]]

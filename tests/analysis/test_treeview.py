@@ -1,0 +1,49 @@
+"""Tests for :mod:`repro.analysis.treeview`."""
+
+from __future__ import annotations
+
+from repro.analysis.treeview import render_tree
+from repro.tree.generators import paper_tree
+from repro.tree.model import Client, Tree
+
+
+class TestRenderTree:
+    def test_structure_lines(self, chain_tree):
+        out = render_tree(chain_tree)
+        lines = out.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("n0")
+        assert "`- n1" in lines[1]
+        assert "`- n2" in lines[2]
+
+    def test_annotations(self, chain_tree):
+        out = render_tree(
+            chain_tree,
+            replicas=[0],
+            preexisting=[1],
+            loads={0: 9},
+            modes={0: 1},
+        )
+        assert "n0 [R] @W2" in out
+        assert "<=9" in out
+        assert "(pre)" in out
+        assert "c:3" in out  # client annotation on node 1
+
+    def test_mode_marks_node_as_replica(self, chain_tree):
+        out = render_tree(chain_tree, modes={2: 0})
+        assert "n2 [R] @W1" in out
+
+    def test_siblings_use_tee_connectors(self, star5_tree):
+        out = render_tree(star5_tree)
+        assert "|- n1" in out
+        assert "`- n5" in out
+
+    def test_truncation(self):
+        tree = paper_tree(50, rng=0)
+        out = render_tree(tree, max_nodes=10)
+        assert out.count("\n") <= 11
+        assert "..." in out
+
+    def test_single_node(self):
+        out = render_tree(Tree([None], [Client(0, 3)]))
+        assert out == "n0 c:3"

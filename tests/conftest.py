@@ -1,0 +1,74 @@
+"""Shared fixtures and hypothesis strategies.
+
+The central strategy, :func:`small_trees`, draws arbitrary rooted trees
+(every node picks a parent with a smaller id, so all shapes are reachable)
+with Bernoulli clients — the same family the randomized cross-validation
+suites use to compare solvers against the exhaustive oracles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.tree.model import Client, Tree
+
+# ---------------------------------------------------------------------------
+# hypothesis strategies
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def small_trees(
+    draw,
+    max_nodes: int = 10,
+    max_requests: int = 6,
+    client_prob: float = 0.7,
+    min_nodes: int = 1,
+):
+    """Arbitrary rooted tree with random clients (hypothesis strategy)."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    parents: list[int | None] = [None]
+    for v in range(1, n):
+        parents.append(draw(st.integers(0, v - 1)))
+    clients = []
+    for v in range(n):
+        if draw(st.floats(0, 1)) < client_prob:
+            clients.append(Client(v, draw(st.integers(1, max_requests))))
+    return Tree(parents, clients)
+
+
+@st.composite
+def trees_with_preexisting(draw, max_nodes: int = 10, max_requests: int = 6):
+    """(tree, preexisting frozenset) pairs."""
+    tree = draw(small_trees(max_nodes=max_nodes, max_requests=max_requests))
+    pre = draw(
+        st.frozensets(st.integers(0, tree.n_nodes - 1), max_size=tree.n_nodes)
+    )
+    return tree, pre
+
+
+# ---------------------------------------------------------------------------
+# fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A deterministic RNG per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def chain_tree() -> Tree:
+    """r -> a -> b with one client per node (loads 2, 3, 4)."""
+    return Tree([None, 0, 1], [Client(0, 2), Client(1, 3), Client(2, 4)])
+
+
+@pytest.fixture()
+def star5_tree() -> Tree:
+    """Root plus 5 children, each child carrying a 4-request client."""
+    parents = [None] + [0] * 5
+    clients = [Client(v, 4) for v in range(1, 6)]
+    return Tree(parents, clients)

@@ -1,0 +1,133 @@
+"""Tests for :mod:`repro.core.costs` (Equations 2 and 4)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.exceptions import ConfigurationError
+
+
+class TestUniformCostModel:
+    def test_equation2(self):
+        cm = UniformCostModel(create=0.1, delete=0.01)
+        # R=5 servers, e=2 reused, E=4 pre-existing:
+        # 5 + 3*0.1 + 2*0.01 = 5.32
+        assert cm.total(5, 2, 4) == pytest.approx(5.32)
+
+    def test_no_preexisting_reduces_to_count_plus_creates(self):
+        cm = UniformCostModel(create=0.5, delete=0.2)
+        assert cm.total(3, 0, 0) == pytest.approx(3 + 1.5)
+
+    def test_of_placement(self):
+        cm = UniformCostModel(0.1, 0.01)
+        assert cm.of_placement({1, 2, 3}, {3, 4}) == pytest.approx(
+            cm.total(3, 1, 2)
+        )
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformCostModel(create=-1)
+        with pytest.raises(ConfigurationError):
+            UniformCostModel(delete=-0.5)
+
+    def test_inconsistent_counts_rejected(self):
+        cm = UniformCostModel()
+        with pytest.raises(ConfigurationError):
+            cm.total(2, 3, 5)  # more reused than servers
+        with pytest.raises(ConfigurationError):
+            cm.total(5, 3, 2)  # more reused than pre-existing
+
+    def test_priority_condition(self):
+        # Paper §2.1: create + 2*delete < 1 gives priority to min servers.
+        assert UniformCostModel(0.1, 0.01).prioritizes_server_count()
+        assert not UniformCostModel(0.9, 0.1).prioritizes_server_count()
+
+    def test_two_for_one_exchange_matches_condition(self):
+        # Replacing two reused servers by one new one is advantageous iff
+        # create + 2*delete < 1 (the argument behind the condition).
+        for create, delete in [(0.1, 0.01), (0.5, 0.3), (0.98, 0.0)]:
+            cm = UniformCostModel(create, delete)
+            keep_two = cm.total(2, 2, 2)
+            one_new = cm.total(1, 0, 2)
+            assert (one_new < keep_two) == cm.prioritizes_server_count()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.integers(0, 20),
+        st.integers(0, 20),
+        st.integers(0, 20),
+        st.floats(0, 2),
+        st.floats(0, 2),
+    )
+    def test_monotone_in_new_servers(self, r, e, big_e, create, delete):
+        e = min(e, r, big_e)
+        cm = UniformCostModel(create, delete)
+        # Adding one server without reuse never lowers the cost.
+        assert cm.total(r + 1, e, max(big_e, e)) >= cm.total(r, e, max(big_e, e))
+
+
+class TestModalCostModel:
+    def test_uniform_builder(self):
+        cm = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+        assert cm.n_modes == 2
+        assert cm.create == (0.1, 0.1)
+        assert cm.changed[0][0] == 0.0 and cm.changed[0][1] == 0.001
+
+    def test_equation4(self):
+        cm = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+        # 2 new at mode0, 1 new at mode1, 1 reused 1->0, 2 deleted at mode1:
+        # R=4, creates 3*0.1, change 0.001, deletes 2*0.01
+        cost = cm.total([2, 1], {(1, 0): 1}, [0, 2])
+        assert cost == pytest.approx(4 + 0.3 + 0.001 + 0.02)
+
+    def test_matrix_reused_counts(self):
+        cm = ModalCostModel.uniform(2)
+        as_map = cm.total([0, 0], {(0, 1): 2, (1, 1): 1}, [0, 0])
+        as_matrix = cm.total([0, 0], [[0, 2], [0, 1]], [0, 0])
+        assert as_map == pytest.approx(as_matrix)
+
+    def test_of_modal_placement(self):
+        cm = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+        cost = cm.of_modal_placement(
+            {1: 0, 2: 1, 3: 1}, {2: 1, 4: 0}
+        )  # 1,3 new; 2 kept at mode1; 4 deleted at mode0
+        assert cost == pytest.approx(3 + 2 * 0.1 + 0.0 + 0.01)
+
+    def test_nonzero_diagonal_rejected(self):
+        with pytest.raises(ConfigurationError, match="diagonal|free"):
+            ModalCostModel(
+                create=(0.1,), delete=(0.1,), changed=((0.5,),)
+            )
+
+    def test_shape_mismatches_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModalCostModel(create=(0.1, 0.1), delete=(0.1,), changed=((0.0,),))
+        with pytest.raises(ConfigurationError):
+            ModalCostModel(
+                create=(0.1,), delete=(0.1,), changed=((0.0, 0.1),)
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModalCostModel.uniform(2, create=-0.1)
+
+    def test_zero_modes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModalCostModel.uniform(0)
+
+    def test_bad_count_vectors_rejected(self):
+        cm = ModalCostModel.uniform(2)
+        with pytest.raises(ConfigurationError):
+            cm.total([1], {}, [0, 0])
+        with pytest.raises(ConfigurationError):
+            cm.total([1, 0], {(5, 0): 1}, [0, 0])
+
+    def test_invalid_modes_in_placement_rejected(self):
+        cm = ModalCostModel.uniform(2)
+        with pytest.raises(ConfigurationError):
+            cm.of_modal_placement({1: 5}, {})
+        with pytest.raises(ConfigurationError):
+            cm.of_modal_placement({}, {1: 7})

@@ -1,0 +1,94 @@
+"""Cross-validation: every MinCost solver must agree with the others.
+
+This is the library's strongest correctness argument: four independent
+implementations (greedy, classical DP, with-pre DP, exhaustive search) are
+compared on randomized instances — any bug that breaks optimality in one of
+them surfaces as a disagreement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.costs import UniformCostModel
+from repro.core.dp_nopre import dp_nopre_placement
+from repro.core.dp_withpre import replica_update
+from repro.core.exhaustive import exhaustive_min_replicas
+from repro.core.greedy import greedy_placement
+from repro.core.solution import evaluate_placement
+from repro.exceptions import InfeasibleError
+from repro.tree.generators import paper_tree, random_preexisting
+
+from tests.conftest import small_trees
+
+MINCOUNT = UniformCostModel(1e-4, 1e-5)
+
+
+class TestReplicaCountAgreement:
+    @settings(max_examples=100, deadline=None)
+    @given(small_trees(max_nodes=11, max_requests=8))
+    def test_greedy_dp_exhaustive_agree(self, tree):
+        capacity = 9
+        try:
+            expected = exhaustive_min_replicas(tree, capacity).n_replicas
+        except InfeasibleError:
+            for solver in (
+                lambda: greedy_placement(tree, capacity),
+                lambda: dp_nopre_placement(tree, capacity),
+                lambda: replica_update(tree, capacity, (), MINCOUNT),
+            ):
+                with pytest.raises(InfeasibleError):
+                    solver()
+            return
+        assert greedy_placement(tree, capacity).n_replicas == expected
+        assert dp_nopre_placement(tree, capacity).n_replicas == expected
+        assert replica_update(tree, capacity, (), MINCOUNT).n_replicas == expected
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("children", [(6, 9), (2, 4)])
+    def test_paper_scale_agreement(self, seed, children):
+        tree = paper_tree(
+            80, children_range=children, rng=np.random.default_rng(seed)
+        )
+        gr = greedy_placement(tree, 10)
+        dp = dp_nopre_placement(tree, 10)
+        dpw = replica_update(tree, 10, (), MINCOUNT)
+        assert gr.n_replicas == dp.n_replicas == dpw.n_replicas
+
+
+class TestWithPreDominatesGreedyReuse:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dp_reuse_at_least_greedy(self, seed):
+        rng = np.random.default_rng(seed)
+        tree = paper_tree(60, rng=rng)
+        pre = random_preexisting(tree, 20, rng=rng)
+        gr = greedy_placement(tree, 10, preexisting=pre)
+        dp = replica_update(tree, 10, pre, MINCOUNT)
+        assert dp.n_replicas == gr.n_replicas  # min count preserved
+        assert dp.n_reused >= gr.n_reused  # optimal reuse dominates
+
+    def test_everything_preexisting_fully_reused_count(self, rng):
+        tree = paper_tree(50, rng=rng)
+        pre = frozenset(range(50))
+        dp = replica_update(tree, 10, pre, MINCOUNT)
+        gr = greedy_placement(tree, 10, preexisting=pre)
+        # With E = N every chosen server is a reused one.
+        assert dp.n_reused == dp.n_replicas
+        assert gr.n_reused == gr.n_replicas
+
+
+class TestSolutionsRemainValid:
+    @settings(max_examples=60, deadline=None)
+    @given(small_trees(max_nodes=12, max_requests=6))
+    def test_all_solvers_emit_valid_placements(self, tree):
+        capacity = 10
+        for result in (
+            greedy_placement(tree, capacity),
+            dp_nopre_placement(tree, capacity),
+            replica_update(tree, capacity, (), MINCOUNT),
+        ):
+            check = evaluate_placement(tree, result.replicas, capacity)
+            assert check.ok
+            assert result.loads == check.loads

@@ -1,0 +1,75 @@
+"""Tests for :mod:`repro.core.dp_nopre` (classical MinCost-NoPre DP)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dp_nopre import dp_min_replicas, dp_nopre_placement
+from repro.core.exhaustive import exhaustive_min_replicas
+from repro.core.solution import evaluate_placement
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.tree.generators import paper_tree
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+
+class TestBasics:
+    def test_no_clients(self):
+        assert dp_nopre_placement(Tree([None, 0, 0]), 10).replicas == frozenset()
+
+    def test_single_server_suffices(self, chain_tree):
+        res = dp_nopre_placement(chain_tree, 10)
+        assert res.n_replicas == 1
+        assert evaluate_placement(chain_tree, res.replicas, 10).ok
+
+    def test_star_overflow(self, star5_tree):
+        assert dp_min_replicas(star5_tree, 10) == 4
+
+    def test_exact_fill(self):
+        # Two children with exactly W requests each: two replicas, not three.
+        t = Tree([None, 0, 0], [Client(1, 10), Client(2, 10)])
+        assert dp_min_replicas(t, 10) == 2
+
+    def test_root_needed_for_own_client(self):
+        t = Tree([None, 0], [Client(1, 10), Client(0, 1)])
+        res = dp_nopre_placement(t, 10)
+        assert res.replicas == {0, 1}
+
+
+class TestErrors:
+    def test_infeasible_direct_load(self):
+        t = Tree([None, 0], [Client(1, 11)])
+        with pytest.raises(InfeasibleError) as exc:
+            dp_nopre_placement(t, 10)
+        assert exc.value.node == 1
+
+    def test_bad_capacity(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            dp_nopre_placement(chain_tree, 0)
+
+
+class TestOptimality:
+    @settings(max_examples=80, deadline=None)
+    @given(small_trees(max_nodes=11, max_requests=6))
+    def test_matches_exhaustive_count(self, tree):
+        try:
+            expected = exhaustive_min_replicas(tree, 8).n_replicas
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                dp_nopre_placement(tree, 8)
+            return
+        res = dp_nopre_placement(tree, 8)
+        assert res.n_replicas == expected
+        assert evaluate_placement(tree, res.replicas, 8).ok
+
+    def test_paper_scale_validity(self, rng):
+        tree = paper_tree(100, rng=rng)
+        res = dp_nopre_placement(tree, 10)
+        assert evaluate_placement(tree, res.replicas, 10).ok
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=12, max_requests=6))
+    def test_monotone_in_capacity(self, tree):
+        assert dp_min_replicas(tree, 20) <= dp_min_replicas(tree, 10)

@@ -1,0 +1,160 @@
+"""Tests for :mod:`repro.core.dp_withpre` (Theorem 1's algorithm)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import UniformCostModel
+from repro.core.dp_withpre import replica_update
+from repro.core.exhaustive import exhaustive_min_cost
+from repro.core.solution import evaluate_placement
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.tree.generators import paper_tree, random_preexisting
+from repro.tree.model import Client, Tree
+
+from tests.conftest import trees_with_preexisting
+
+MINCOUNT = UniformCostModel(1e-4, 1e-5)  # server count strictly dominant
+
+
+class TestBasics:
+    def test_no_clients_deletes_everything(self):
+        t = Tree([None, 0, 0])
+        res = replica_update(t, 10, preexisting=[1, 2])
+        assert res.replicas == frozenset()
+        assert res.deleted == {1, 2}
+        assert res.cost == pytest.approx(2 * 0.01)
+
+    def test_reuses_preexisting_root(self, chain_tree):
+        res = replica_update(chain_tree, 10, preexisting=[0])
+        assert res.replicas == {0}
+        assert res.n_reused == 1
+        assert res.cost == pytest.approx(1.0)
+
+    def test_prefers_reuse_over_equivalent_new(self):
+        # Total 12 > W=11 forces two servers: root plus either child.  The
+        # pre-existing child (2) must win the tie on cost.
+        t = Tree([None, 0, 0], [Client(1, 5), Client(2, 5), Client(0, 2)])
+        res = replica_update(
+            t, 11, preexisting=[2], cost_model=UniformCostModel(0.1, 0.01)
+        )
+        assert res.replicas == {0, 2}
+        assert res.n_reused == 1
+        assert res.cost == pytest.approx(2 + 0.1)
+
+    def test_extra_payload(self, chain_tree):
+        res = replica_update(chain_tree, 10, preexisting=[0])
+        choice = res.extra["root_choice"]
+        assert choice.root_replica in (True, False)
+
+    def test_cost_matches_cost_model(self, rng):
+        tree = paper_tree(40, rng=rng)
+        pre = random_preexisting(tree, 10, rng=rng)
+        cm = UniformCostModel(0.3, 0.07)
+        res = replica_update(tree, 10, pre, cm)
+        assert res.cost == pytest.approx(
+            cm.total(res.n_replicas, res.n_reused, len(pre))
+        )
+
+    def test_validity_at_paper_scale(self, rng):
+        tree = paper_tree(100, rng=rng)
+        pre = random_preexisting(tree, 50, rng=rng)
+        res = replica_update(tree, 10, pre, MINCOUNT)
+        assert evaluate_placement(tree, res.replicas, 10).ok
+
+
+class TestFigure1TradeOff:
+    """The paper's §3.1 running example, both branches."""
+
+    def _tree(self, root_requests: int) -> Tree:
+        return Tree(
+            [None, 0, 1, 1],
+            [Client(0, root_requests), Client(2, 4), Client(3, 7)],
+        )
+
+    def test_two_root_requests_keep_b(self):
+        res = replica_update(
+            self._tree(2), 10, preexisting=[2], cost_model=UniformCostModel(0.1, 0.01)
+        )
+        assert res.replicas == {0, 2}  # keep B, root serves 7+2
+        assert res.n_reused == 1
+
+    def test_four_root_requests_drop_b(self):
+        res = replica_update(
+            self._tree(4), 10, preexisting=[2], cost_model=UniformCostModel(0.1, 0.01)
+        )
+        assert res.replicas == {0, 3}  # new server on C, delete B
+        assert res.n_reused == 0
+
+
+class TestIdleServerCorner:
+    def test_expensive_deletion_keeps_idle_root(self):
+        # delete > 1: keeping the pre-existing root as an idle server beats
+        # paying the deletion charge (module docstring's exactness note).
+        t = Tree([None, 0], [Client(1, 4)])
+        cm = UniformCostModel(create=0.0, delete=5.0)
+        res = replica_update(t, 10, preexisting=[0, 1], cost_model=cm)
+        assert res.replicas == {0, 1}
+        assert res.cost == pytest.approx(2.0)
+
+    def test_cheap_deletion_uses_single_server(self):
+        # {0} and {1} tie at cost 1.01; either way one reused server wins
+        # over keeping both (cost 2.0).
+        t = Tree([None, 0], [Client(1, 4)])
+        cm = UniformCostModel(create=0.0, delete=0.01)
+        res = replica_update(t, 10, preexisting=[0, 1], cost_model=cm)
+        assert res.n_replicas == 1
+        assert res.n_reused == 1
+        assert res.cost == pytest.approx(1.01)
+
+
+class TestErrors:
+    def test_infeasible(self):
+        t = Tree([None, 0], [Client(1, 11)])
+        with pytest.raises(InfeasibleError):
+            replica_update(t, 10)
+
+    def test_bad_capacity(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            replica_update(chain_tree, 0)
+
+    def test_bad_preexisting(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            replica_update(chain_tree, 10, preexisting=[99])
+
+
+class TestOptimalityAgainstOracle:
+    @settings(max_examples=70, deadline=None)
+    @given(trees_with_preexisting(max_nodes=9, max_requests=6))
+    def test_min_cost_matches_exhaustive(self, tree_pre):
+        tree, pre = tree_pre
+        cm = UniformCostModel(0.1, 0.01)
+        try:
+            expected = exhaustive_min_cost(tree, 8, pre, cm)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                replica_update(tree, 8, pre, cm)
+            return
+        got = replica_update(tree, 8, pre, cm)
+        assert got.cost == pytest.approx(expected.cost)
+        assert evaluate_placement(tree, got.replicas, 8).ok
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        trees_with_preexisting(max_nodes=9, max_requests=6),
+        st.floats(0.0, 2.0),
+        st.floats(0.0, 2.0),
+    )
+    def test_min_cost_matches_exhaustive_arbitrary_prices(
+        self, tree_pre, create, delete
+    ):
+        tree, pre = tree_pre
+        cm = UniformCostModel(create, delete)
+        try:
+            expected = exhaustive_min_cost(tree, 8, pre, cm)
+        except InfeasibleError:
+            return
+        got = replica_update(tree, 8, pre, cm)
+        assert got.cost == pytest.approx(expected.cost)

@@ -1,0 +1,73 @@
+"""Tests for :mod:`repro.core.exhaustive` (the brute-force oracles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import UniformCostModel
+from repro.core.exhaustive import (
+    exhaustive_min_cost,
+    exhaustive_min_replicas,
+    iter_valid_placements,
+)
+from repro.core.solution import evaluate_placement
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.tree.generators import paper_tree
+from repro.tree.model import Client, Tree
+
+
+class TestIterValidPlacements:
+    def test_all_yielded_placements_valid(self, chain_tree):
+        for replicas, loads in iter_valid_placements(chain_tree, 10):
+            check = evaluate_placement(chain_tree, replicas, 10)
+            assert check.ok
+            assert dict(check.loads) == loads
+
+    def test_enumeration_covers_supersets(self, chain_tree):
+        placements = [r for r, _ in iter_valid_placements(chain_tree, 10)]
+        # {0} works, hence all supersets of {0} must appear too.
+        assert frozenset({0}) in placements
+        assert frozenset({0, 1, 2}) in placements
+        # Exactly the subsets containing the root are valid here.
+        assert len(placements) == 4
+
+    def test_size_guard(self):
+        big = paper_tree(30, rng=0)
+        with pytest.raises(ConfigurationError, match="capped"):
+            list(iter_valid_placements(big, 10))
+
+
+class TestExhaustiveMinReplicas:
+    def test_first_is_smallest(self, star5_tree):
+        assert exhaustive_min_replicas(star5_tree, 10).n_replicas == 4
+
+    def test_infeasible(self):
+        t = Tree([None], [Client(0, 99)])
+        with pytest.raises(InfeasibleError):
+            exhaustive_min_replicas(t, 10)
+
+
+class TestExhaustiveMinCost:
+    def test_prefers_reuse(self, chain_tree):
+        cm = UniformCostModel(0.5, 0.1)
+        # Both {0} and {0,1,...} valid; with pre-existing {0} reuse is free-ish.
+        res = exhaustive_min_cost(chain_tree, 10, preexisting=[0], cost_model=cm)
+        assert res.replicas == {0}
+        assert res.cost == pytest.approx(cm.total(1, 1, 1))
+
+    def test_deletion_cost_matters(self):
+        # delete > 1: cheaper to keep a redundant pre-existing server than
+        # to delete it (the idle-server corner the DP also covers).
+        t = Tree([None, 0], [Client(1, 4)])
+        cm = UniformCostModel(create=0.0, delete=5.0)
+        res = exhaustive_min_cost(t, 10, preexisting=[0, 1], cost_model=cm)
+        assert res.replicas == {0, 1}
+
+    def test_default_cost_model(self, chain_tree):
+        res = exhaustive_min_cost(chain_tree, 10)
+        assert res.cost is not None
+
+    def test_infeasible(self):
+        t = Tree([None], [Client(0, 99)])
+        with pytest.raises(InfeasibleError):
+            exhaustive_min_cost(t, 10)

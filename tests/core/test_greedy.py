@@ -1,0 +1,139 @@
+"""Tests for :mod:`repro.core.greedy` (the GR baseline of [19])."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.greedy import greedy_min_replicas, greedy_placement
+from repro.core.solution import evaluate_placement
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.tree.generators import paper_tree
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+
+class TestBasics:
+    def test_no_clients_no_replicas(self):
+        res = greedy_placement(Tree([None, 0]), 10)
+        assert res.replicas == frozenset()
+
+    def test_single_client_root_serves(self):
+        t = Tree([None], [Client(0, 5)])
+        res = greedy_placement(t, 10)
+        assert res.replicas == {0}
+        assert res.loads == {0: 5}
+
+    def test_overflow_places_at_heaviest_child(self, star5_tree):
+        # 5 children with 4 requests each = 20 > 10: two children absorbed,
+        # root takes the rest.
+        res = greedy_placement(star5_tree, 10)
+        assert res.n_replicas == 4
+        check = evaluate_placement(star5_tree, res.replicas, 10)
+        assert check.ok
+
+    def test_exact_capacity_no_extra_server(self):
+        t = Tree([None, 0], [Client(1, 10)])
+        res = greedy_placement(t, 10)
+        assert res.n_replicas == 1
+
+    def test_result_is_valid_placement(self, rng):
+        tree = paper_tree(60, rng=rng)
+        res = greedy_placement(tree, 10)
+        assert evaluate_placement(tree, res.replicas, 10).ok
+
+    def test_min_replicas_helper(self, star5_tree):
+        assert greedy_min_replicas(star5_tree, 10) == 4
+
+
+class TestInfeasibility:
+    def test_heavy_direct_load_raises(self):
+        t = Tree([None, 0], [Client(1, 11)])
+        with pytest.raises(InfeasibleError) as exc:
+            greedy_placement(t, 10)
+        assert exc.value.node == 1
+
+    def test_heavy_root_client_raises(self):
+        t = Tree([None], [Client(0, 20)])
+        with pytest.raises(InfeasibleError):
+            greedy_placement(t, 10)
+
+    def test_bad_capacity(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            greedy_placement(chain_tree, 0)
+
+    def test_bad_tie_break(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            greedy_placement(chain_tree, 10, tie_break="bogus")
+
+
+class TestTieBreaks:
+    def _tie_tree(self):
+        # Root with two children of equal flow 6; total 12 > 10 forces one
+        # placement among tied candidates.
+        return Tree([None, 0, 0], [Client(1, 6), Client(2, 6)])
+
+    def test_index_tie_break_deterministic(self):
+        t = self._tie_tree()
+        res = greedy_placement(t, 10, tie_break="index")
+        assert 1 in res.replicas  # smallest id among tied {1, 2}
+
+    def test_prefer_preexisting_tie_break(self):
+        t = self._tie_tree()
+        res = greedy_placement(
+            t, 10, preexisting=[2], tie_break="prefer_preexisting"
+        )
+        assert 2 in res.replicas
+
+    def test_prefer_preexisting_falls_back_to_index(self):
+        t = self._tie_tree()
+        res = greedy_placement(
+            t, 10, preexisting=[], tie_break="prefer_preexisting"
+        )
+        assert 1 in res.replicas
+
+    def test_random_tie_break_reproducible(self):
+        t = self._tie_tree()
+        a = greedy_placement(t, 10, tie_break="random", rng=np.random.default_rng(0))
+        b = greedy_placement(t, 10, tie_break="random", rng=np.random.default_rng(0))
+        assert a.replicas == b.replicas
+
+    def test_tie_break_never_changes_count(self, rng):
+        tree = paper_tree(80, rng=rng)
+        pre = frozenset(range(0, 80, 7))
+        counts = {
+            greedy_placement(tree, 10, preexisting=pre, tie_break=tb).n_replicas
+            for tb in ("index", "prefer_preexisting", "random")
+        }
+        assert len(counts) == 1
+
+
+class TestBookkeeping:
+    def test_reuse_accounting(self):
+        t = Tree([None, 0], [Client(1, 8), Client(0, 8)])
+        res = greedy_placement(t, 10, preexisting=[1, 0])
+        assert res.reused == res.replicas & {0, 1}
+        assert res.deleted == frozenset({0, 1}) - res.replicas
+
+
+class TestPropertyValidity:
+    @settings(max_examples=80, deadline=None)
+    @given(small_trees(max_nodes=14, max_requests=9))
+    def test_always_valid_or_infeasible(self, tree):
+        try:
+            res = greedy_placement(tree, 10)
+        except InfeasibleError:
+            # Must be a genuinely infeasible instance.
+            assert int(tree.client_loads.max()) > 10
+            return
+        assert evaluate_placement(tree, res.replicas, 10).ok
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_trees(max_nodes=12, max_requests=6))
+    def test_monotone_in_capacity(self, tree):
+        # A larger capacity never needs more replicas.
+        r10 = greedy_placement(tree, 10).n_replicas
+        r20 = greedy_placement(tree, 20).n_replicas
+        assert r20 <= r10

@@ -1,0 +1,120 @@
+"""Tests for :mod:`repro.core.solution`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.solution import (
+    PlacementResult,
+    assign_clients,
+    evaluate_placement,
+    server_loads,
+    verify_placement,
+)
+from repro.exceptions import InfeasibleError
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+
+class TestServerLoads:
+    def test_closest_policy_routing(self, chain_tree):
+        # Replica on 1 absorbs its subtree (clients at 1 and 2); root client
+        # remains unserved at the root.
+        loads, unserved = server_loads(chain_tree, [1])
+        assert loads == {1: 7}
+        assert unserved == 2
+
+    def test_root_replica_serves_everything(self, chain_tree):
+        loads, unserved = server_loads(chain_tree, [0])
+        assert loads == {0: 9} and unserved == 0
+
+    def test_inner_replica_shields_outer(self, chain_tree):
+        loads, unserved = server_loads(chain_tree, [0, 2])
+        assert loads == {2: 4, 0: 5} and unserved == 0
+
+    def test_replica_without_load(self, chain_tree):
+        loads, _ = server_loads(chain_tree, [2, 1, 0])
+        assert loads == {2: 4, 1: 3, 0: 2}
+
+    def test_empty_replica_set(self, chain_tree):
+        loads, unserved = server_loads(chain_tree, [])
+        assert loads == {} and unserved == 9
+
+    def test_no_clients_tree(self):
+        t = Tree([None, 0])
+        loads, unserved = server_loads(t, [0])
+        assert loads == {0: 0} and unserved == 0
+
+
+class TestAssignClients:
+    def test_assignment_matches_closest_ancestor(self, chain_tree):
+        # clients attached at nodes 0,1,2; replicas at {1}
+        assert assign_clients(chain_tree, [1]) == [None, 1, 1]
+
+    def test_self_node_counts_as_ancestor(self, chain_tree):
+        assert assign_clients(chain_tree, [0, 2]) == [0, 0, 2]
+
+    def test_unserved_marked_none(self, chain_tree):
+        assert assign_clients(chain_tree, []) == [None, None, None]
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_trees(max_nodes=12), st.data())
+    def test_assignment_consistent_with_loads(self, tree, data):
+        replicas = data.draw(
+            st.frozensets(st.integers(0, tree.n_nodes - 1), max_size=tree.n_nodes)
+        )
+        loads, unserved = server_loads(tree, replicas)
+        assignment = assign_clients(tree, replicas)
+        # Re-derive loads from the per-client assignment.
+        derived: dict[int, int] = {v: 0 for v in replicas}
+        missing = 0
+        for client, server in zip(tree.clients, assignment):
+            if server is None:
+                missing += client.requests
+            else:
+                derived[server] += client.requests
+        assert missing == unserved
+        assert {v: q for v, q in derived.items() if q or v in loads} == loads
+
+
+class TestEvaluateVerify:
+    def test_ok_placement(self, chain_tree):
+        check = evaluate_placement(chain_tree, [0], 10)
+        assert check.ok and check.violations == ()
+
+    def test_overload_detected(self, chain_tree):
+        check = evaluate_placement(chain_tree, [0], 5)
+        assert not check.ok
+        assert check.overloaded == (0,)
+        assert "serves 9 > W=5" in check.violations[0]
+
+    def test_unserved_detected(self, chain_tree):
+        check = evaluate_placement(chain_tree, [1], 10)
+        assert not check.ok and "unserved" in check.violations[0]
+
+    def test_verify_raises_with_details(self, chain_tree):
+        with pytest.raises(InfeasibleError, match="unserved"):
+            verify_placement(chain_tree, [], 10)
+
+    def test_verify_returns_loads(self, chain_tree):
+        assert verify_placement(chain_tree, [0], 10) == {0: 9}
+
+
+class TestPlacementResult:
+    def test_from_replicas_bookkeeping(self, chain_tree):
+        res = PlacementResult.from_replicas(
+            chain_tree, [0, 2], 10, preexisting=[2, 1], cost=3.5
+        )
+        assert res.replicas == frozenset({0, 2})
+        assert res.reused == frozenset({2})
+        assert res.created == frozenset({0})
+        assert res.deleted == frozenset({1})
+        assert (res.n_replicas, res.n_reused, res.n_created, res.n_deleted) == (2, 1, 1, 1)
+        assert res.cost == 3.5
+
+    def test_from_replicas_validates(self, chain_tree):
+        with pytest.raises(InfeasibleError):
+            PlacementResult.from_replicas(chain_tree, [2], 10)

@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.dynamics.evolution`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.evolution import HotspotShift, RandomWalkRequests, RedrawRequests
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree
+
+
+@pytest.fixture()
+def workload(rng):
+    return paper_tree(30, client_prob=1.0, request_range=(1, 6), rng=rng)
+
+
+class TestRedrawRequests:
+    def test_structure_preserved(self, workload, rng):
+        evolved = RedrawRequests((1, 6)).evolve(workload, rng)
+        assert evolved.parents == workload.parents
+        assert [c.node for c in evolved.clients] == [c.node for c in workload.clients]
+
+    def test_range_respected(self, workload, rng):
+        evolved = RedrawRequests((2, 3)).evolve(workload, rng)
+        assert all(2 <= c.requests <= 3 for c in evolved.clients)
+
+    def test_deterministic_with_seed(self, workload):
+        a = RedrawRequests((1, 6)).evolve(workload, np.random.default_rng(1))
+        b = RedrawRequests((1, 6)).evolve(workload, np.random.default_rng(1))
+        assert a == b
+
+    def test_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            RedrawRequests((0, 5))
+        with pytest.raises(ConfigurationError):
+            RedrawRequests((5, 2))
+
+
+class TestRandomWalkRequests:
+    def test_step_bound(self, workload, rng):
+        evolved = RandomWalkRequests(step=1, minimum=1, maximum=6).evolve(workload, rng)
+        for old, new in zip(workload.clients, evolved.clients):
+            assert abs(new.requests - old.requests) <= 1
+
+    def test_clipping(self, workload, rng):
+        evolved = RandomWalkRequests(step=10, minimum=2, maximum=4).evolve(workload, rng)
+        assert all(2 <= c.requests <= 4 for c in evolved.clients)
+
+    def test_zero_step_identity(self, workload, rng):
+        evolved = RandomWalkRequests(step=0).evolve(workload, rng)
+        assert evolved == workload
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalkRequests(step=-1)
+        with pytest.raises(ConfigurationError):
+            RandomWalkRequests(minimum=5, maximum=2)
+        with pytest.raises(ConfigurationError):
+            RandomWalkRequests(minimum=0)
+
+
+class TestHotspotShift:
+    def test_requests_in_union_of_ranges(self, workload, rng):
+        evolved = HotspotShift(hot_range=(5, 6), cold_range=(1, 2)).evolve(workload, rng)
+        assert all(c.requests in (1, 2, 5, 6) for c in evolved.clients)
+
+    def test_some_hotspot_exists(self, workload):
+        # With a fixed seed a hotspot subtree gets the hot range.
+        evolved = HotspotShift(hot_range=(6, 6), cold_range=(1, 1)).evolve(
+            workload, np.random.default_rng(3)
+        )
+        values = {c.requests for c in evolved.clients}
+        assert 1 in values  # cold clients exist on a 30-node tree
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HotspotShift(hot_range=(0, 3))
+        with pytest.raises(ConfigurationError):
+            HotspotShift(cold_range=(4, 2))

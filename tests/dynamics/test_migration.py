@@ -1,0 +1,92 @@
+"""Tests for :mod:`repro.dynamics.migration`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.dynamics.migration import MigrationStep, StepKind, plan_migration
+from repro.exceptions import ConfigurationError
+
+
+class TestPlanFromSets:
+    def test_diff_kinds(self):
+        plan = plan_migration({1, 2, 3}, {2, 3, 4})
+        assert {s.node for s in plan.by_kind(StepKind.CREATE)} == {4}
+        assert {s.node for s in plan.by_kind(StepKind.DELETE)} == {1}
+        assert {s.node for s in plan.by_kind(StepKind.KEEP)} == {2, 3}
+        assert (plan.n_created, plan.n_deleted, plan.n_kept) == (1, 1, 2)
+
+    def test_ordering_make_before_break(self):
+        plan = plan_migration({1}, {2})
+        kinds = [s.kind for s in plan.steps]
+        assert kinds.index(StepKind.CREATE) < kinds.index(StepKind.DELETE)
+
+    def test_empty_plan(self):
+        plan = plan_migration(set(), set())
+        assert plan.steps == ()
+        assert str(plan) == "(no changes)"
+
+    def test_uniform_cost_matches_equation2(self):
+        cm = UniformCostModel(0.3, 0.07)
+        old, new = {1, 2, 5}, {2, 5, 7, 8}
+        plan = plan_migration(old, new)
+        assert plan.cost(cm) == pytest.approx(cm.of_placement(new, old))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.frozensets(st.integers(0, 15)),
+        st.frozensets(st.integers(0, 15)),
+        st.floats(0, 2),
+        st.floats(0, 2),
+    )
+    def test_cost_identity_any_sets(self, old, new, create, delete):
+        cm = UniformCostModel(create, delete)
+        assert plan_migration(old, new).cost(cm) == pytest.approx(
+            cm.of_placement(new, old)
+        )
+
+
+class TestPlanFromModes:
+    def test_upgrade_downgrade_detected(self):
+        plan = plan_migration({1: 0, 2: 1, 3: 1}, {1: 1, 2: 0, 3: 1, 4: 0})
+        assert plan.by_kind(StepKind.UPGRADE) == (
+            MigrationStep(StepKind.UPGRADE, 1, 0, 1),
+        )
+        assert plan.by_kind(StepKind.DOWNGRADE) == (
+            MigrationStep(StepKind.DOWNGRADE, 2, 1, 0),
+        )
+        assert plan.n_mode_changes == 2
+        assert plan.n_created == 1
+
+    def test_modal_cost_matches_equation4(self):
+        cm = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+        old = {1: 0, 2: 1, 9: 1}
+        new = {1: 1, 2: 1, 4: 0}
+        plan = plan_migration(old, new)
+        assert plan.cost(cm) == pytest.approx(cm.of_modal_placement(new, old))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.dictionaries(st.integers(0, 10), st.integers(0, 1), max_size=8),
+        st.dictionaries(st.integers(0, 10), st.integers(0, 1), max_size=8),
+    )
+    def test_modal_cost_identity_any_configs(self, old, new):
+        cm = ModalCostModel.uniform(2, create=0.2, delete=0.05, changed=0.01)
+        assert plan_migration(old, new).cost(cm) == pytest.approx(
+            cm.of_modal_placement(new, old)
+        )
+
+    def test_modal_cost_requires_modes(self):
+        cm = ModalCostModel.uniform(2)
+        plan = plan_migration({1}, {2})  # set-based, no modes
+        with pytest.raises(ConfigurationError, match="modes"):
+            plan.cost(cm)
+
+    def test_step_str_readable(self):
+        plan = plan_migration({1: 0}, {1: 1, 2: 0})
+        text = str(plan)
+        assert "create server on node 2" in text
+        assert "upgrade server on node 1: mode 0 -> 1" in text

@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.dynamics.session`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import UniformCostModel
+from repro.dynamics.evolution import RedrawRequests
+from repro.dynamics.session import (
+    DPUpdateStrategy,
+    GreedyStrategy,
+    run_session,
+)
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree
+
+STRATS = {"DP": DPUpdateStrategy(), "GR": GreedyStrategy()}
+
+
+@pytest.fixture()
+def tree(rng):
+    return paper_tree(40, rng=rng)
+
+
+class TestRunSession:
+    def test_tracks_and_lengths(self, tree):
+        res = run_session(tree, 10, 5, RedrawRequests(), STRATS, rng=0)
+        assert set(res.tracks) == {"DP", "GR"}
+        assert len(res.tracks["DP"]) == 5
+        assert len(res.workloads) == 5
+
+    def test_first_step_no_reuse(self, tree):
+        res = run_session(tree, 10, 3, RedrawRequests(), STRATS, rng=0)
+        for name in STRATS:
+            assert res.tracks[name][0].n_reused == 0
+
+    def test_same_replica_counts_every_step(self, tree):
+        # §5.1: both algorithms reach the same total number of servers.
+        res = run_session(tree, 10, 6, RedrawRequests(), STRATS, rng=1)
+        for rec_dp, rec_gr in zip(res.tracks["DP"], res.tracks["GR"]):
+            assert rec_dp.n_replicas == rec_gr.n_replicas
+
+    def test_dp_cumulative_reuse_dominates(self, tree):
+        res = run_session(tree, 10, 8, RedrawRequests(), STRATS, rng=2)
+        dp = res.cumulative_reuse("DP")
+        gr = res.cumulative_reuse("GR")
+        assert dp[-1] >= gr[-1]
+        assert all(a <= b for a, b in zip(dp, dp[1:]))  # non-decreasing
+
+    def test_preexisting_carries_over(self, tree):
+        res = run_session(tree, 10, 4, RedrawRequests(), {"DP": DPUpdateStrategy()}, rng=3)
+        recs = res.tracks["DP"]
+        for prev, cur in zip(recs, recs[1:]):
+            # reused servers at step t are exactly R_t ∩ R_{t-1}
+            assert cur.n_reused == len(cur.replicas & prev.replicas)
+
+    def test_initial_preexisting_respected(self, tree):
+        from repro.core.greedy import greedy_placement
+
+        start = greedy_placement(tree, 10).replicas
+        res = run_session(
+            tree, 10, 1, RedrawRequests(), {"DP": DPUpdateStrategy()},
+            rng=4, initial_preexisting=start,
+        )
+        assert res.tracks["DP"][0].n_reused > 0
+
+    def test_reuse_gaps(self, tree):
+        res = run_session(tree, 10, 5, RedrawRequests(), STRATS, rng=5)
+        gaps = res.reuse_gaps("DP", "GR")
+        assert len(gaps) == 5
+        assert gaps[0] == 0  # both start from scratch
+
+    def test_costs_priced_with_shared_model(self, tree):
+        cm = UniformCostModel(0.5, 0.25)
+        res = run_session(
+            tree, 10, 2, RedrawRequests(), STRATS, rng=6, cost_model=cm
+        )
+        for name in STRATS:
+            rec = res.tracks[name][1]
+            prev = res.tracks[name][0]
+            assert rec.cost == pytest.approx(
+                cm.total(rec.n_replicas, rec.n_reused, prev.n_replicas)
+            )
+
+    def test_validation(self, tree):
+        with pytest.raises(ConfigurationError):
+            run_session(tree, 10, 0, RedrawRequests(), STRATS)
+        with pytest.raises(ConfigurationError):
+            run_session(tree, 10, 3, RedrawRequests(), {})
+
+    def test_reproducible(self, tree):
+        a = run_session(tree, 10, 4, RedrawRequests(), STRATS, rng=9)
+        b = run_session(tree, 10, 4, RedrawRequests(), STRATS, rng=9)
+        assert a.workloads == b.workloads
+        assert [r.replicas for r in a.tracks["DP"]] == [
+            r.replicas for r in b.tracks["DP"]
+        ]

@@ -1,0 +1,124 @@
+"""Tests for :mod:`repro.dynamics.strategies` (update-timing policies)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import UniformCostModel
+from repro.dynamics.evolution import RandomWalkRequests, RedrawRequests
+from repro.dynamics.session import DPUpdateStrategy
+from repro.dynamics.strategies import (
+    LazyPolicy,
+    PeriodicPolicy,
+    SystematicPolicy,
+    compare_policies,
+    generate_workloads,
+    run_policy,
+)
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree
+
+
+@pytest.fixture()
+def workloads(rng):
+    tree = paper_tree(40, client_prob=0.8, rng=rng)
+    return generate_workloads(tree, 10, RedrawRequests(), rng=rng)
+
+
+class TestPolicies:
+    def test_systematic_always_updates(self):
+        p = SystematicPolicy()
+        assert p.should_update(0, True) and p.should_update(3, False)
+
+    def test_lazy_updates_only_when_invalid(self):
+        p = LazyPolicy()
+        assert not p.should_update(4, True)
+        assert p.should_update(4, False)
+
+    def test_periodic_schedule(self):
+        p = PeriodicPolicy(period=3)
+        assert p.should_update(0, True)
+        assert not p.should_update(1, True)
+        assert p.should_update(3, True)
+        assert p.should_update(2, False)  # forced by invalidity
+
+    def test_periodic_validation(self):
+        with pytest.raises(ConfigurationError):
+            PeriodicPolicy(period=0)
+
+
+class TestRunPolicy:
+    def test_systematic_updates_every_step(self, workloads):
+        run = run_policy(workloads, 10, SystematicPolicy(), DPUpdateStrategy())
+        assert run.updates == len(workloads)
+        assert len(run.records) == len(workloads)
+
+    def test_lazy_updates_less_often(self, workloads):
+        lazy = run_policy(workloads, 10, LazyPolicy(), DPUpdateStrategy())
+        syst = run_policy(workloads, 10, SystematicPolicy(), DPUpdateStrategy())
+        assert lazy.updates <= syst.updates
+        assert lazy.updates >= 1  # step 0 always places
+
+    def test_kept_steps_cost_operating_only(self, workloads):
+        run = run_policy(
+            workloads, 10, LazyPolicy(), DPUpdateStrategy(),
+            cost_model=UniformCostModel(0.5, 0.5),
+        )
+        kept = [r for r in run.records if r.n_created == 0 and r.n_deleted == 0]
+        for rec in kept:
+            assert rec.cost == pytest.approx(rec.n_replicas)
+
+    def test_every_step_has_valid_placement(self, workloads):
+        from repro.core.solution import evaluate_placement
+
+        run = run_policy(workloads, 10, LazyPolicy(), DPUpdateStrategy())
+        for tree, rec in zip(workloads, run.records):
+            assert evaluate_placement(tree, rec.replicas, 10).ok
+
+    def test_totals(self, workloads):
+        run = run_policy(workloads, 10, SystematicPolicy(), DPUpdateStrategy())
+        assert run.total_cost == pytest.approx(sum(r.cost for r in run.records))
+        assert run.mean_servers > 0
+
+    def test_empty_workloads_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_policy([], 10, LazyPolicy(), DPUpdateStrategy())
+
+
+class TestComparePolicies:
+    def test_three_policies_paired(self, workloads):
+        runs = compare_policies(
+            workloads, 10,
+            [SystematicPolicy(), LazyPolicy(), PeriodicPolicy(period=4)],
+            DPUpdateStrategy(),
+        )
+        assert set(runs) == {"systematic", "lazy", "periodic"}
+        assert runs["lazy"].updates <= runs["periodic"].updates <= runs[
+            "systematic"
+        ].updates
+
+    def test_systematic_never_uses_more_servers_on_average(self, rng):
+        # Small-amplitude walk: lazy keeps stale placements, systematic
+        # re-optimises; mean server count must not favour lazy.
+        tree = paper_tree(40, client_prob=0.9, rng=rng)
+        workloads = generate_workloads(
+            tree, 12, RandomWalkRequests(step=2), rng=rng
+        )
+        runs = compare_policies(
+            workloads, 10, [SystematicPolicy(), LazyPolicy()], DPUpdateStrategy()
+        )
+        assert (
+            runs["systematic"].mean_servers <= runs["lazy"].mean_servers + 1e-9
+        )
+
+
+class TestGenerateWorkloads:
+    def test_length_and_head(self, rng):
+        tree = paper_tree(20, rng=rng)
+        seq = generate_workloads(tree, 5, RedrawRequests(), rng=rng)
+        assert len(seq) == 5 and seq[0] == tree
+
+    def test_validation(self, rng):
+        tree = paper_tree(10, rng=rng)
+        with pytest.raises(ConfigurationError):
+            generate_workloads(tree, 0, RedrawRequests(), rng=rng)

@@ -1,0 +1,81 @@
+"""Tests for Experiment 1 (Figure 4/6 runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.exp1_reuse import Exp1Config, run_experiment1
+
+SMALL = Exp1Config(n_trees=4, n_nodes=40, e_values=(0, 10, 20, 40), seed=7)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment1(SMALL)
+
+
+class TestConfig:
+    def test_defaults_are_paper_scale(self):
+        c = Exp1Config()
+        assert c.n_trees == 200
+        assert c.n_nodes == 100
+        assert c.children_range == (6, 9)
+        assert c.e_values[-1] == 100
+
+    def test_high_trees_variant(self):
+        assert Exp1Config().high_trees().children_range == (2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Exp1Config(n_trees=0)
+        with pytest.raises(ConfigurationError):
+            Exp1Config(n_nodes=10, e_values=(50,))
+
+
+class TestResultShape:
+    def test_series_lengths(self, result):
+        assert len(result.dp_reuse) == len(SMALL.e_values)
+        assert len(result.gr_reuse) == len(SMALL.e_values)
+        assert all(s.n == SMALL.n_trees for s in result.dp_reuse)
+
+    def test_figure4_shape(self, result):
+        # No pre-existing servers -> nothing to reuse; DP >= GR everywhere.
+        assert result.dp_reuse[0].mean == 0.0
+        assert result.gr_reuse[0].mean == 0.0
+        for dp, gr in zip(result.dp_reuse, result.gr_reuse):
+            assert dp.mean >= gr.mean - 1e-9
+
+    def test_same_replica_counts(self, result):
+        assert result.count_mismatches == 0
+
+    def test_gap_consistency(self, result):
+        for dp, gr, gap in zip(result.dp_reuse, result.gr_reuse, result.gap):
+            assert gap.mean == pytest.approx(dp.mean - gr.mean)
+        assert result.mean_gap >= 0.0
+        assert result.max_gap >= 0
+
+    def test_full_preexisting_reuse_equals_servers(self):
+        # With E = N both algorithms reuse every server they place.
+        cfg = Exp1Config(n_trees=2, n_nodes=30, e_values=(30,), seed=3)
+        res = run_experiment1(cfg)
+        assert res.gap[0].mean == pytest.approx(0.0)
+
+    def test_rows_and_series_align(self, result):
+        rows = result.rows()
+        series = result.series()
+        assert len(rows) == len(SMALL.e_values)
+        assert [xy[1] for xy in series["DP"]] == [r[1] for r in rows]
+
+    def test_progress_callback(self):
+        seen = []
+        run_experiment1(
+            Exp1Config(n_trees=2, n_nodes=20, e_values=(0, 5), seed=1),
+            progress=lambda done, total: seen.append((done, total)),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
+    def test_deterministic(self):
+        cfg = Exp1Config(n_trees=2, n_nodes=25, e_values=(5, 10), seed=42)
+        a, b = run_experiment1(cfg), run_experiment1(cfg)
+        assert a.rows() == b.rows()

@@ -1,0 +1,67 @@
+"""Tests for Experiment 2 (Figure 5/7 runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.exp2_dynamic import Exp2Config, run_experiment2
+
+SMALL = Exp2Config(n_trees=3, n_nodes=30, n_steps=6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment2(SMALL)
+
+
+class TestConfig:
+    def test_defaults_are_paper_scale(self):
+        c = Exp2Config()
+        assert (c.n_trees, c.n_steps) == (200, 20)
+
+    def test_high_trees(self):
+        assert Exp2Config().high_trees().children_range == (2, 4)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Exp2Config(n_trees=0)
+        with pytest.raises(ConfigurationError):
+            Exp2Config(n_steps=0)
+
+
+class TestResultShape:
+    def test_lengths(self, result):
+        assert len(result.steps) == SMALL.n_steps
+        assert len(result.dp_cumulative) == SMALL.n_steps
+
+    def test_cumulative_nondecreasing(self, result):
+        dp = [s.mean for s in result.dp_cumulative]
+        gr = [s.mean for s in result.gr_cumulative]
+        assert dp == sorted(dp)
+        assert gr == sorted(gr)
+
+    def test_dp_dominates_gr_cumulative(self, result):
+        # Figure 5/7 left: DP makes better reuse of pre-existing replicas.
+        assert result.dp_cumulative[-1].mean >= result.gr_cumulative[-1].mean
+
+    def test_first_step_zero_reuse(self, result):
+        assert result.dp_cumulative[0].mean == 0.0
+        assert result.gr_cumulative[0].mean == 0.0
+
+    def test_histogram_mass_equals_steps(self, result):
+        # Mean counts per tree over all gap values must sum to n_steps.
+        assert sum(result.gap_histogram.values()) == pytest.approx(SMALL.n_steps)
+
+    def test_histogram_mean_positive(self, result):
+        # Figure 5/7 right: the gap distribution leans positive.
+        mean_gap = sum(k * v for k, v in result.gap_histogram.items())
+        assert mean_gap >= 0.0
+
+    def test_count_mismatches_zero(self, result):
+        assert result.count_mismatches == 0
+
+    def test_rows(self, result):
+        rows = result.rows()
+        assert len(rows) == SMALL.n_steps
+        assert rows[0][0] == 0

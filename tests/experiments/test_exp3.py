@@ -1,0 +1,92 @@
+"""Tests for Experiment 3 (Figure 8–11 runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.exp3_power import Exp3Config, run_experiment3
+
+SMALL = Exp3Config(
+    n_trees=4,
+    n_nodes=30,
+    cost_bounds=tuple(float(b) for b in range(8, 40, 4)),
+    seed=17,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment3(SMALL)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        c = Exp3Config()
+        assert c.mode_capacities == (5, 10)
+        assert c.static_power == pytest.approx(12.5)
+        assert (c.create, c.delete, c.changed) == (0.1, 0.01, 0.001)
+        assert c.cost_bounds[0] == 15.0 and c.cost_bounds[-1] == 45.0
+
+    def test_variants(self):
+        assert Exp3Config().no_preexisting().n_preexisting == 0
+        assert Exp3Config().high_trees().children_range == (2, 4)
+        exp = Exp3Config().expensive_costs()
+        assert (exp.create, exp.delete, exp.changed) == (1.0, 1.0, 0.1)
+
+    def test_models_built_from_config(self):
+        c = Exp3Config()
+        assert c.power_model().mode_power(0) == pytest.approx(137.5)
+        assert c.cost_model().n_modes == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Exp3Config(n_trees=0)
+        with pytest.raises(ConfigurationError):
+            Exp3Config(n_preexisting=99)
+        with pytest.raises(ConfigurationError):
+            Exp3Config(preexisting_mode=5)
+
+
+class TestResultShape:
+    def test_lengths(self, result):
+        n = len(SMALL.cost_bounds)
+        assert len(result.dp_inverse) == n
+        assert len(result.gr_inverse) == n
+        assert len(result.dp_success) == n
+
+    def test_inverse_in_unit_range(self, result):
+        for s in result.dp_inverse + result.gr_inverse:
+            assert 0.0 <= s.mean <= 1.0 + 1e-9
+
+    def test_dp_dominates_gr(self, result):
+        # Figure 8: the optimal DP curve is never below GR's.
+        for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+            assert dp.mean >= gr.mean - 1e-9
+
+    def test_curves_nondecreasing_in_bound(self, result):
+        dp = [s.mean for s in result.dp_inverse]
+        assert all(a <= b + 1e-9 for a, b in zip(dp, dp[1:]))
+
+    def test_loose_bound_reaches_optimum(self, result):
+        # The largest bound admits the unconstrained optimum: inverse = 1.
+        assert result.dp_inverse[-1].mean == pytest.approx(1.0)
+        assert result.dp_success[-1] == pytest.approx(1.0)
+
+    def test_ratio_at_least_one(self, result):
+        for s in result.gr_over_dp:
+            if s.n > 0:
+                assert s.mean >= 1.0 - 1e-9
+        assert result.peak_gr_overhead() >= 1.0
+
+    def test_success_rates_monotone(self, result):
+        assert list(result.dp_success) == sorted(result.dp_success)
+
+    def test_dp_succeeds_whenever_gr_does(self, result):
+        for dp_ok, gr_ok in zip(result.dp_success, result.gr_success):
+            assert dp_ok >= gr_ok - 1e-9
+
+    def test_rows(self, result):
+        rows = result.rows()
+        assert len(rows) == len(SMALL.cost_bounds)
+        assert rows[0][0] == SMALL.cost_bounds[0]

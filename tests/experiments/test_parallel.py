@@ -1,0 +1,98 @@
+"""Tests for :mod:`repro.experiments.parallel`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.stats import merge_series, summarize
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    Exp1Config,
+    Exp2Config,
+    Exp3Config,
+    run_experiment1_parallel,
+    run_experiment2_parallel,
+    run_experiment3_parallel,
+    split_config,
+)
+
+
+class TestMergeSeries:
+    def test_matches_single_pass(self):
+        a = [1.0, 2.0, 5.0]
+        b = [3.0, 3.0]
+        merged = merge_series([summarize(a), summarize(b)])
+        direct = summarize(a + b)
+        assert merged.n == direct.n
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.std == pytest.approx(direct.std)
+        assert merged.minimum == direct.minimum
+        assert merged.maximum == direct.maximum
+
+    def test_empty_parts_skipped(self):
+        m = merge_series([summarize([]), summarize([2.0])])
+        assert m.n == 1 and m.mean == 2.0
+
+    def test_all_empty(self):
+        assert merge_series([]).n == 0
+
+
+class TestSplitConfig:
+    def test_tree_counts_preserved(self):
+        chunks = split_config(Exp1Config(n_trees=10, seed=5), 3)
+        assert sum(c.n_trees for c in chunks) == 10
+        assert len({c.seed for c in chunks}) == len(chunks)
+
+    def test_more_chunks_than_trees(self):
+        chunks = split_config(Exp1Config(n_trees=2), 8)
+        assert len(chunks) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            split_config(Exp1Config(n_trees=2), 0)
+
+
+class TestParallelRunners:
+    """Parallel results must aggregate the same number of samples and
+    satisfy the same figure-shape invariants as sequential runs."""
+
+    def test_exp1_parallel(self):
+        cfg = Exp1Config(n_trees=4, n_nodes=25, e_values=(0, 5, 15), seed=3)
+        res = run_experiment1_parallel(cfg, n_workers=2)
+        assert all(s.n == 4 for s in res.dp_reuse)
+        assert res.count_mismatches == 0
+        for dp, gr in zip(res.dp_reuse, res.gr_reuse):
+            assert dp.mean >= gr.mean - 1e-9
+
+    def test_exp1_single_worker_equals_sequential(self):
+        from repro.experiments import run_experiment1
+
+        cfg = Exp1Config(n_trees=3, n_nodes=20, e_values=(0, 5), seed=9)
+        seq = run_experiment1(cfg)
+        par = run_experiment1_parallel(cfg, n_workers=1)
+        assert [s.mean for s in par.dp_reuse] == pytest.approx(
+            [s.mean for s in seq.dp_reuse]
+        )
+        assert par.mean_gap == pytest.approx(seq.mean_gap)
+
+    def test_exp2_parallel(self):
+        cfg = Exp2Config(n_trees=4, n_nodes=25, n_steps=4, seed=3)
+        res = run_experiment2_parallel(cfg, n_workers=2)
+        assert all(s.n == 4 for s in res.dp_cumulative)
+        assert sum(res.gap_histogram.values()) == pytest.approx(cfg.n_steps)
+        assert res.dp_cumulative[-1].mean >= res.gr_cumulative[-1].mean
+
+    def test_exp3_parallel(self):
+        cfg = Exp3Config(
+            n_trees=4, n_nodes=20, cost_bounds=(10.0, 20.0, 40.0), seed=3
+        )
+        res = run_experiment3_parallel(cfg, n_workers=2)
+        assert all(s.n == 4 for s in res.dp_inverse)
+        assert res.dp_inverse[-1].mean == pytest.approx(1.0)
+        for dp, gr in zip(res.dp_inverse, res.gr_inverse):
+            assert dp.mean >= gr.mean - 1e-9
+        assert all(0.0 <= r <= 1.0 for r in res.dp_success)
+
+    def test_bad_workers(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment1_parallel(Exp1Config(n_trees=2), n_workers=0)

@@ -1,0 +1,54 @@
+"""Tests for :mod:`repro.experiments.presets`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import PRESETS, make_preset, preset_names
+from repro.tree.metrics import tree_stats
+
+
+class TestPresets:
+    def test_names_cover_paper_figures(self):
+        assert {"fig4", "fig6", "fig8", "fig10"} <= set(preset_names())
+
+    @pytest.mark.parametrize("name", ["fig4", "fig6", "fig8", "fig10", "zipf"])
+    def test_presets_build(self, name):
+        tree = make_preset(name, rng=1)
+        assert tree.n_nodes in (50, 100)
+
+    def test_fig4_parameters(self):
+        tree = make_preset("fig4", rng=2)
+        s = tree_stats(tree)
+        assert s.n_nodes == 100
+        assert s.max_direct_load <= 6
+
+    def test_fig10_is_high(self):
+        fat = make_preset("fig8", rng=3)
+        high = make_preset("fig10", rng=3)
+        assert high.height > fat.height
+
+    def test_zipf_volumes_heavy_tailed(self):
+        tree = make_preset("zipf", rng=4)
+        ones = sum(1 for c in tree.clients if c.requests == 1)
+        sixes = sum(1 for c in tree.clients if c.requests == 6)
+        # Zipf(1.5) puts ~55% of the mass on volume 1 and ~4% on volume 6.
+        assert ones >= tree.n_clients // 3
+        assert ones > sixes
+
+    def test_deterministic(self):
+        assert make_preset("fig4", rng=5) == make_preset("fig4", rng=5)
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="available"):
+            make_preset("fig99")
+
+    def test_descriptions_present(self):
+        assert all(p.description for p in PRESETS.values())
+
+    def test_generator_instance_accepted(self):
+        rng = np.random.default_rng(6)
+        tree = make_preset("fig8", rng=rng)
+        assert tree.n_nodes == 50

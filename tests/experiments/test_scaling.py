@@ -1,0 +1,28 @@
+"""Tests for the scalability harness (§5.2 prose)."""
+
+from __future__ import annotations
+
+from repro.experiments.scaling import run_scaling
+
+
+class TestRunScaling:
+    def test_small_sweep(self):
+        points = run_scaling(
+            cost_sizes=((30, 8),),
+            power_nopre_sizes=(30,),
+            power_withpre_sizes=((30, 3),),
+            seed=5,
+        )
+        regimes = [p.regime for p in points]
+        assert regimes == ["cost", "power-nopre", "power-withpre"]
+        assert all(p.seconds >= 0.0 for p in points)
+        assert all(p.detail for p in points)
+
+    def test_sizes_recorded(self):
+        points = run_scaling(
+            cost_sizes=((20, 5), (40, 10)),
+            power_nopre_sizes=(),
+            power_withpre_sizes=(),
+            seed=1,
+        )
+        assert [(p.n_nodes, p.n_preexisting) for p in points] == [(20, 5), (40, 10)]

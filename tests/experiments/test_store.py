@@ -1,0 +1,86 @@
+"""Tests for :mod:`repro.experiments.store` (result persistence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments import (
+    Exp1Config,
+    Exp2Config,
+    Exp3Config,
+    load_result,
+    result_from_json,
+    result_to_json,
+    run_experiment1,
+    run_experiment2,
+    run_experiment3,
+    save_result,
+)
+
+
+@pytest.fixture(scope="module")
+def exp1_result():
+    return run_experiment1(Exp1Config(n_trees=2, n_nodes=20, e_values=(0, 5), seed=1))
+
+
+@pytest.fixture(scope="module")
+def exp2_result():
+    return run_experiment2(Exp2Config(n_trees=2, n_nodes=20, n_steps=3, seed=1))
+
+
+@pytest.fixture(scope="module")
+def exp3_result():
+    return run_experiment3(
+        Exp3Config(n_trees=2, n_nodes=15, cost_bounds=(10.0, 30.0), seed=1)
+    )
+
+
+class TestRoundTrips:
+    def test_exp1(self, exp1_result):
+        restored = result_from_json(result_to_json(exp1_result))
+        assert restored == exp1_result
+
+    def test_exp2(self, exp2_result):
+        restored = result_from_json(result_to_json(exp2_result))
+        assert restored == exp2_result
+
+    def test_exp3(self, exp3_result):
+        restored = result_from_json(result_to_json(exp3_result))
+        assert restored == exp3_result
+
+    def test_file_round_trip(self, exp1_result, tmp_path):
+        path = tmp_path / "exp1.json"
+        save_result(exp1_result, str(path))
+        assert load_result(str(path)) == exp1_result
+
+    def test_restored_results_still_compute(self, exp3_result):
+        restored = result_from_json(result_to_json(exp3_result))
+        assert restored.rows() == exp3_result.rows()
+        assert restored.peak_gr_overhead() == exp3_result.peak_gr_overhead()
+
+
+class TestErrors:
+    def test_invalid_json(self):
+        with pytest.raises(ConfigurationError, match="invalid JSON"):
+            result_from_json("{nope")
+
+    def test_unknown_schema(self, exp1_result):
+        import json
+
+        payload = json.loads(result_to_json(exp1_result))
+        payload["schema"] = 42
+        with pytest.raises(ConfigurationError, match="schema"):
+            result_from_json(json.dumps(payload))
+
+    def test_unknown_kind(self, exp1_result):
+        import json
+
+        payload = json.loads(result_to_json(exp1_result))
+        payload["kind"] = "exp99"
+        with pytest.raises(ConfigurationError, match="kind"):
+            result_from_json(json.dumps(payload))
+
+    def test_unsupported_type(self):
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            result_to_json(object())  # type: ignore[arg-type]

@@ -1,0 +1,58 @@
+"""Tests for :mod:`repro.power.dp_power_counts` (paper-faithful reference)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import ModalCostModel
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.power.dp_power_counts import power_frontier_counts
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.generators import paper_tree
+from repro.tree.model import Client, Tree
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+
+
+class TestBasics:
+    def test_single_node_frontier(self):
+        t = Tree([None], [Client(0, 7)])
+        pairs = power_frontier_counts(t, PM, CM)
+        assert pairs == [(pytest.approx(1.1), pytest.approx(1012.5))]
+
+    def test_frontier_monotone(self, chain_tree):
+        pairs = power_frontier_counts(chain_tree, PM, CM, {1: 1})
+        costs = [c for c, _ in pairs]
+        powers = [p for _, p in pairs]
+        assert costs == sorted(costs)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_preexisting_deletions_priced(self):
+        t = Tree([None])
+        pairs = power_frontier_counts(t, PM, CM, {0: 1})
+        # no clients: best is to delete the pre-existing server
+        assert pairs[0][0] == pytest.approx(0.01)
+        assert pairs[0][1] == pytest.approx(0.0)
+
+
+class TestGuards:
+    def test_size_guard(self):
+        big = paper_tree(70, rng=0)
+        with pytest.raises(ConfigurationError, match="capped"):
+            power_frontier_counts(big, PM, CM)
+
+    def test_mode_mismatch(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            power_frontier_counts(chain_tree, PM, ModalCostModel.uniform(3))
+
+    def test_bad_preexisting(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            power_frontier_counts(chain_tree, PM, CM, {99: 0})
+        with pytest.raises(ConfigurationError):
+            power_frontier_counts(chain_tree, PM, CM, {0: 7})
+
+    def test_infeasible(self):
+        t = Tree([None], [Client(0, 11)])
+        with pytest.raises(InfeasibleError):
+            power_frontier_counts(t, PM, CM)

@@ -1,0 +1,80 @@
+"""Tests for :mod:`repro.power.greedy_power` (the GR §5.2 baseline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import ModalCostModel
+from repro.power.greedy_power import greedy_power_candidates
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.model import Client, Tree
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+
+
+class TestSweep:
+    def test_candidates_generated_and_deduped(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, PM, CM)
+        assert len(cands.candidates) >= 1
+        placements = [c.replicas for c in cands.candidates]
+        assert len(placements) == len(set(placements))
+
+    def test_sweep_capacity_recorded(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, PM, CM)
+        assert all("sweep_capacity" in c.extra for c in cands.candidates)
+
+    def test_small_capacities_skipped_when_infeasible(self):
+        # Node with direct load 7: capacities 5 and 6 are infeasible for GR
+        # but the sweep must survive and return the feasible candidates.
+        t = Tree([None, 0], [Client(1, 7)])
+        cands = greedy_power_candidates(t, PM, CM)
+        assert len(cands.candidates) >= 1
+
+    def test_modes_are_load_determined(self):
+        # "when a server has 5 requests or less, we operate it under W1".
+        t = Tree([None, 0, 0], [Client(1, 4), Client(2, 9)])
+        cands = greedy_power_candidates(t, PM, CM)
+        for cand in cands.candidates:
+            for node, mode in cand.server_modes.items():
+                assert mode == PM.modes.mode_of(cand.loads[node])
+
+    def test_explicit_capacities(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, PM, CM, capacities=[10])
+        assert len(cands.candidates) == 1
+
+    def test_out_of_range_capacities_ignored(self, chain_tree):
+        cands = greedy_power_candidates(
+            chain_tree, PM, CM, capacities=[0, 10, 99]
+        )
+        assert len(cands.candidates) == 1
+
+
+class TestBestUnderCost:
+    def test_bound_filters(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, PM, CM)
+        cheapest = min(c.cost for c in cands.candidates)
+        assert cands.best_under_cost(cheapest - 0.5) is None
+        best = cands.best_under_cost(cheapest)
+        assert best is not None and best.cost <= cheapest + 1e-9
+
+    def test_min_power_over_all(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, PM, CM)
+        mp = cands.min_power()
+        assert mp is not None
+        assert all(mp.power <= c.power + 1e-9 for c in cands.candidates)
+
+    def test_pairs_expose_sweep(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, PM, CM)
+        assert len(cands.pairs()) == len(cands.candidates)
+
+
+class TestCapacitySweepEffect:
+    def test_lower_capacity_spreads_load(self):
+        # Chain with 10 requests: W'=10 gives one mode-1 server; W'=5 forces
+        # two mode-0 servers with lower total power.
+        t = Tree([None, 0], [Client(1, 5), Client(0, 5)])
+        cands = greedy_power_candidates(t, PM, CM)
+        powers = sorted(c.power for c in cands.candidates)
+        assert powers[0] == pytest.approx(2 * 137.5)
+        assert powers[-1] == pytest.approx(1012.5)

@@ -1,0 +1,78 @@
+"""Tests for :mod:`repro.power.heuristics` (§6 future-work heuristics)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import ModalCostModel
+from repro.power.dp_power_pareto import power_frontier
+from repro.power.greedy_power import greedy_power_candidates
+from repro.power.heuristics import local_search_power, reuse_aware_greedy_power
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.generators import paper_tree, random_preexisting_modes
+from repro.tree.model import Client, Tree
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+
+
+class TestReuseAwareGreedy:
+    def test_reuse_never_worse_on_cost(self):
+        rng = np.random.default_rng(5)
+        tree = paper_tree(50, request_range=(1, 5), rng=rng)
+        pre = random_preexisting_modes(tree, 8, 2, rng=rng, mode=1)
+        plain = greedy_power_candidates(tree, PM, CM, pre)
+        aware = reuse_aware_greedy_power(tree, PM, CM, pre)
+        assert min(c.cost for c in aware.candidates) <= min(
+            c.cost for c in plain.candidates
+        ) + 1e-9
+
+
+class TestLocalSearch:
+    def test_improves_or_matches_greedy(self):
+        rng = np.random.default_rng(9)
+        tree = paper_tree(30, request_range=(1, 5), rng=rng)
+        pre = random_preexisting_modes(tree, 4, 2, rng=rng, mode=1)
+        bound = 40.0
+        seed = greedy_power_candidates(tree, PM, CM, pre).best_under_cost(bound)
+        assert seed is not None
+        improved = local_search_power(tree, PM, CM, bound, pre)
+        assert improved is not None
+        assert improved.power <= seed.power + 1e-9
+        assert improved.cost <= bound + 1e-9
+
+    def test_never_beats_optimal(self):
+        rng = np.random.default_rng(11)
+        tree = paper_tree(20, request_range=(1, 5), rng=rng)
+        pre = random_preexisting_modes(tree, 3, 2, rng=rng, mode=1)
+        bound = 30.0
+        optimal = power_frontier(tree, PM, CM, pre).best_under_cost(bound)
+        heur = local_search_power(tree, PM, CM, bound, pre)
+        assert optimal is not None and heur is not None
+        assert heur.power >= optimal.power - 1e-9
+
+    def test_returns_none_without_feasible_start(self, chain_tree):
+        assert local_search_power(chain_tree, PM, CM, 0.1) is None
+
+    def test_respects_explicit_initial(self, chain_tree):
+        start = greedy_power_candidates(chain_tree, PM, CM).min_power()
+        assert start is not None
+        res = local_search_power(
+            chain_tree, PM, CM, 100.0, initial=start, max_rounds=1
+        )
+        assert res is not None
+        assert res.power <= start.power + 1e-9
+
+    def test_reaches_known_optimum_on_toy(self):
+        # Two W1 servers beat one W2 server; a 1-step slide/add finds it.
+        t = Tree([None, 0, 0], [Client(1, 4), Client(2, 4)])
+        res = local_search_power(t, PM, CM, 100.0)
+        assert res is not None
+        assert res.power == pytest.approx(2 * 137.5)
+
+    def test_round_metadata(self, chain_tree):
+        res = local_search_power(chain_tree, PM, CM, 100.0)
+        assert res is not None
+        assert res.extra["rounds"] >= 1
+        assert res.extra["evaluations"] > 0

@@ -1,0 +1,106 @@
+"""Tests for :mod:`repro.power.modes`."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.power.modes import ModeSet, PowerModel
+
+
+class TestModeSet:
+    def test_basic_properties(self):
+        ms = ModeSet((5, 10))
+        assert ms.n_modes == 2
+        assert ms.max_capacity == 10
+        assert ms.capacity(0) == 5 and ms.capacity(1) == 10
+        assert list(ms) == [5, 10]
+
+    def test_mode_of_boundaries(self):
+        ms = ModeSet((5, 10))
+        assert ms.mode_of(0) == 0  # idle servers run the lowest mode
+        assert ms.mode_of(1) == 0
+        assert ms.mode_of(5) == 0  # W_{i-1} < req <= W_i, inclusive right
+        assert ms.mode_of(6) == 1
+        assert ms.mode_of(10) == 1
+
+    def test_mode_of_three_modes(self):
+        ms = ModeSet((3, 7, 12))
+        assert [ms.mode_of(x) for x in (0, 3, 4, 7, 8, 12)] == [0, 0, 1, 1, 2, 2]
+
+    def test_mode_of_errors(self):
+        ms = ModeSet((5, 10))
+        with pytest.raises(ConfigurationError):
+            ms.mode_of(-1)
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            ms.mode_of(11)
+
+    def test_capacity_index_errors(self):
+        ms = ModeSet((5,))
+        with pytest.raises(ConfigurationError):
+            ms.capacity(1)
+        with pytest.raises(ConfigurationError):
+            ms.capacity(-1)
+
+    def test_construction_errors(self):
+        with pytest.raises(ConfigurationError):
+            ModeSet(())
+        with pytest.raises(ConfigurationError, match="increasing"):
+            ModeSet((5, 5))
+        with pytest.raises(ConfigurationError, match="increasing"):
+            ModeSet((10, 5))
+        with pytest.raises(ConfigurationError):
+            ModeSet((0, 5))
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=5, unique=True))
+    def test_mode_of_is_smallest_covering(self, caps):
+        ms = ModeSet(tuple(sorted(caps)))
+        for load in range(0, ms.max_capacity + 1):
+            m = ms.mode_of(load)
+            assert ms.capacity(m) >= load
+            if m > 0:
+                assert ms.capacity(m - 1) < load
+
+
+class TestPowerModel:
+    def test_equation3(self):
+        pm = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+        assert pm.mode_power(0) == pytest.approx(12.5 + 125.0)
+        assert pm.mode_power(1) == pytest.approx(12.5 + 1000.0)
+
+    def test_paper_experiment3_constants(self):
+        pm = PowerModel.paper_experiment3()
+        # §5.2: P_i = W₁³/10 + W_i³ with W₁=5, W₂=10.
+        assert pm.mode_power(0) == pytest.approx(137.5)
+        assert pm.mode_power(1) == pytest.approx(1012.5)
+
+    def test_load_power_uses_load_determined_mode(self):
+        pm = PowerModel.paper_experiment3()
+        assert pm.load_power(3) == pm.mode_power(0)
+        assert pm.load_power(8) == pm.mode_power(1)
+
+    def test_placement_power_mapping_and_iterable(self):
+        pm = PowerModel.paper_experiment3()
+        assert pm.placement_power({1: 0, 2: 1}) == pytest.approx(137.5 + 1012.5)
+        assert pm.placement_power([0, 0]) == pytest.approx(275.0)
+
+    def test_capacity_scale(self):
+        pm = PowerModel(ModeSet((10, 20)), static_power=0.0, alpha=2.0, capacity_scale=10.0)
+        assert pm.mode_power(0) == pytest.approx(1.0)
+        assert pm.mode_power(1) == pytest.approx(4.0)
+
+    def test_power_strictly_increasing_in_mode(self):
+        pm = PowerModel(ModeSet((2, 5, 9)), static_power=1.0, alpha=2.5)
+        powers = [pm.mode_power(m) for m in range(3)]
+        assert powers == sorted(powers) and len(set(powers)) == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(ModeSet((5,)), static_power=-1.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(ModeSet((5,)), alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(ModeSet((5,)), capacity_scale=0.0)

@@ -1,0 +1,53 @@
+"""Tests for :mod:`repro.power.result`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.costs import ModalCostModel
+from repro.exceptions import InfeasibleError
+from repro.power.modes import ModeSet, PowerModel
+from repro.power.result import modal_from_replicas
+from repro.tree.model import Client, Tree
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+
+
+class TestModalFromReplicas:
+    def test_modes_are_load_determined(self, chain_tree):
+        # replicas {0, 2}: node 2 serves 4 (mode 0), node 0 serves 5 (mode 0)
+        res = modal_from_replicas(chain_tree, [0, 2], PM, CM)
+        assert res.server_modes == {0: 0, 2: 0}
+        assert res.loads == {0: 5, 2: 4}
+
+    def test_high_mode_when_needed(self, chain_tree):
+        res = modal_from_replicas(chain_tree, [0], PM, CM)
+        assert res.server_modes == {0: 1}  # 9 requests -> mode W2
+
+    def test_power_and_cost(self, chain_tree):
+        res = modal_from_replicas(chain_tree, [0], PM, CM, {0: 0})
+        assert res.power == pytest.approx(PM.mode_power(1))
+        # reused with upgrade 0 -> 1: 1 + changed
+        assert res.cost == pytest.approx(1 + 0.001)
+
+    def test_bookkeeping_sets(self, chain_tree):
+        res = modal_from_replicas(chain_tree, [0, 2], PM, CM, {2: 1, 1: 0})
+        assert res.reused == {2}
+        assert res.created == {0}
+        assert res.deleted == {1}
+        assert res.n_replicas == 2
+        assert res.replicas == {0, 2}
+
+    def test_unserved_raises(self, chain_tree):
+        with pytest.raises(InfeasibleError, match="unserved"):
+            modal_from_replicas(chain_tree, [2], PM, CM)
+
+    def test_overload_raises(self):
+        t = Tree([None], [Client(0, 11)])
+        with pytest.raises(InfeasibleError, match="exceed"):
+            modal_from_replicas(t, [0], PM, CM)
+
+    def test_extra_payload_preserved(self, chain_tree):
+        res = modal_from_replicas(chain_tree, [0], PM, CM, extra={"tag": 7})
+        assert res.extra["tag"] == 7

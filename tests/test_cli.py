@@ -1,0 +1,123 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.tree.serialize import tree_to_json
+from repro.tree.generators import paper_tree
+
+
+@pytest.fixture()
+def tree_file(tmp_path):
+    path = tmp_path / "tree.json"
+    path.write_text(tree_to_json(paper_tree(25, rng=3)))
+    return str(path)
+
+
+class TestGenerate:
+    def test_writes_valid_json(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        assert main(["generate", "--nodes", "12", "--seed", "1", "-o", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert len(data["parents"]) == 12
+
+    def test_stdout_output(self, capsys):
+        assert main(["generate", "--nodes", "5", "--seed", "2"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+
+
+class TestSolve:
+    def test_dp_solve(self, tree_file, capsys):
+        assert main(["solve", tree_file, "--capacity", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "replicas" in out and "cost=" in out
+
+    def test_greedy_solve_with_preexisting(self, tree_file, capsys):
+        assert (
+            main(
+                [
+                    "solve", tree_file, "--algorithm", "greedy",
+                    "--preexisting", "1,2,3",
+                ]
+            )
+            == 0
+        )
+        assert "reused=" in capsys.readouterr().out
+
+    def test_random_preexisting(self, tree_file, capsys):
+        assert (
+            main(["solve", tree_file, "--random-preexisting", "5", "--seed", "1"]) == 0
+        )
+
+    def test_show_renders_tree(self, tree_file, capsys):
+        assert main(["solve", tree_file, "--show"]) == 0
+        out = capsys.readouterr().out
+        assert "n0" in out and "[R]" in out
+
+    def test_plan_prints_migration(self, tree_file, capsys):
+        assert main(["solve", tree_file, "--preexisting", "0,1", "--plan"]) == 0
+        out = capsys.readouterr().out
+        assert "server on node" in out
+
+    def test_infeasible_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(
+            json.dumps({"schema": 1, "parents": [None], "clients": [[0, 99]]})
+        )
+        assert main(["solve", str(path), "--capacity", "10"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestPower:
+    def test_frontier_table(self, tree_file, capsys):
+        assert main(["power", tree_file]) == 0
+        out = capsys.readouterr().out
+        assert "cost" in out and "power" in out
+
+    def test_bound_query(self, tree_file, capsys):
+        assert main(["power", tree_file, "--bound", "50"]) == 0
+        assert "bound 50.0" in capsys.readouterr().out
+
+    def test_preexisting_modes_parsed(self, tree_file, capsys):
+        assert main(["power", tree_file, "--preexisting", "1:1,2:0"]) == 0
+
+
+class TestExperiments:
+    def test_exp1_small(self, capsys, monkeypatch, tmp_path):
+        import repro.cli as cli_mod
+        from repro.experiments import Exp1Config
+
+        # Shrink the workload for test speed.
+        monkeypatch.setattr(
+            cli_mod,
+            "Exp1Config",
+            lambda n_trees, **kw: Exp1Config(
+                n_trees=n_trees, n_nodes=25, e_values=(0, 10), **kw
+            ),
+        )
+        csv_path = tmp_path / "out.csv"
+        assert main(["exp1", "--trees", "2", "--csv", str(csv_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "mean gap" in out
+        assert csv_path.read_text().startswith("E,")
+
+    def test_exp3_small(self, capsys, monkeypatch):
+        import repro.cli as cli_mod
+        from repro.experiments import Exp3Config
+
+        monkeypatch.setattr(
+            cli_mod,
+            "Exp3Config",
+            lambda n_trees, **kw: Exp3Config(
+                n_trees=n_trees, n_nodes=20,
+                cost_bounds=(10.0, 20.0, 40.0), **kw
+            ),
+        )
+        assert main(["exp3", "--trees", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out and "peak GR-over-DP" in out

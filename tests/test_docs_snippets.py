@@ -1,0 +1,94 @@
+"""Keep the documentation honest: README/usage code paths must run.
+
+These tests re-execute the documented snippets (inlined, not parsed) so a
+refactor that breaks the README breaks the build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+class TestReadmeQuickstart:
+    def test_cost_quickstart(self):
+        from repro import (
+            UniformCostModel,
+            greedy_placement,
+            paper_tree,
+            replica_update,
+        )
+        from repro.dynamics import RedrawRequests
+
+        tree = paper_tree(n_nodes=100, rng=np.random.default_rng(0))
+        day0 = greedy_placement(tree, capacity=10)
+        day1_workload = RedrawRequests((1, 6)).evolve(tree, np.random.default_rng(1))
+        day1 = replica_update(
+            day1_workload,
+            capacity=10,
+            preexisting=day0.replicas,
+            cost_model=UniformCostModel(create=0.1, delete=0.01),
+        )
+        assert day1.n_replicas > 0
+        assert day1.cost is not None
+
+    def test_power_quickstart(self):
+        from repro import ModalCostModel, greedy_placement, paper_tree
+        from repro.power import PowerModel, power_frontier
+
+        tree = paper_tree(n_nodes=50, request_range=(1, 5), rng=np.random.default_rng(0))
+        day0 = greedy_placement(tree, capacity=10)
+        power_model = PowerModel.paper_experiment3()
+        cost_model = ModalCostModel.uniform(
+            2, create=0.1, delete=0.01, changed=0.001
+        )
+        pre_modes = {v: 1 for v in day0.replicas}
+        frontier = power_frontier(tree, power_model, cost_model, pre_modes)
+        assert frontier.pairs()
+        best = frontier.best_under_cost(1e9)
+        assert best is not None and best.power > 0
+
+
+class TestPackageDocstringExample:
+    def test_runs_as_documented(self):
+        import repro
+
+        # The >>> block in repro.__doc__ (also asserted in test_api).
+        tree = repro.paper_tree(n_nodes=30, rng=np.random.default_rng(0))
+        gr = repro.greedy_placement(tree, capacity=10)
+        dp = repro.replica_update(tree, capacity=10, preexisting=set(gr.replicas))
+        assert dp.n_replicas == gr.n_replicas
+
+
+class TestUsageGuideRecipes:
+    def test_tree_building_forms(self):
+        from repro import Client, Tree, TreeBuilder
+        from repro.experiments import make_preset
+        from repro.tree import paper_tree, tree_from_json, tree_to_json
+
+        b = TreeBuilder()
+        root = b.add_root()
+        site = b.add_node(root)
+        b.add_client(site, requests=4)
+        assert b.build().total_requests == 4
+
+        t = Tree([None, 0, 0], [Client(1, 5), (2, 3)])
+        assert t.total_requests == 8
+        assert make_preset("fig8", rng=0).n_nodes == 50
+        t2 = paper_tree(20, rng=0)
+        assert tree_from_json(tree_to_json(t2)) == t2
+
+    def test_validation_recipes(self):
+        from repro.analysis import locality_report, render_tree
+        from repro.core import evaluate_placement
+        from repro.sim import simulate_placement
+        from repro.tree import paper_tree
+        from repro.core import greedy_placement
+
+        tree = paper_tree(25, rng=3)
+        placement = greedy_placement(tree, 10)
+        assert evaluate_placement(tree, placement.replicas, 10).ok
+        report = simulate_placement(tree, placement.replicas, 10, duration=5)
+        assert report.max_backlog == 0
+        assert "n0" in render_tree(tree, replicas=placement.replicas)
+        assert locality_report(tree, placement.replicas).unserved_requests == 0

@@ -1,0 +1,136 @@
+"""Failure injection: every bad input must fail loudly and precisely.
+
+Production users feed the library hand-written JSON, half-migrated
+configs and questionable cost tables; each scenario here pins (a) that the
+failure is detected, (b) at the right layer, (c) with an actionable
+message.  Silent wrong answers are the only unacceptable outcome.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.core.dp_withpre import replica_update
+from repro.core.greedy import greedy_placement
+from repro.exceptions import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    TreeStructureError,
+    WorkloadError,
+)
+from repro.power.dp_power_pareto import power_frontier
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.model import Client, Tree
+from repro.tree.serialize import tree_from_json
+
+
+class TestMalformedSerializedTrees:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all {",
+            json.dumps({"schema": 1}),  # missing keys
+            json.dumps({"schema": 1, "parents": [None], "clients": [[0]]}),
+            json.dumps({"schema": 2, "parents": [None], "clients": []}),
+            json.dumps({"schema": 1, "parents": "nope", "clients": []}),
+        ],
+    )
+    def test_rejected_as_configuration_error(self, payload):
+        with pytest.raises(ConfigurationError):
+            tree_from_json(payload)
+
+    def test_structurally_broken_tree_rejected_as_structure_error(self):
+        payload = json.dumps(
+            {"schema": 1, "parents": [None, 2, 1], "clients": []}
+        )
+        with pytest.raises(TreeStructureError):
+            tree_from_json(payload)
+
+    def test_bad_client_rejected_as_workload_error(self):
+        payload = json.dumps(
+            {"schema": 1, "parents": [None], "clients": [[0, -5]]}
+        )
+        with pytest.raises(WorkloadError):
+            tree_from_json(payload)
+
+    def test_all_failures_share_the_base_class(self):
+        for payload in ("{bad", json.dumps({"schema": 1, "parents": [None, 2, 1], "clients": []})):
+            with pytest.raises(ReproError):
+                tree_from_json(payload)
+
+
+class TestHostileWorkloads:
+    def test_huge_requests_detected_at_the_offending_node(self):
+        t = Tree([None, 0, 1], [Client(2, 10**9)])
+        with pytest.raises(InfeasibleError) as exc:
+            greedy_placement(t, 10)
+        assert exc.value.node == 2
+
+    def test_zero_capacity_everywhere(self):
+        t = Tree([None], [Client(0, 1)])
+        for call in (
+            lambda: greedy_placement(t, 0),
+            lambda: replica_update(t, 0),
+        ):
+            with pytest.raises(ConfigurationError):
+                call()
+
+    def test_aggregate_overload_across_many_clients(self):
+        # 11 clients of 1 request on one node, W=10: individually harmless,
+        # jointly infeasible.
+        t = Tree([None], [Client(0, 1) for _ in range(11)])
+        with pytest.raises(InfeasibleError):
+            replica_update(t, 10)
+
+    def test_message_names_capacity_and_load(self):
+        t = Tree([None], [Client(0, 42)])
+        with pytest.raises(InfeasibleError, match="42.*W=10"):
+            replica_update(t, 10)
+
+
+class TestHostilePowerConfigs:
+    def test_non_monotone_modes(self):
+        with pytest.raises(ConfigurationError, match="increasing"):
+            ModeSet((10, 5))
+
+    def test_cost_model_mode_mismatch_caught_before_solving(self, chain_tree):
+        pm = PowerModel(ModeSet((5, 10)), static_power=1.0, alpha=2.0)
+        with pytest.raises(ConfigurationError, match="modes"):
+            power_frontier(chain_tree, pm, ModalCostModel.uniform(3))
+
+    def test_preexisting_mode_out_of_range(self, chain_tree):
+        pm = PowerModel(ModeSet((5, 10)), static_power=1.0, alpha=2.0)
+        cm = ModalCostModel.uniform(2)
+        with pytest.raises(ConfigurationError, match="invalid mode"):
+            power_frontier(chain_tree, pm, cm, {0: 3})
+
+    def test_single_mode_degenerates_to_uniform(self, chain_tree):
+        # M=1 is legal and must behave like the cost-only problem.
+        pm = PowerModel(ModeSet((10,)), static_power=1.0, alpha=2.0)
+        cm = ModalCostModel.uniform(1, create=0.1, delete=0.01)
+        frontier = power_frontier(chain_tree, pm, cm)
+        best = frontier.min_power()
+        uniform = replica_update(
+            chain_tree, 10, (), UniformCostModel(0.1, 0.01)
+        )
+        assert best.n_replicas == uniform.n_replicas
+
+    def test_negative_costs_rejected_in_every_model(self):
+        with pytest.raises(ConfigurationError):
+            UniformCostModel(create=-0.1)
+        with pytest.raises(ConfigurationError):
+            ModalCostModel.uniform(2, delete=-1.0)
+
+
+class TestRngMisuse:
+    def test_generators_accept_ints_and_generators_only(self):
+        from repro.tree.generators import paper_tree
+
+        a = paper_tree(10, rng=5)
+        b = paper_tree(10, rng=np.random.default_rng(5))
+        assert a == b  # int seeds behave like fresh default_rng(seed)

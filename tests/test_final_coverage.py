@@ -1,0 +1,136 @@
+"""Last-mile coverage: cross-cutting behaviours not pinned elsewhere."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.dynamics.migration import StepKind, plan_migration
+from repro.experiments import (
+    Exp2Config,
+    Exp3Config,
+    run_experiment2,
+    run_experiment2_parallel,
+    run_experiment3,
+    run_experiment3_parallel,
+)
+from repro.power.exhaustive_power import exhaustive_power_frontier
+from repro.power.greedy_power import greedy_power_candidates
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+
+class TestParallelSequentialEquivalence:
+    """A single-worker parallel run is the sequential run, exactly."""
+
+    def test_exp2(self):
+        cfg = Exp2Config(n_trees=2, n_nodes=20, n_steps=3, seed=13)
+        seq = run_experiment2(cfg)
+        par = run_experiment2_parallel(cfg, n_workers=1)
+        assert [s.mean for s in par.dp_cumulative] == pytest.approx(
+            [s.mean for s in seq.dp_cumulative]
+        )
+        assert par.gap_histogram == pytest.approx(seq.gap_histogram)
+
+    def test_exp3(self):
+        cfg = Exp3Config(n_trees=2, n_nodes=15, cost_bounds=(10.0, 30.0), seed=13)
+        seq = run_experiment3(cfg)
+        par = run_experiment3_parallel(cfg, n_workers=1)
+        assert par.rows() == pytest.approx(seq.rows())
+
+
+class TestThreeModeGreedyPower:
+    PM = PowerModel(ModeSet((3, 6, 10)), static_power=2.0, alpha=2.0)
+    CM = ModalCostModel.uniform(3, create=0.1, delete=0.01, changed=0.001)
+
+    def test_sweep_covers_all_capacities(self, chain_tree):
+        cands = greedy_power_candidates(chain_tree, self.PM, self.CM)
+        assert len(cands.candidates) >= 1
+        # Every candidate's modes are valid for a 3-mode set.
+        for c in cands.candidates:
+            assert all(0 <= m <= 2 for m in c.server_modes.values())
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_trees(max_nodes=7, max_requests=5))
+    def test_never_beats_exhaustive_three_modes(self, tree):
+        from repro.exceptions import InfeasibleError
+
+        try:
+            frontier = exhaustive_power_frontier(tree, self.PM, self.CM)
+        except InfeasibleError:
+            return
+        for cost, power in greedy_power_candidates(tree, self.PM, self.CM).pairs():
+            assert any(
+                fc <= cost + 1e-6 and fp <= power + 1e-6 for fc, fp in frontier
+            )
+
+
+class TestMigrationPlanProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.frozensets(st.integers(0, 12)),
+        st.frozensets(st.integers(0, 12)),
+    )
+    def test_step_partition(self, old, new):
+        plan = plan_migration(old, new)
+        nodes_touched = {s.node for s in plan.steps}
+        assert nodes_touched == old | new
+        assert {s.node for s in plan.by_kind(StepKind.CREATE)} == new - old
+        assert {s.node for s in plan.by_kind(StepKind.DELETE)} == old - new
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.frozensets(st.integers(0, 12)),
+        st.frozensets(st.integers(0, 12)),
+    )
+    def test_make_before_break_ordering(self, old, new):
+        plan = plan_migration(old, new)
+        kinds = [s.kind for s in plan.steps]
+        if StepKind.CREATE in kinds and StepKind.DELETE in kinds:
+            last_create = max(i for i, k in enumerate(kinds) if k is StepKind.CREATE)
+            first_delete = min(i for i, k in enumerate(kinds) if k is StepKind.DELETE)
+            assert last_create < first_delete
+
+    def test_zero_cost_for_identity(self):
+        cm = UniformCostModel(0.5, 0.5)
+        plan = plan_migration({1, 2}, {1, 2})
+        assert plan.cost(cm) == pytest.approx(2.0)  # operating cost only
+
+
+class TestCliEdges:
+    def test_scaling_command(self, capsys, monkeypatch):
+        from repro.cli import main
+        import repro.cli as cli_mod
+
+        monkeypatch.setattr(
+            cli_mod,
+            "run_scaling",
+            lambda: __import__("repro.experiments", fromlist=["run_scaling"]).run_scaling(
+                cost_sizes=((15, 3),), power_nopre_sizes=(), power_withpre_sizes=()
+            ),
+        )
+        assert main(["scaling"]) == 0
+        assert "regime" in capsys.readouterr().out
+
+    def test_generate_preset(self, capsys):
+        from repro.cli import main
+
+        assert main(["generate", "--preset", "fig8", "--seed", "1"]) == 0
+        import json
+
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["parents"]) == 50
+
+    def test_power_empty_preexisting_string(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.tree.serialize import tree_to_json
+
+        t = Tree([None, 0], [Client(1, 4)])
+        p = tmp_path / "t.json"
+        p.write_text(tree_to_json(t))
+        assert main(["power", str(p), "--preexisting", ""]) == 0

@@ -1,0 +1,136 @@
+"""End-to-end integration scenarios.
+
+Each test walks a realistic pipeline across subsystem boundaries —
+generate → solve → migrate → simulate → analyse — so interface drift
+between packages cannot hide behind per-module suites.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ModalCostModel, UniformCostModel
+from repro.analysis import locality_report, render_tree
+from repro.core import evaluate_placement, greedy_placement, replica_update
+from repro.dynamics import (
+    DPUpdateStrategy,
+    GreedyStrategy,
+    RedrawRequests,
+    StepKind,
+    plan_migration,
+    run_session,
+)
+from repro.experiments import make_preset
+from repro.power import (
+    PowerModel,
+    greedy_power_candidates,
+    power_frontier,
+)
+from repro.sim import simulate_placement
+from repro.tree import tree_from_json, tree_to_json
+
+CAPACITY = 10
+
+
+class TestDayInTheLifePipeline:
+    """The full operator story on one deterministic instance."""
+
+    @pytest.fixture(scope="class")
+    def tree(self):
+        return make_preset("fig8", rng=np.random.default_rng(99))
+
+    def test_pipeline(self, tree):
+        # Day 0: greenfield placement.
+        day0 = greedy_placement(tree, CAPACITY)
+        assert evaluate_placement(tree, day0.replicas, CAPACITY).ok
+
+        # The placement serves a simulated day exactly as the algebra says.
+        report = simulate_placement(tree, day0.replicas, CAPACITY, duration=24)
+        assert report.max_backlog == 0
+        assert report.total_processed == tree.total_requests * 24
+
+        # Day 1: demand moves; optimal update against day-0 servers.
+        day1_workload = RedrawRequests((1, 5)).evolve(
+            tree, np.random.default_rng(100)
+        )
+        day1 = replica_update(
+            day1_workload, CAPACITY, day0.replicas, UniformCostModel(0.1, 0.01)
+        )
+        assert day1.cost is not None
+
+        # The migration plan prices identically to the solver's cost model.
+        plan = plan_migration(day0.replicas, day1.replicas)
+        assert plan.cost(UniformCostModel(0.1, 0.01)) == pytest.approx(day1.cost)
+        assert plan.n_created == day1.n_created
+        assert plan.n_deleted == day1.n_deleted
+
+        # Executing the plan yields a placement that serves the new demand.
+        applied = (frozenset(day0.replicas) | {
+            s.node for s in plan.by_kind(StepKind.CREATE)
+        }) - {s.node for s in plan.by_kind(StepKind.DELETE)}
+        assert applied == day1.replicas
+        report1 = simulate_placement(day1_workload, applied, CAPACITY, duration=24)
+        assert report1.max_backlog == 0
+
+        # Locality stays tight and the tree renders.
+        loc = locality_report(day1_workload, day1.replicas)
+        assert loc.unserved_requests == 0
+        assert "[R]" in render_tree(
+            day1_workload, replicas=day1.replicas, preexisting=day0.replicas
+        )
+
+
+class TestPowerPipeline:
+    def test_budgeted_reconfiguration(self):
+        tree = make_preset("fig8", rng=np.random.default_rng(7))
+        pm = PowerModel.paper_experiment3()
+        cm = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+        base = greedy_placement(tree, CAPACITY)
+        pre = {v: 1 for v in base.replicas}
+
+        frontier = power_frontier(tree, pm, cm, pre)
+        gr = greedy_power_candidates(tree, pm, cm, pre)
+        budget = (frontier.min_cost() + frontier.pairs()[-1][0]) / 2
+        optimal = frontier.best_under_cost(budget)
+        baseline = gr.best_under_cost(budget)
+        assert optimal is not None
+        if baseline is not None:
+            assert optimal.power <= baseline.power + 1e-9
+
+        # The modal migration plan prices like Equation 4.
+        plan = plan_migration(pre, dict(optimal.server_modes))
+        assert plan.cost(cm) == pytest.approx(optimal.cost)
+
+        # The chosen placement actually carries the load in simulation.
+        report = simulate_placement(
+            tree, optimal.server_modes.keys(), CAPACITY, duration=12
+        )
+        assert report.max_backlog == 0
+        for v, load in optimal.loads.items():
+            assert report.processed[v] == load * 12
+
+
+class TestSerializationPipeline:
+    def test_tree_survives_transport_and_solving(self):
+        tree = make_preset("fig4", rng=np.random.default_rng(11))
+        clone = tree_from_json(tree_to_json(tree))
+        assert clone == tree
+        a = greedy_placement(tree, CAPACITY)
+        b = greedy_placement(clone, CAPACITY)
+        assert a.replicas == b.replicas
+
+
+class TestSessionConsistency:
+    def test_session_records_match_direct_solves(self):
+        tree = make_preset("fig4", rng=np.random.default_rng(21))
+        session = run_session(
+            tree, CAPACITY, 3, RedrawRequests((1, 6)),
+            {"DP": DPUpdateStrategy(), "GR": GreedyStrategy()},
+            rng=np.random.default_rng(22),
+        )
+        # Re-solve step 1 by hand with the recorded pre-existing set.
+        workload = session.workloads[1]
+        pre = session.tracks["DP"][0].replicas
+        direct = DPUpdateStrategy().place(workload, CAPACITY, pre)
+        assert direct.replicas == session.tracks["DP"][1].replicas

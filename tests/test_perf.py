@@ -1,0 +1,82 @@
+"""Tests for :mod:`repro.perf` (solver instrumentation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.costs import ModalCostModel, UniformCostModel
+from repro.core.dp_withpre import replica_update
+from repro.perf import (
+    CoreDPStats,
+    ParetoDPStats,
+    instrument_pareto_frontier,
+    instrument_replica_update,
+)
+from repro.power import PowerModel
+from repro.power.dp_power_pareto import power_frontier
+from repro.power.modes import ModeSet
+from repro.tree.generators import paper_tree, random_preexisting, random_preexisting_modes
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+
+
+class TestCoreDPStats:
+    def test_counts_populated(self, rng):
+        tree = paper_tree(40, rng=rng)
+        pre = random_preexisting(tree, 10, rng=rng)
+        result, stats = instrument_replica_update(tree, 10, pre)
+        assert stats.merges == 39  # one merge per non-root internal child
+        assert stats.total_cells > 0
+        assert stats.max_cells <= (11) * (31)  # bounded by (E+1)(N-E+1)
+        assert stats.max_e_dim <= 11
+        assert result.n_replicas > 0
+
+    def test_stats_do_not_change_result(self, rng):
+        tree = paper_tree(30, rng=rng)
+        pre = random_preexisting(tree, 8, rng=rng)
+        plain = replica_update(tree, 10, pre)
+        instrumented, _ = instrument_replica_update(tree, 10, pre)
+        assert plain.replicas == instrumented.replicas
+        assert plain.cost == instrumented.cost
+
+    def test_grows_with_preexisting(self):
+        tree = paper_tree(60, rng=np.random.default_rng(4))
+        _, small = instrument_replica_update(
+            tree, 10, random_preexisting(tree, 5, rng=1)
+        )
+        _, large = instrument_replica_update(
+            tree, 10, random_preexisting(tree, 40, rng=1)
+        )
+        assert large.total_cells > small.total_cells
+
+    def test_as_dict_keys(self):
+        d = CoreDPStats().as_dict()
+        assert set(d) == {"merges", "total_cells", "max_cells", "max_e_dim", "max_n_dim"}
+
+
+class TestParetoDPStats:
+    def test_counts_populated(self, rng):
+        tree = paper_tree(40, request_range=(1, 5), rng=rng)
+        pre = random_preexisting_modes(tree, 5, 2, rng=rng, mode=1)
+        frontier, stats = instrument_pareto_frontier(tree, PM, CM, pre)
+        assert stats.merges == 39
+        assert stats.labels_created >= stats.labels_kept > 0
+        assert 0.0 <= stats.prune_ratio < 1.0
+        assert stats.max_flow_keys <= PM.modes.max_capacity + 1
+        assert len(frontier) > 0
+
+    def test_stats_do_not_change_frontier(self, rng):
+        tree = paper_tree(30, request_range=(1, 5), rng=rng)
+        plain = power_frontier(tree, PM, CM).pairs()
+        frontier, _ = instrument_pareto_frontier(tree, PM, CM)
+        assert frontier.pairs() == plain
+
+    def test_pruning_actually_prunes(self, rng):
+        tree = paper_tree(60, request_range=(1, 5), rng=rng)
+        _, stats = instrument_pareto_frontier(tree, PM, CM)
+        assert stats.prune_ratio > 0.1  # dominance removes a real fraction
+
+    def test_empty_prune_ratio(self):
+        assert ParetoDPStats().prune_ratio == 0.0

@@ -1,0 +1,128 @@
+"""Tests for :mod:`repro.sim` — the discrete-event validation substrate.
+
+The headline invariant: for any *valid* placement under deterministic
+arrivals, the simulation processes exactly ``duration × req_j`` requests at
+each server with zero backlog — the solvers' algebra is what a running
+system observes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dp_nopre import dp_nopre_placement
+from repro.core.greedy import greedy_placement
+from repro.core.solution import server_loads
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.sim import simulate_placement
+from repro.tree.generators import paper_tree
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+DURATION = 10
+
+
+class TestUniformArrivalsMatchAlgebra:
+    def test_single_server(self, chain_tree):
+        report = simulate_placement(chain_tree, [0], 10, DURATION)
+        assert report.processed == {0: 9 * DURATION}
+        assert report.max_backlog == 0
+        assert report.final_backlog == 0
+        assert report.unserved == 0
+        assert report.conservation_ok()
+
+    def test_matches_server_loads_exactly(self, rng):
+        tree = paper_tree(40, rng=rng)
+        placement = greedy_placement(tree, 10)
+        report = simulate_placement(tree, placement.replicas, 10, DURATION)
+        loads, _ = server_loads(tree, placement.replicas)
+        assert report.max_backlog == 0
+        for v, load in loads.items():
+            assert report.processed[v] == load * DURATION
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=10, max_requests=6))
+    def test_any_valid_placement_never_queues(self, tree):
+        try:
+            placement = dp_nopre_placement(tree, 10)
+        except InfeasibleError:
+            return
+        report = simulate_placement(tree, placement.replicas, 10, 5)
+        assert report.max_backlog == 0
+        assert report.final_backlog == 0
+        assert report.total_processed == tree.total_requests * 5
+        assert report.conservation_ok()
+
+    def test_utilization(self, chain_tree):
+        report = simulate_placement(chain_tree, [0], 10, DURATION)
+        util = report.utilization(10)
+        assert util[0] == pytest.approx(0.9)
+
+
+class TestOverloadedPlacements:
+    def test_backlog_grows_linearly(self):
+        # 12 requests/unit into a W=10 server: 2 queue per unit.
+        t = Tree([None], [Client(0, 12)])
+        report = simulate_placement(t, [0], 10, DURATION)
+        # Every window runs at full capacity, so exactly 2 requests queue
+        # per unit and the server processes 10 * DURATION in total.
+        assert report.processed == {0: 10 * DURATION}
+        assert report.final_backlog == 2 * DURATION
+        assert report.max_backlog >= report.final_backlog
+        assert report.conservation_ok()
+
+    def test_unserved_counted(self, chain_tree):
+        # Replica only at node 1: the root's own client has no server.
+        report = simulate_placement(chain_tree, [1], 10, DURATION)
+        assert report.unserved == 2 * DURATION
+        assert report.conservation_ok()
+
+    def test_empty_placement_everything_unserved(self, chain_tree):
+        report = simulate_placement(chain_tree, [], 10, DURATION)
+        assert report.unserved == chain_tree.total_requests * DURATION
+        assert report.total_processed == 0
+
+
+class TestPoissonArrivals:
+    def test_conservation_and_rate(self, rng):
+        tree = paper_tree(20, client_prob=1.0, rng=rng)
+        placement = greedy_placement(tree, 10)
+        report = simulate_placement(
+            tree, placement.replicas, 10, 200, arrivals="poisson", rng=rng
+        )
+        assert report.conservation_ok()
+        expected = tree.total_requests * 200
+        assert report.total_arrivals == pytest.approx(expected, rel=0.1)
+
+    def test_bursts_create_transient_backlog(self):
+        # A server running at exactly full utilisation under Poisson load
+        # must queue sometimes.
+        t = Tree([None], [Client(0, 10)])
+        report = simulate_placement(
+            t, [0], 10, 300, arrivals="poisson", rng=np.random.default_rng(0)
+        )
+        assert report.max_backlog > 0
+        assert report.conservation_ok()
+
+    def test_reproducible_with_seed(self, chain_tree):
+        a = simulate_placement(chain_tree, [0], 10, 50, arrivals="poisson", rng=7)
+        b = simulate_placement(chain_tree, [0], 10, 50, arrivals="poisson", rng=7)
+        assert a.processed == b.processed
+        assert a.arrivals == b.arrivals
+
+
+class TestValidation:
+    def test_bad_capacity(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            simulate_placement(chain_tree, [0], 0, 5)
+
+    def test_bad_duration(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            simulate_placement(chain_tree, [0], 10, 0)
+
+    def test_bad_arrival_model(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            simulate_placement(chain_tree, [0], 10, 5, arrivals="bursty")

@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.tree.builders`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TreeStructureError, WorkloadError
+from repro.tree.builders import TreeBuilder
+
+
+class TestTreeBuilder:
+    def test_basic_build(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        a = b.add_node(r)
+        b.add_client(a, 4)
+        t = b.build()
+        assert t.n_nodes == 2
+        assert t.parent(a) == r
+        assert t.client_load(a) == 4
+
+    def test_add_nodes_batch(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        kids = b.add_nodes(r, 4)
+        assert kids == [1, 2, 3, 4]
+        t = b.build()
+        assert t.children(r) == (1, 2, 3, 4)
+
+    def test_n_nodes_tracks_growth(self):
+        b = TreeBuilder()
+        assert b.n_nodes == 0
+        b.add_root()
+        assert b.n_nodes == 1
+
+    def test_double_root_rejected(self):
+        b = TreeBuilder()
+        b.add_root()
+        with pytest.raises(TreeStructureError, match="root already exists"):
+            b.add_root()
+
+    def test_node_before_root_rejected(self):
+        with pytest.raises(TreeStructureError, match="add_root"):
+            TreeBuilder().add_node(0)
+
+    def test_unknown_parent_rejected(self):
+        b = TreeBuilder()
+        b.add_root()
+        with pytest.raises(TreeStructureError, match="unknown parent"):
+            b.add_node(5)
+
+    def test_client_on_unknown_node_rejected(self):
+        b = TreeBuilder()
+        b.add_root()
+        with pytest.raises(WorkloadError, match="unknown node"):
+            b.add_client(3, 1)
+
+    def test_client_validation_delegated(self):
+        b = TreeBuilder()
+        b.add_root()
+        with pytest.raises(WorkloadError):
+            b.add_client(0, 0)
+
+    def test_builder_reusable_for_multiple_builds(self):
+        b = TreeBuilder()
+        r = b.add_root()
+        t1 = b.build()
+        b.add_node(r)
+        t2 = b.build()
+        assert t1.n_nodes == 1 and t2.n_nodes == 2

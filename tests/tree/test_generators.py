@@ -1,0 +1,212 @@
+"""Tests for :mod:`repro.tree.generators`."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import (
+    attach_random_clients,
+    attach_zipf_clients,
+    balanced_tree,
+    caterpillar_tree,
+    paper_tree,
+    path_tree,
+    random_preexisting,
+    random_preexisting_modes,
+    random_recursive_tree,
+    star_tree,
+)
+from repro.tree.metrics import tree_stats
+
+
+class TestPaperTree:
+    def test_exact_node_count(self, rng):
+        t = paper_tree(n_nodes=100, rng=rng)
+        assert t.n_nodes == 100
+
+    def test_fat_branching_in_range(self, rng):
+        t = paper_tree(n_nodes=200, children_range=(6, 9), rng=rng)
+        # All internal non-leaves except possibly the last-filled node.
+        counts = [len(t.children(v)) for v in range(t.n_nodes)]
+        wide = [c for c in counts if c > 0]
+        assert max(wide) <= 9
+        assert sum(1 for c in wide if c < 6) <= 1
+
+    def test_high_trees_are_taller_than_fat_trees(self):
+        fat = paper_tree(100, children_range=(6, 9), rng=np.random.default_rng(0))
+        high = paper_tree(100, children_range=(2, 4), rng=np.random.default_rng(0))
+        assert high.height > fat.height
+
+    def test_request_range_respected(self, rng):
+        t = paper_tree(n_nodes=80, request_range=(1, 6), client_prob=1.0, rng=rng)
+        assert t.n_clients == 80
+        assert all(1 <= c.requests <= 6 for c in t.clients)
+
+    def test_client_probability_zero_and_one(self, rng):
+        assert paper_tree(30, client_prob=0.0, rng=rng).n_clients == 0
+        assert paper_tree(30, client_prob=1.0, rng=rng).n_clients == 30
+
+    def test_determinism_by_seed(self):
+        a = paper_tree(50, rng=np.random.default_rng(99))
+        b = paper_tree(50, rng=np.random.default_rng(99))
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = paper_tree(50, rng=np.random.default_rng(1))
+        b = paper_tree(50, rng=np.random.default_rng(2))
+        assert a != b
+
+    def test_bad_children_range(self):
+        with pytest.raises(ConfigurationError):
+            paper_tree(10, children_range=(0, 3))
+        with pytest.raises(ConfigurationError):
+            paper_tree(10, children_range=(5, 2))
+
+    def test_bad_node_count(self):
+        with pytest.raises(ConfigurationError):
+            paper_tree(0)
+
+
+class TestAttachClients:
+    def test_bad_probability(self):
+        with pytest.raises(ConfigurationError):
+            attach_random_clients([None], client_prob=1.5)
+
+    def test_bad_request_range(self):
+        with pytest.raises(ConfigurationError):
+            attach_random_clients([None], request_range=(0, 3))
+        with pytest.raises(ConfigurationError):
+            attach_random_clients([None], request_range=(4, 2))
+
+
+class TestZipfClients:
+    def test_range_respected(self):
+        parents = [None] + [0] * 200
+        t = attach_zipf_clients(parents, client_prob=1.0, max_requests=6, rng=1)
+        assert t.n_clients == 201
+        assert all(1 <= c.requests <= 6 for c in t.clients)
+
+    def test_heavy_tail_skews_low(self):
+        parents = [None] + [0] * 500
+        t = attach_zipf_clients(
+            parents, client_prob=1.0, max_requests=6, exponent=2.0, rng=2
+        )
+        ones = sum(1 for c in t.clients if c.requests == 1)
+        sixes = sum(1 for c in t.clients if c.requests == 6)
+        assert ones > 5 * sixes  # Zipf mass concentrates on small volumes
+
+    def test_deterministic(self):
+        parents = [None, 0, 0]
+        a = attach_zipf_clients(parents, rng=7)
+        b = attach_zipf_clients(parents, rng=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            attach_zipf_clients([None], client_prob=2.0)
+        with pytest.raises(ConfigurationError):
+            attach_zipf_clients([None], max_requests=0)
+        with pytest.raises(ConfigurationError):
+            attach_zipf_clients([None], exponent=0.0)
+
+    def test_solvers_handle_zipf_workloads(self):
+        from repro.core.dp_nopre import dp_nopre_placement
+        from repro.core.greedy import greedy_placement
+
+        parents = [None] + [0] * 3 + [1] * 2 + [2] * 2
+        t = attach_zipf_clients(parents, client_prob=1.0, max_requests=6, rng=3)
+        gr = greedy_placement(t, 10)
+        dp = dp_nopre_placement(t, 10)
+        assert gr.n_replicas == dp.n_replicas
+
+
+class TestShapeGenerators:
+    def test_balanced_tree_size(self):
+        t = balanced_tree(3, 2)
+        assert t.n_nodes == 1 + 3 + 9
+        assert t.height == 2
+
+    def test_balanced_tree_height_zero(self):
+        assert balanced_tree(3, 0).n_nodes == 1
+
+    def test_balanced_tree_errors(self):
+        with pytest.raises(ConfigurationError):
+            balanced_tree(0, 2)
+        with pytest.raises(ConfigurationError):
+            balanced_tree(2, -1)
+
+    def test_path_tree(self):
+        t = path_tree(5)
+        assert t.n_nodes == 5 and t.height == 4
+        assert tree_stats(t).max_branching == 1
+
+    def test_star_tree(self):
+        t = star_tree(6)
+        assert t.n_nodes == 7 and t.height == 1
+        assert len(t.children(0)) == 6
+
+    def test_star_tree_zero_leaves(self):
+        assert star_tree(0).n_nodes == 1
+
+    def test_caterpillar(self):
+        t = caterpillar_tree(4, legs_per_node=2)
+        assert t.n_nodes == 4 + 8
+        assert t.height == 4  # spine depth 3 + leg
+
+    def test_caterpillar_errors(self):
+        with pytest.raises(ConfigurationError):
+            caterpillar_tree(0)
+        with pytest.raises(ConfigurationError):
+            caterpillar_tree(3, legs_per_node=-1)
+
+    def test_random_recursive_tree(self, rng):
+        t = random_recursive_tree(40, rng=rng)
+        assert t.n_nodes == 40
+
+    def test_path_errors(self):
+        with pytest.raises(ConfigurationError):
+            path_tree(0)
+
+
+class TestPreexistingSamplers:
+    def test_counts_and_membership(self, rng):
+        t = paper_tree(30, rng=rng)
+        pre = random_preexisting(t, 10, rng=rng)
+        assert len(pre) == 10
+        assert all(0 <= v < 30 for v in pre)
+
+    def test_full_and_empty(self, rng):
+        t = paper_tree(12, rng=rng)
+        assert random_preexisting(t, 0, rng=rng) == frozenset()
+        assert len(random_preexisting(t, 12, rng=rng)) == 12
+
+    def test_count_out_of_range(self, rng):
+        t = paper_tree(5, rng=rng)
+        with pytest.raises(ConfigurationError):
+            random_preexisting(t, 6, rng=rng)
+        with pytest.raises(ConfigurationError):
+            random_preexisting(t, -1, rng=rng)
+
+    def test_modes_fixed(self, rng):
+        t = paper_tree(20, rng=rng)
+        pre = random_preexisting_modes(t, 5, 2, rng=rng, mode=1)
+        assert len(pre) == 5
+        assert set(pre.values()) == {1}
+
+    def test_modes_random_in_range(self, rng):
+        t = paper_tree(20, rng=rng)
+        pre = random_preexisting_modes(t, 20, 3, rng=rng)
+        assert set(pre.values()) <= {0, 1, 2}
+
+    def test_modes_errors(self, rng):
+        t = paper_tree(5, rng=rng)
+        with pytest.raises(ConfigurationError):
+            random_preexisting_modes(t, 2, 0, rng=rng)
+        with pytest.raises(ConfigurationError):
+            random_preexisting_modes(t, 2, 2, rng=rng, mode=5)
+
+    def test_int_seed_accepted_everywhere(self):
+        t = paper_tree(10, rng=3)
+        assert random_preexisting(t, 3, rng=3) == random_preexisting(t, 3, rng=3)

@@ -1,0 +1,48 @@
+"""Tests for :mod:`repro.tree.metrics`."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.tree.generators import paper_tree
+from repro.tree.metrics import tree_stats
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+
+class TestTreeStats:
+    def test_chain_stats(self, chain_tree):
+        s = tree_stats(chain_tree)
+        assert s.n_nodes == 3
+        assert s.n_clients == 3
+        assert s.total_requests == 9
+        assert s.height == 2
+        assert s.max_branching == 1
+        assert s.internal_leaves == 1
+        assert s.max_direct_load == 4
+
+    def test_single_node(self):
+        s = tree_stats(Tree([None]))
+        assert s.mean_branching == 0.0
+        assert s.internal_leaves == 1
+        assert s.max_direct_load == 0
+
+    def test_as_dict_keys(self, chain_tree):
+        d = tree_stats(chain_tree).as_dict()
+        assert {"n_nodes", "height", "mean_branching"} <= set(d)
+
+    def test_fat_vs_high_mean_branching(self):
+        fat = tree_stats(paper_tree(100, children_range=(6, 9), rng=0))
+        high = tree_stats(paper_tree(100, children_range=(2, 4), rng=0))
+        assert fat.mean_branching > high.mean_branching
+        assert high.height > fat.height
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=14))
+    def test_consistency(self, tree):
+        s = tree_stats(tree)
+        assert s.n_nodes == tree.n_nodes
+        assert s.total_requests == tree.total_requests
+        assert 0 <= s.mean_depth <= s.height
+        assert s.internal_leaves >= 1

@@ -1,0 +1,70 @@
+"""Tests for :mod:`repro.tree.nxinterop`."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import TreeStructureError
+from repro.tree.model import Client, Tree
+from repro.tree.nxinterop import from_networkx, to_networkx
+
+from tests.conftest import small_trees
+
+
+class TestToNetworkx:
+    def test_node_and_edge_counts(self, chain_tree):
+        g = to_networkx(chain_tree)
+        internals = [n for n, d in g.nodes(data=True) if d["kind"] == "internal"]
+        clients = [n for n, d in g.nodes(data=True) if d["kind"] == "client"]
+        assert len(internals) == 3 and len(clients) == 3
+        assert g.number_of_edges() == 2 + 3
+
+    def test_internal_subgraph_is_arborescence(self, chain_tree):
+        g = to_networkx(chain_tree)
+        internals = [n for n, d in g.nodes(data=True) if d["kind"] == "internal"]
+        assert nx.is_arborescence(g.subgraph(internals))
+
+    def test_client_attributes(self, chain_tree):
+        g = to_networkx(chain_tree)
+        requests = sorted(
+            d["requests"] for _, d in g.nodes(data=True) if d["kind"] == "client"
+        )
+        assert requests == [2, 3, 4]
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(small_trees(max_nodes=12))
+    def test_round_trip(self, tree):
+        assert from_networkx(to_networkx(tree)) == tree
+
+
+class TestFromNetworkxErrors:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(TreeStructureError, match="no internal nodes"):
+            from_networkx(nx.DiGraph())
+
+    def test_cycle_rejected(self):
+        g = nx.DiGraph()
+        g.add_node(("node", 0), kind="internal")
+        g.add_node(("node", 1), kind="internal")
+        g.add_edge(("node", 0), ("node", 1))
+        g.add_edge(("node", 1), ("node", 0))
+        with pytest.raises(TreeStructureError, match="not a rooted tree"):
+            from_networkx(g)
+
+    def test_non_contiguous_ids_rejected(self):
+        g = nx.DiGraph()
+        g.add_node(("node", 0), kind="internal")
+        g.add_node(("node", 5), kind="internal")
+        g.add_edge(("node", 0), ("node", 5))
+        with pytest.raises(TreeStructureError, match="contiguous"):
+            from_networkx(g)
+
+    def test_orphan_client_rejected(self):
+        g = to_networkx(Tree([None], [Client(0, 2)]))
+        g.remove_edge(("node", 0), ("client", 0))
+        with pytest.raises(TreeStructureError, match="client"):
+            from_networkx(g)

@@ -1,0 +1,88 @@
+"""Tests for :mod:`repro.tree.traversal`."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.model import Tree
+from repro.tree.traversal import (
+    bfs_order,
+    leaves,
+    lowest_common_ancestor,
+    nodes_by_depth,
+    path_to_root,
+)
+
+from tests.conftest import small_trees
+
+
+class TestBfsOrder:
+    def test_root_first_level_order(self, star5_tree):
+        order = bfs_order(star5_tree)
+        assert order[0] == 0
+        assert set(order[1:]) == {1, 2, 3, 4, 5}
+
+    def test_depths_nondecreasing(self):
+        t = Tree([None, 0, 0, 1, 1, 2])
+        order = bfs_order(t)
+        depths = [t.depth(v) for v in order]
+        assert depths == sorted(depths)
+
+
+class TestLeaves:
+    def test_chain(self, chain_tree):
+        assert leaves(chain_tree) == [2]
+
+    def test_star(self, star5_tree):
+        assert leaves(star5_tree) == [1, 2, 3, 4, 5]
+
+    def test_single(self):
+        assert leaves(Tree([None])) == [0]
+
+
+class TestPaths:
+    def test_path_to_root(self, chain_tree):
+        assert path_to_root(chain_tree, 2) == [2, 1, 0]
+        assert path_to_root(chain_tree, 0) == [0]
+
+
+class TestLca:
+    def test_siblings(self, star5_tree):
+        assert lowest_common_ancestor(star5_tree, 1, 2) == 0
+
+    def test_ancestor_descendant(self, chain_tree):
+        assert lowest_common_ancestor(chain_tree, 1, 2) == 1
+
+    def test_self(self, chain_tree):
+        assert lowest_common_ancestor(chain_tree, 2, 2) == 2
+
+    @settings(max_examples=50, deadline=None)
+    @given(small_trees(max_nodes=12), st.data())
+    def test_lca_is_common_ancestor_of_max_depth(self, tree, data):
+        u = data.draw(st.integers(0, tree.n_nodes - 1))
+        v = data.draw(st.integers(0, tree.n_nodes - 1))
+        lca = lowest_common_ancestor(tree, u, v)
+        assert tree.is_ancestor(lca, u) and tree.is_ancestor(lca, v)
+        # No strictly deeper common ancestor exists.
+        commons = [
+            w
+            for w in range(tree.n_nodes)
+            if tree.is_ancestor(w, u) and tree.is_ancestor(w, v)
+        ]
+        assert tree.depth(lca) == max(tree.depth(w) for w in commons)
+
+
+class TestNodesByDepth:
+    def test_partition(self, chain_tree):
+        by_depth = dict(nodes_by_depth(chain_tree))
+        assert by_depth == {0: [0], 1: [1], 2: [2]}
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=12))
+    def test_cover_all_nodes_once(self, tree):
+        seen: list[int] = []
+        for depth, nodes in nodes_by_depth(tree):
+            assert all(tree.depth(v) == depth for v in nodes)
+            seen.extend(nodes)
+        assert sorted(seen) == list(range(tree.n_nodes))

@@ -1,0 +1,57 @@
+"""Tests for :mod:`repro.tree.validate`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.tree.model import Client, Tree
+from repro.tree.validate import check_capacity_feasible, check_preexisting, max_direct_load
+
+
+class TestCapacityFeasibility:
+    def test_feasible_passes(self, chain_tree):
+        check_capacity_feasible(chain_tree, 10)
+
+    def test_single_heavy_node_raises_with_node(self):
+        t = Tree([None, 0], [Client(1, 11)])
+        with pytest.raises(InfeasibleError) as exc:
+            check_capacity_feasible(t, 10)
+        assert exc.value.node == 1
+
+    def test_aggregated_clients_counted(self):
+        t = Tree([None], [Client(0, 6), Client(0, 6)])
+        with pytest.raises(InfeasibleError):
+            check_capacity_feasible(t, 10)
+        check_capacity_feasible(t, 12)
+
+    def test_bad_capacity(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            check_capacity_feasible(chain_tree, 0)
+
+    def test_boundary_exactly_w(self):
+        t = Tree([None], [Client(0, 10)])
+        check_capacity_feasible(t, 10)  # == W is fine
+
+
+class TestMaxDirectLoad:
+    def test_values(self, chain_tree):
+        assert max_direct_load(chain_tree) == 4
+
+    def test_no_clients(self):
+        assert max_direct_load(Tree([None, 0])) == 0
+
+
+class TestCheckPreexisting:
+    def test_valid_set_normalised(self, chain_tree):
+        assert check_preexisting(chain_tree, [1, 2]) == frozenset({1, 2})
+        assert check_preexisting(chain_tree, {}) == frozenset()
+
+    def test_mapping_keys_used(self, chain_tree):
+        assert check_preexisting(chain_tree, {1: 0, 2: 1}) == frozenset({1, 2})
+
+    def test_out_of_range_rejected(self, chain_tree):
+        with pytest.raises(ConfigurationError):
+            check_preexisting(chain_tree, [5])
+        with pytest.raises(ConfigurationError):
+            check_preexisting(chain_tree, [-1])

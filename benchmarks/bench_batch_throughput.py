@@ -1,0 +1,135 @@
+"""Batch serving throughput: canonical dedupe + cache vs the naive loop.
+
+Serving traffic is duplicate-heavy (the same tree families are re-solved
+across request vectors and relabellings), so the batch layer's win scales
+with the duplicate rate.  This bench measures MinCost-WithPre solves/sec
+at 0%, 50% and 90% duplicates — the duplicates are *relabelled isomorphic
+copies*, so the canonical hashing does real work — and asserts the
+acceptance floor: >= 5x over the per-instance loop at 90% duplicates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis import format_table
+from repro.batch import ResultCache, random_batch, solve_batch
+from repro.core.dp_withpre import replica_update
+
+N_INSTANCES = 40
+N_NODES = 120
+N_PRE = 30
+RATES = (0.0, 0.5, 0.9)
+SEED = 2011
+# Acceptance floor for the 90%-duplicates speedup.  Locally this is a hard
+# 5x; CI smoke runs on noisy shared runners and relaxes it via the env var
+# (a wall-clock ratio on a throttled VM is not a code regression signal).
+MIN_SPEEDUP_90 = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "5.0"))
+
+
+def _make_batch(rate: float):
+    return random_batch(
+        N_INSTANCES,
+        duplicate_rate=rate,
+        n_nodes=N_NODES,
+        n_preexisting=N_PRE,
+        rng=np.random.default_rng(SEED),
+    )
+
+
+def _naive_loop(batch):
+    return [
+        replica_update(i.tree, i.capacity, i.preexisting, i.cost_model)
+        for i in batch
+    ]
+
+
+def _timed(fn, repeats: int = 3):
+    """Best-of-``repeats`` wall time (noise on shared machines is one-sided)."""
+    best = None
+    out = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        out = fn()
+        elapsed = time.perf_counter() - t0
+        best = elapsed if best is None else min(best, elapsed)
+    return out, best
+
+
+def test_batch_throughput_vs_naive(emit):
+    rows = []
+    speedups: dict[float, float] = {}
+    for rate in RATES:
+        batch = _make_batch(rate)
+        naive, t_naive = _timed(lambda: _naive_loop(batch))
+
+        # Fresh cache per repeat: we measure cold-batch throughput, where
+        # only *within-batch* dedupe helps (warm-cache reuse is covered by
+        # test_warm_cache_is_solve_free).
+        last_cache: list[ResultCache] = []
+
+        def _run_batch():
+            last_cache[:] = [ResultCache(max_entries=256)]
+            return solve_batch(batch, solver="dp", cache=last_cache[0])
+
+        batched, t_batch = _timed(_run_batch)
+        cache = last_cache[0]
+
+        # The batch path must be *exact*: same optimal cost per instance.
+        for a, b in zip(batched, naive):
+            assert a.cost == pytest.approx(b.cost)
+            assert a.n_replicas == b.n_replicas
+        stats = cache.stats
+        assert stats.unique_solved == stats.misses
+        assert stats.duplicates_folded == N_INSTANCES - (
+            stats.hits + stats.misses
+        )
+
+        speedups[rate] = t_naive / t_batch
+        rows.append(
+            (
+                f"{rate:.0%}",
+                stats.unique_solved,
+                stats.duplicates_folded,
+                f"{N_INSTANCES / t_naive:.0f}",
+                f"{N_INSTANCES / t_batch:.0f}",
+                f"{speedups[rate]:.1f}x",
+            )
+        )
+
+    table = format_table(
+        ("dup_rate", "unique", "folded", "naive_sps", "batch_sps", "speedup"),
+        rows,
+    )
+    emit(
+        "batch_throughput",
+        f"{table}\n\nbatch={N_INSTANCES} instances, N={N_NODES}, "
+        f"E={N_PRE}, solver=dp (MinCost-WithPre)\n"
+        f"acceptance: speedup at 90% duplicates >= {MIN_SPEEDUP_90:.0f}x "
+        f"(measured {speedups[0.9]:.1f}x)",
+    )
+    assert speedups[0.9] >= MIN_SPEEDUP_90
+
+
+def test_micro_solve_batch_90dup(benchmark):
+    batch = _make_batch(0.9)
+    result = benchmark.pedantic(
+        lambda: solve_batch(batch, solver="dp", cache=ResultCache(256)),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result) == N_INSTANCES
+
+
+def test_warm_cache_is_solve_free():
+    batch = _make_batch(0.9)
+    cache = ResultCache(max_entries=256)
+    solve_batch(batch, solver="dp", cache=cache)
+    solved_cold = cache.stats.unique_solved
+    solve_batch(batch, solver="dp", cache=cache)
+    assert cache.stats.unique_solved == solved_cold  # second pass: all hits
+    assert cache.stats.hit_rate > 0.0

@@ -23,6 +23,7 @@ paper-to-module map.
 """
 
 from repro._version import __version__
+from repro.batch import BatchInstance, ResultCache, solve_batch
 from repro.exceptions import (
     ConfigurationError,
     InfeasibleError,
@@ -50,12 +51,14 @@ from repro.tree import (
 
 __all__ = [
     "__version__",
+    "BatchInstance",
     "Client",
     "ConfigurationError",
     "InfeasibleError",
     "ModalCostModel",
     "PlacementResult",
     "ReproError",
+    "ResultCache",
     "SolverError",
     "Tree",
     "TreeBuilder",
@@ -68,4 +71,5 @@ __all__ = [
     "random_preexisting",
     "random_preexisting_modes",
     "replica_update",
+    "solve_batch",
 ]

@@ -1,0 +1,184 @@
+"""Result cache: in-memory LRU with an optional on-disk JSON-lines store.
+
+The cache maps canonical instance digests (:func:`repro.batch.canonical
+.instance_digest`) to small JSON-able result records.  Two tiers:
+
+* an :class:`collections.OrderedDict` LRU bounded by ``max_entries``;
+* optionally a ``batch-cache.jsonl`` file under ``cache_dir`` that
+  persists every stored record across processes.  Each line carries the
+  writing package version (:data:`repro._version.__version__`); entries
+  written by a different version are dropped at load time (solver output
+  or canonical schema may have changed) and the file is compacted.
+
+The disk tier is append-only and unbounded — sharding and an eviction /
+compaction policy for long-lived deployments are tracked as ROADMAP open
+items.  Records must be plain JSON-able dicts; the cache never pickles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any
+
+from repro._version import __version__
+from repro.exceptions import ConfigurationError
+from repro.perf.stats import BatchCacheStats
+
+__all__ = ["ResultCache"]
+
+_CACHE_FILENAME = "batch-cache.jsonl"
+
+
+class ResultCache:
+    """Two-tier digest → record cache with hit/miss instrumentation.
+
+    Parameters
+    ----------
+    max_entries:
+        LRU capacity; least-recently-used records are evicted first.
+        Evicted records remain retrievable from the disk tier when one is
+        configured.
+    cache_dir:
+        Directory for the persistent JSONL store (created on demand).
+        ``None`` keeps the cache purely in-memory.
+    stats:
+        Optional shared :class:`~repro.perf.stats.BatchCacheStats`
+        collector; a private one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 4096,
+        *,
+        cache_dir: str | os.PathLike[str] | None = None,
+        stats: BatchCacheStats | None = None,
+    ) -> None:
+        if max_entries < 1:
+            raise ConfigurationError(
+                f"max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self.stats = stats if stats is not None else BatchCacheStats()
+        self._lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._disk: dict[str, dict[str, Any]] = {}
+        self._disk_path: Path | None = None
+        if cache_dir is not None:
+            directory = Path(cache_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            self._disk_path = directory / _CACHE_FILENAME
+            self._load_disk()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._lru or digest in self._disk
+
+    def get(
+        self, digest: str, *, stats: BatchCacheStats | None = None
+    ) -> dict[str, Any] | None:
+        """Look up a record; counts a hit/miss and refreshes LRU order.
+
+        ``stats`` overrides the collector for this lookup — the batch
+        executor passes its effective collector so every counter of one
+        ``solve_batch`` call lands in a single object.
+        """
+        stats = stats if stats is not None else self.stats
+        record = self._lru.get(digest)
+        if record is not None:
+            self._lru.move_to_end(digest)
+            stats.record_hit()
+            return record
+        record = self._disk.get(digest)
+        if record is not None:
+            stats.record_hit(disk=True)
+            self._insert(digest, record, stats)
+            return record
+        stats.record_miss()
+        return None
+
+    def put(
+        self,
+        digest: str,
+        record: dict[str, Any],
+        *,
+        stats: BatchCacheStats | None = None,
+    ) -> None:
+        """Store a record in the LRU and append it to the disk tier."""
+        stats = stats if stats is not None else self.stats
+        self._insert(digest, record, stats)
+        stats.stores += 1
+        if self._disk_path is not None and digest not in self._disk:
+            self._disk[digest] = record
+            line = json.dumps(
+                {"version": __version__, "digest": digest, "record": record},
+                separators=(",", ":"),
+            )
+            with open(self._disk_path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _insert(
+        self,
+        digest: str,
+        record: dict[str, Any],
+        stats: BatchCacheStats | None = None,
+    ) -> None:
+        stats = stats if stats is not None else self.stats
+        self._lru[digest] = record
+        self._lru.move_to_end(digest)
+        while len(self._lru) > self.max_entries:
+            self._lru.popitem(last=False)
+            stats.evictions += 1
+
+    def _load_disk(self) -> None:
+        assert self._disk_path is not None
+        if not self._disk_path.exists():
+            return
+        stale_or_corrupt = False
+        with open(self._disk_path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    digest = entry["digest"]
+                    record = entry["record"]
+                    version = entry["version"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    stale_or_corrupt = True
+                    continue
+                if version != __version__:
+                    stale_or_corrupt = True
+                    continue
+                self._disk[digest] = record
+        if stale_or_corrupt:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rewrite the store keeping only current-version entries."""
+        assert self._disk_path is not None
+        tmp = self._disk_path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for digest, record in self._disk.items():
+                fh.write(
+                    json.dumps(
+                        {
+                            "version": __version__,
+                            "digest": digest,
+                            "record": record,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, self._disk_path)

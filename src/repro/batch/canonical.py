@@ -1,0 +1,172 @@
+"""Canonical forms and content-addressed digests for solver instances.
+
+Replica-placement traffic is dominated by *structurally identical* requests:
+the same tree shape solved against many request vectors, or the same
+instance resubmitted under a different node labelling (the paper's
+experiment campaigns themselves re-solve a handful of tree families
+thousands of times).  To dedupe such traffic the batch layer needs a
+canonical form that is invariant under relabelling of internal nodes.
+
+The canonicalisation is the classical AHU rooted-tree encoding extended
+with per-node annotations:
+
+* each node's annotation is the sorted multiset of its direct client
+  request counts plus a pre-existing-server marker;
+* a node's code is ``"(" + annotation + sorted(child codes) + ")"``;
+* the canonical node numbering is the pre-order walk that visits children
+  in ascending code order.
+
+Two instances receive the same digest **iff** there is a tree isomorphism
+mapping one onto the other that preserves client workloads and the
+pre-existing set — so a cached solution for one can be relabelled into a
+solution for the other via :attr:`Canonical.from_canonical`.
+
+The digest additionally covers the solver parameters (capacity, cost
+model, solver policy) so distinct questions about the same tree never
+collide.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.costs import UniformCostModel
+from repro.tree.model import Tree
+from repro.tree.validate import check_preexisting
+
+__all__ = [
+    "Canonical",
+    "canonicalize",
+    "instance_digest",
+    "relabel_tree",
+]
+
+_DIGEST_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class Canonical:
+    """Canonical form of a ``(tree, pre-existing)`` pair.
+
+    Attributes
+    ----------
+    parents:
+        Canonical parent vector; entry 0 is the root and every parent id
+        is smaller than its child's (pre-order property).
+    clients:
+        Sorted ``(canonical node, requests)`` pairs.
+    preexisting:
+        Sorted canonical ids of the pre-existing servers.
+    to_canonical:
+        ``to_canonical[original_id] == canonical_id``.
+    from_canonical:
+        Inverse permutation of :attr:`to_canonical`.
+    """
+
+    parents: tuple[int | None, ...]
+    clients: tuple[tuple[int, int], ...]
+    preexisting: tuple[int, ...]
+    to_canonical: tuple[int, ...]
+    from_canonical: tuple[int, ...]
+
+    def map_back(self, canonical_nodes: Iterable[int]) -> frozenset[int]:
+        """Translate canonical node ids into the instance's original ids."""
+        return frozenset(self.from_canonical[v] for v in canonical_nodes)
+
+
+def canonicalize(tree: Tree, preexisting: Iterable[int] = ()) -> Canonical:
+    """Compute the relabelling-invariant canonical form of an instance."""
+    pre = check_preexisting(tree, preexisting)
+    n = tree.n_nodes
+
+    # AHU codes, children before parents.  Codes are strings; identically
+    # coded siblings root isomorphic annotated subtrees, so any order
+    # between them yields the same canonical instance.
+    codes: list[str] = [""] * n
+    for v in tree.post_order():
+        vi = int(v)
+        reqs = ",".join(
+            str(r) for r in sorted(c.requests for c in tree.clients_at(vi))
+        )
+        kids = "".join(sorted(codes[c] for c in tree.children(vi)))
+        codes[vi] = f"({reqs}|{1 if vi in pre else 0}{kids})"
+
+    # Canonical numbering: pre-order, children in ascending code order.
+    order: list[int] = []
+    stack = [tree.root]
+    while stack:
+        v = stack.pop()
+        order.append(v)
+        stack.extend(
+            sorted(tree.children(v), key=codes.__getitem__, reverse=True)
+        )
+
+    to_canon = [0] * n
+    for canon_id, orig in enumerate(order):
+        to_canon[orig] = canon_id
+    parents: list[int | None] = [None] * n
+    for canon_id, orig in enumerate(order):
+        p = tree.parent(orig)
+        parents[canon_id] = None if p is None else to_canon[p]
+
+    clients = tuple(
+        sorted((to_canon[c.node], c.requests) for c in tree.clients)
+    )
+    return Canonical(
+        parents=tuple(parents),
+        clients=clients,
+        preexisting=tuple(sorted(to_canon[v] for v in pre)),
+        to_canonical=tuple(to_canon),
+        from_canonical=tuple(order),
+    )
+
+
+def instance_digest(
+    canonical: Canonical,
+    capacity: int,
+    cost_model: UniformCostModel | None,
+    solver: str,
+) -> str:
+    """Content-addressed SHA-256 digest of a canonical solver instance.
+
+    Pass ``cost_model=None`` for solver policies whose *solution set* does
+    not depend on the cost model (greedy, dp_nopre) so that equivalent
+    requests share a digest; the executor makes that call per policy.
+    """
+    payload = {
+        "schema": _DIGEST_SCHEMA,
+        "solver": solver,
+        "capacity": int(capacity),
+        "create": None if cost_model is None else cost_model.create,
+        "delete": None if cost_model is None else cost_model.delete,
+        "parents": list(canonical.parents),
+        "clients": [list(c) for c in canonical.clients],
+        "pre": list(canonical.preexisting),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def relabel_tree(
+    tree: Tree,
+    perm: Sequence[int],
+    preexisting: Iterable[int] = (),
+) -> tuple[Tree, frozenset[int]]:
+    """Apply a node permutation (``perm[old] == new``) to an instance.
+
+    Returns the relabelled tree and pre-existing set — an isomorphic copy
+    that must canonicalise to the same digest.  Used by the batch tests
+    and the duplicate-heavy benchmark workloads.
+    """
+    n = tree.n_nodes
+    if sorted(int(p) for p in perm) != list(range(n)):
+        raise ValueError(f"perm must be a permutation of 0..{n - 1}")
+    parents: list[int | None] = [None] * n
+    for old, p in enumerate(tree.parents):
+        parents[int(perm[old])] = None if p is None else int(perm[p])
+    clients = [(int(perm[c.node]), c.requests) for c in tree.clients]
+    pre = frozenset(int(perm[v]) for v in preexisting)
+    return Tree(parents, clients, validate=False), pre

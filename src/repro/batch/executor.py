@@ -1,0 +1,237 @@
+"""High-throughput batch solving: canonical dedupe + cache + process pool.
+
+:func:`solve_batch` turns the per-instance solvers into a serving-shaped
+engine.  For a batch of :class:`~repro.batch.instance.BatchInstance`:
+
+1. every instance is canonicalised (:mod:`repro.batch.canonical`) and
+   keyed by its content digest — relabelled isomorphic duplicates collapse
+   onto one key;
+2. unique keys are looked up in an optional
+   :class:`~repro.batch.cache.ResultCache` (LRU + disk tier);
+3. the remaining misses are solved — serially, or across a
+   :class:`~concurrent.futures.ProcessPoolExecutor` in contiguous chunks
+   (the chunk/merge discipline of :mod:`repro.experiments.parallel`);
+4. canonical solutions are fanned back out through each instance's inverse
+   relabelling and re-verified against the *original* tree, so a cache or
+   mapping bug can never return an invalid placement silently.
+
+Only the canonical replica set crosses process and disk boundaries — the
+per-instance bookkeeping (loads, reuse partition, Equation-2 cost) is
+recomputed in O(N) during fan-out, which keeps cache records tiny and
+JSON-able.
+
+Solver policies: ``"dp"`` (MinCost-WithPre, the paper's Theorem 1),
+``"greedy"`` (GR baseline) and ``"dp_nopre"`` (pre-existing-oblivious
+MinCost).  Results are cross-compatible only within one policy; the digest
+covers the policy name.  The digest also covers *only* the parameters the
+policy's solution set depends on: greedy (index tie-break) and dp_nopre
+place replicas independently of the pre-existing set and the cost model —
+those only enter the per-instance fan-out pricing — so requests differing
+just in pre/cost share one cached solve under those policies.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Sequence
+
+from repro.batch.cache import ResultCache
+from repro.batch.canonical import Canonical, canonicalize, instance_digest
+from repro.batch.instance import BatchInstance
+from repro.core.dp_nopre import dp_nopre_placement
+from repro.core.dp_withpre import replica_update
+from repro.core.greedy import greedy_placement
+from repro.core.costs import UniformCostModel
+from repro.core.solution import PlacementResult
+from repro.exceptions import ConfigurationError
+from repro.perf.stats import BatchCacheStats
+from repro.tree.model import Tree
+
+__all__ = ["SOLVERS", "solve_batch"]
+
+SOLVERS = ("dp", "greedy", "dp_nopre")
+
+#: Policies whose replica set depends on the pre-existing servers and the
+#: cost model.  greedy (index tie-break) and dp_nopre use both only for
+#: result bookkeeping, which the fan-out recomputes per instance anyway.
+_POLICY_USES_PRE_AND_COST = frozenset({"dp"})
+
+_RECORD_SCHEMA = 1
+
+
+def _instance_key(
+    instance: BatchInstance, solver: str
+) -> tuple[Canonical, str]:
+    """Canonical form + digest covering only what ``solver`` consumes."""
+    if solver in _POLICY_USES_PRE_AND_COST:
+        canonical = canonicalize(instance.tree, instance.preexisting)
+        digest = instance_digest(
+            canonical, instance.capacity, instance.cost_model, solver
+        )
+    else:
+        canonical = canonicalize(instance.tree)
+        digest = instance_digest(canonical, instance.capacity, None, solver)
+    return canonical, digest
+
+
+def _canonical_payload(
+    canonical: Canonical, instance: BatchInstance, solver: str
+) -> dict[str, Any]:
+    """Picklable/pure-data description of one canonical solve."""
+    return {
+        "parents": list(canonical.parents),
+        "clients": [list(c) for c in canonical.clients],
+        "pre": list(canonical.preexisting),
+        "capacity": instance.capacity,
+        "create": instance.cost_model.create,
+        "delete": instance.cost_model.delete,
+        "solver": solver,
+    }
+
+
+def _solve_canonical(payload: dict[str, Any]) -> dict[str, Any]:
+    """Solve one canonical instance; returns a JSON-able cache record."""
+    tree = Tree(
+        [None if p is None else int(p) for p in payload["parents"]],
+        [(int(n), int(r)) for n, r in payload["clients"]],
+        validate=False,
+    )
+    pre = frozenset(int(v) for v in payload["pre"])
+    capacity = int(payload["capacity"])
+    solver = payload["solver"]
+    if solver == "dp":
+        result = replica_update(
+            tree,
+            capacity,
+            pre,
+            UniformCostModel(payload["create"], payload["delete"]),
+        )
+    elif solver == "greedy":
+        result = greedy_placement(tree, capacity, preexisting=pre)
+    elif solver == "dp_nopre":
+        result = dp_nopre_placement(tree, capacity)
+    else:  # pragma: no cover - guarded in solve_batch
+        raise ConfigurationError(f"unknown solver policy {solver!r}")
+    return {
+        "schema": _RECORD_SCHEMA,
+        "replicas": sorted(result.replicas),
+    }
+
+
+def _solve_chunk(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Worker entry point: solve a contiguous chunk of canonical payloads."""
+    return [_solve_canonical(p) for p in payloads]
+
+
+def _chunk(items: list, n_chunks: int) -> list[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous, balanced runs."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    base, remainder = divmod(len(items), n_chunks)
+    chunks, start = [], 0
+    for i in range(n_chunks):
+        size = base + (1 if i < remainder else 0)
+        chunks.append(items[start : start + size])
+        start += size
+    return chunks
+
+
+def solve_batch(
+    instances: Sequence[BatchInstance],
+    *,
+    solver: str = "dp",
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    stats: BatchCacheStats | None = None,
+) -> list[PlacementResult]:
+    """Solve many instances with canonical dedupe, caching and parallelism.
+
+    Parameters
+    ----------
+    instances:
+        The batch; results are returned in the same order.
+    solver:
+        Policy from :data:`SOLVERS`.
+    workers:
+        Process-pool size for the unique cache misses; ``1`` solves
+        in-process (deterministic and allocation-free, the right default
+        for small batches).
+    cache:
+        Optional shared :class:`ResultCache`; pass one to reuse results
+        across calls (and across processes via its disk tier).  Without a
+        cache, dedupe still collapses duplicates *within* the batch.
+    stats:
+        Optional counter collector.  Defaults to ``cache.stats`` so cache
+        lookups and dedupe folds land in one place.
+
+    Returns
+    -------
+    list[PlacementResult]
+        Verified placements in original node ids, priced with each
+        instance's own cost model.
+    """
+    if solver not in SOLVERS:
+        raise ConfigurationError(
+            f"unknown solver policy {solver!r}; expected one of {SOLVERS}"
+        )
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if stats is None:
+        stats = cache.stats if cache is not None else BatchCacheStats()
+
+    keys = [_instance_key(i, solver) for i in instances]
+    canonicals = [c for c, _ in keys]
+    digests = [d for _, d in keys]
+
+    # Dedupe: first instance of each digest is the group representative.
+    groups: dict[str, list[int]] = {}
+    for idx, digest in enumerate(digests):
+        groups.setdefault(digest, []).append(idx)
+    stats.duplicates_folded += len(instances) - len(groups)
+
+    # Cache lookups for unique digests; misses go to the solvers.  All
+    # counters are routed into the one effective ``stats`` collector.
+    records: dict[str, dict[str, Any]] = {}
+    misses: list[tuple[str, dict[str, Any]]] = []
+    for digest, idxs in groups.items():
+        record = cache.get(digest, stats=stats) if cache is not None else None
+        if record is not None:
+            records[digest] = record
+        else:
+            if cache is None:
+                stats.record_miss()
+            rep = idxs[0]
+            misses.append(
+                (digest, _canonical_payload(canonicals[rep], instances[rep], solver))
+            )
+
+    if misses:
+        payloads = [p for _, p in misses]
+        if workers == 1 or len(payloads) == 1:
+            solved = _solve_chunk(payloads)
+        else:
+            chunks = _chunk(payloads, workers)
+            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+                solved = [r for part in pool.map(_solve_chunk, chunks) for r in part]
+        stats.unique_solved += len(payloads)
+        for (digest, _), record in zip(misses, solved):
+            records[digest] = record
+            if cache is not None:
+                cache.put(digest, record, stats=stats)
+
+    # Fan out: map canonical replicas through each instance's inverse
+    # relabelling, re-verify on the original tree and re-price.
+    results: list[PlacementResult] = []
+    for instance, canonical, digest in zip(instances, canonicals, digests):
+        replicas = canonical.map_back(records[digest]["replicas"])
+        cost = instance.cost_model.of_placement(replicas, instance.preexisting)
+        results.append(
+            PlacementResult.from_replicas(
+                instance.tree,
+                replicas,
+                instance.capacity,
+                instance.preexisting,
+                cost=cost,
+                extra={"digest": digest},
+            )
+        )
+    return results

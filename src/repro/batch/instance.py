@@ -1,0 +1,161 @@
+"""Batch instances: one solver request plus (de)serialisation helpers.
+
+A :class:`BatchInstance` bundles everything :func:`repro.batch.solve_batch`
+needs to answer one placement question — the tree (structure + workload),
+the capacity, the pre-existing server set and the Equation-2 cost model.
+The solver *policy* (dp / greedy / dp_nopre) is chosen per batch, not per
+instance, mirroring how a serving tier routes traffic.
+
+The JSON schema wraps the versioned tree schema of
+:mod:`repro.tree.serialize` so saved batches stay loadable:
+
+.. code-block:: python
+
+    {
+        "schema": 1,
+        "instances": [
+            {"tree": {...}, "capacity": 10,
+             "preexisting": [3, 7], "create": 0.1, "delete": 0.01},
+        ],
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.costs import UniformCostModel
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree, random_preexisting
+from repro.tree.model import Tree
+from repro.tree.serialize import tree_from_dict, tree_to_dict
+from repro.batch.canonical import relabel_tree
+
+__all__ = [
+    "BatchInstance",
+    "batch_from_json",
+    "batch_to_json",
+    "instance_from_dict",
+    "instance_to_dict",
+    "random_batch",
+]
+
+_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class BatchInstance:
+    """One placement request for the batch executor."""
+
+    tree: Tree
+    capacity: int
+    preexisting: frozenset[int] = frozenset()
+    cost_model: UniformCostModel = field(default_factory=UniformCostModel)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {self.capacity}"
+            )
+        object.__setattr__(
+            self, "preexisting", frozenset(int(v) for v in self.preexisting)
+        )
+
+
+def instance_to_dict(instance: BatchInstance) -> dict[str, Any]:
+    """Serialize one instance to a JSON-friendly dict."""
+    return {
+        "tree": tree_to_dict(instance.tree),
+        "capacity": instance.capacity,
+        "preexisting": sorted(instance.preexisting),
+        "create": instance.cost_model.create,
+        "delete": instance.cost_model.delete,
+    }
+
+
+def instance_from_dict(data: Mapping[str, Any]) -> BatchInstance:
+    """Inverse of :func:`instance_to_dict`."""
+    try:
+        return BatchInstance(
+            tree=tree_from_dict(data["tree"]),
+            capacity=int(data["capacity"]),
+            preexisting=frozenset(int(v) for v in data.get("preexisting", ())),
+            cost_model=UniformCostModel(
+                float(data.get("create", 0.1)), float(data.get("delete", 0.01))
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"malformed batch instance: {exc}") from exc
+
+
+def batch_to_json(
+    instances: Sequence[BatchInstance], *, indent: int | None = None
+) -> str:
+    """Serialize a batch of instances to JSON text."""
+    payload = {
+        "schema": _SCHEMA,
+        "instances": [instance_to_dict(i) for i in instances],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def batch_from_json(text: str) -> list[BatchInstance]:
+    """Parse a batch written by :func:`batch_to_json`."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"invalid JSON: {exc}") from exc
+    if payload.get("schema") != _SCHEMA:
+        raise ConfigurationError(
+            f"unsupported batch schema {payload.get('schema')}"
+        )
+    raw = payload.get("instances")
+    if not isinstance(raw, list):
+        raise ConfigurationError("batch payload has no 'instances' list")
+    return [instance_from_dict(d) for d in raw]
+
+
+def random_batch(
+    n_instances: int,
+    *,
+    duplicate_rate: float = 0.0,
+    n_nodes: int = 60,
+    capacity: int = 10,
+    n_preexisting: int = 8,
+    cost_model: UniformCostModel | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> list[BatchInstance]:
+    """Generate a demo/benchmark batch with a controlled duplicate rate.
+
+    ``duplicate_rate`` of the instances are relabelled isomorphic copies of
+    the unique ones — *not* byte-identical payloads — so they exercise the
+    canonical hashing rather than trivial memoisation.  The returned order
+    is shuffled.
+    """
+    if n_instances < 1:
+        raise ConfigurationError(
+            f"n_instances must be >= 1, got {n_instances}"
+        )
+    if not (0.0 <= duplicate_rate < 1.0):
+        raise ConfigurationError(
+            f"duplicate_rate must be in [0, 1), got {duplicate_rate}"
+        )
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    cm = cost_model or UniformCostModel()
+    n_unique = max(1, round(n_instances * (1.0 - duplicate_rate)))
+    base: list[BatchInstance] = []
+    for _ in range(min(n_unique, n_instances)):
+        tree = paper_tree(n_nodes, rng=gen)
+        pre = random_preexisting(tree, min(n_preexisting, n_nodes), rng=gen)
+        base.append(BatchInstance(tree, capacity, pre, cm))
+    out = list(base)
+    while len(out) < n_instances:
+        src = base[int(gen.integers(len(base)))]
+        perm = gen.permutation(src.tree.n_nodes)
+        tree, pre = relabel_tree(src.tree, perm, src.preexisting)
+        out.append(BatchInstance(tree, src.capacity, pre, src.cost_model))
+    return [out[i] for i in gen.permutation(len(out))]

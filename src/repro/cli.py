@@ -6,6 +6,9 @@ Subcommands
     Emit a random distribution tree (paper's §5 generator) as JSON.
 ``solve``
     Solve MinCost on a tree file with the DP or the GR baseline.
+``batch``
+    Solve many instances at once with canonical dedupe, result caching
+    and an optional process pool (see :mod:`repro.batch`).
 ``power``
     Print the exact cost/power frontier (and optionally the placement for
     one bound).
@@ -25,6 +28,13 @@ from typing import Sequence
 import numpy as np
 
 from repro.analysis import bar_plot, format_table, line_plot, render_tree, to_csv
+from repro.batch import (
+    SOLVERS,
+    ResultCache,
+    batch_from_json,
+    random_batch,
+    solve_batch,
+)
 from repro.dynamics import plan_migration
 from repro.core.costs import ModalCostModel, UniformCostModel
 from repro.core.dp_withpre import replica_update
@@ -87,6 +97,35 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--show", action="store_true", help="render the placement as an ASCII tree")
     s.add_argument("--plan", action="store_true", help="print the migration plan from the pre-existing set")
 
+    b = sub.add_parser(
+        "batch",
+        help="solve many instances with canonical dedupe and caching",
+    )
+    b.add_argument(
+        "file", nargs="?", default=None,
+        help="batch JSON path ('-' for stdin); omit when using --demo",
+    )
+    b.add_argument(
+        "--demo", type=int, default=None, metavar="N",
+        help="generate a synthetic batch of N instances instead of reading a file",
+    )
+    b.add_argument(
+        "--duplicate-rate", type=float, default=0.5,
+        help="fraction of relabelled duplicate instances in --demo batches",
+    )
+    b.add_argument("--nodes", type=int, default=60, help="tree size for --demo")
+    b.add_argument("--seed", type=int, default=None)
+    b.add_argument("--solver", choices=SOLVERS, default="dp")
+    b.add_argument("--workers", type=int, default=1, help="process-pool size")
+    b.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="directory for the persistent result store (JSONL)",
+    )
+    b.add_argument(
+        "--lru-size", type=int, default=4096,
+        help="in-memory cache capacity (entries)",
+    )
+
     p = sub.add_parser("power", help="print the cost/power frontier of a tree")
     p.add_argument("tree", type=str)
     p.add_argument("--modes", type=str, default="5,10", help="comma-separated capacities")
@@ -124,9 +163,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _read_text(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as fh:
+        return fh.read()
+
+
 def _read_tree(path: str):
-    text = sys.stdin.read() if path == "-" else open(path, encoding="utf-8").read()
-    return tree_from_json(text)
+    return tree_from_json(_read_text(path))
 
 
 def _parse_pre_modes(spec: str) -> dict[int, int]:
@@ -201,6 +246,56 @@ def _dispatch(args: argparse.Namespace) -> int:
             )
         if args.plan:
             print(plan_migration(pre, res.replicas))
+        return 0
+
+    if args.command == "batch":
+        if args.demo is not None and args.file is not None:
+            print(
+                "error: --demo and a batch file are mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        if args.demo is not None:
+            instances = random_batch(
+                args.demo,
+                duplicate_rate=args.duplicate_rate,
+                n_nodes=args.nodes,
+                rng=np.random.default_rng(args.seed),
+            )
+        elif args.file is not None:
+            instances = batch_from_json(_read_text(args.file))
+        else:
+            print("error: provide a batch file or --demo N", file=sys.stderr)
+            return 2
+        cache = ResultCache(args.lru_size, cache_dir=args.cache_dir)
+        results = solve_batch(
+            instances, solver=args.solver, workers=args.workers, cache=cache
+        )
+        rows = [
+            (
+                i,
+                str(r.extra["digest"])[:12],
+                r.n_replicas,
+                r.n_reused,
+                r.n_created,
+                r.n_deleted,
+                f"{r.cost:.3f}",
+            )
+            for i, r in enumerate(results)
+        ]
+        print(
+            format_table(
+                ("#", "digest", "R", "reused", "created", "deleted", "cost"),
+                rows,
+            )
+        )
+        s = cache.stats
+        print(
+            f"instances={len(instances)} unique_solved={s.unique_solved} "
+            f"duplicates_folded={s.duplicates_folded} hits={s.hits} "
+            f"(disk={s.disk_hits}) misses={s.misses} "
+            f"hit_rate={s.hit_rate:.2f}"
+        )
         return 0
 
     if args.command == "power":

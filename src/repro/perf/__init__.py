@@ -7,6 +7,7 @@ plots the measured growth against the Theorem-1/Theorem-3 predictions.
 """
 
 from repro.perf.stats import (
+    BatchCacheStats,
     CoreDPStats,
     ParetoDPStats,
     instrument_pareto_frontier,
@@ -14,6 +15,7 @@ from repro.perf.stats import (
 )
 
 __all__ = [
+    "BatchCacheStats",
     "CoreDPStats",
     "ParetoDPStats",
     "instrument_pareto_frontier",

@@ -10,6 +10,9 @@ to enable in production runs.
   how far Pareto pruning compresses the Theorem-3 count-vector space
   (and how the NP-hardness manifests as label growth on adversarial
   instances such as the §4.2 gadgets).
+* :class:`BatchCacheStats` — the batch serving layer
+  (:mod:`repro.batch`): cache hits/misses and dedupe fold counts, the
+  quantities that determine batch throughput on duplicate-heavy traffic.
 """
 
 from __future__ import annotations
@@ -26,11 +29,58 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tree.model import Tree
 
 __all__ = [
+    "BatchCacheStats",
     "CoreDPStats",
     "ParetoDPStats",
     "instrument_replica_update",
     "instrument_pareto_frontier",
 ]
+
+
+@dataclass
+class BatchCacheStats:
+    """Cache and dedupe counters of the batch executor.
+
+    ``hits``/``misses`` count cache lookups (one per *unique* digest in a
+    batch); ``disk_hits`` is the subset of hits served by the persistent
+    tier.  ``duplicates_folded`` counts instances answered by another
+    instance's solve in the same batch, and ``unique_solved`` counts
+    actual solver invocations.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    stores: int = 0
+    unique_solved: int = 0
+    duplicates_folded: int = 0
+
+    def record_hit(self, *, disk: bool = False) -> None:
+        self.hits += 1
+        if disk:
+            self.disk_hits += 1
+
+    def record_miss(self) -> None:
+        self.misses += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from cache (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "stores": self.stores,
+            "unique_solved": self.unique_solved,
+            "duplicates_folded": self.duplicates_folded,
+            "hit_rate": self.hit_rate,
+        }
 
 
 @dataclass

@@ -1,0 +1,94 @@
+"""Tests for :mod:`repro.batch.cache` (LRU + disk store + counters)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.batch.cache import ResultCache
+from repro.exceptions import ConfigurationError
+from repro.perf.stats import BatchCacheStats
+
+
+def rec(i: int) -> dict:
+    return {"schema": 1, "replicas": [i]}
+
+
+class TestLRU:
+    def test_hit_miss_counters(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("a") is None
+        cache.put("a", rec(1))
+        assert cache.get("a") == rec(1)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_lru(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", rec(1))
+        cache.put("b", rec(2))
+        cache.get("a")  # refresh 'a'; 'b' is now the LRU entry
+        cache.put("c", rec(3))
+        assert "a" in cache and "c" in cache
+        assert cache.get("b") is None
+        assert cache.stats.evictions == 1
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=0)
+
+    def test_shared_stats_object(self):
+        stats = BatchCacheStats()
+        cache = ResultCache(max_entries=2, stats=stats)
+        cache.get("x")
+        assert stats.misses == 1
+
+
+class TestDiskStore:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ResultCache(max_entries=8, cache_dir=tmp_path)
+        first.put("a", rec(1))
+        first.put("b", rec(2))
+
+        second = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert second.get("a") == rec(1)
+        assert second.get("b") == rec(2)
+        assert second.stats.disk_hits == 2
+        assert second.stats.hits == 2
+
+    def test_disk_survives_lru_eviction(self, tmp_path):
+        cache = ResultCache(max_entries=1, cache_dir=tmp_path)
+        cache.put("a", rec(1))
+        cache.put("b", rec(2))  # evicts 'a' from memory, not from disk
+        assert cache.stats.evictions == 1
+        assert cache.get("a") == rec(1)
+        assert cache.stats.disk_hits == 1
+
+    def test_stale_version_dropped_and_compacted(self, tmp_path):
+        path = tmp_path / "batch-cache.jsonl"
+        stale = {"version": "0.0.0", "digest": "old", "record": rec(9)}
+        path.write_text(json.dumps(stale) + "\n", encoding="utf-8")
+
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert cache.get("old") is None
+        # The store was compacted: the stale line is gone from disk.
+        assert "old" not in path.read_text()
+
+    def test_corrupt_lines_tolerated(self, tmp_path):
+        path = tmp_path / "batch-cache.jsonl"
+        good = ResultCache(max_entries=8, cache_dir=tmp_path)
+        good.put("a", rec(1))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("{not json\n")
+        reopened = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert reopened.get("a") == rec(1)
+
+    def test_no_duplicate_disk_lines(self, tmp_path):
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        cache.put("a", rec(1))
+        cache.put("a", rec(1))
+        lines = (tmp_path / "batch-cache.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 1

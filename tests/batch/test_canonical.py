@@ -1,0 +1,118 @@
+"""Tests for :mod:`repro.batch.canonical` (relabelling-invariant digests)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.batch.canonical import (
+    canonicalize,
+    instance_digest,
+    relabel_tree,
+)
+from repro.core.costs import UniformCostModel
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree, random_preexisting
+from repro.tree.model import Tree
+
+from tests.conftest import small_trees
+
+CM = UniformCostModel()
+
+
+def _digest(tree, pre=(), capacity=10, cm=CM, solver="dp"):
+    return instance_digest(canonicalize(tree, pre), capacity, cm, solver)
+
+
+class TestCanonicalForm:
+    def test_mapping_is_a_permutation(self, rng):
+        tree = paper_tree(40, rng=rng)
+        canon = canonicalize(tree)
+        assert sorted(canon.to_canonical) == list(range(40))
+        for orig, cid in enumerate(canon.to_canonical):
+            assert canon.from_canonical[cid] == orig
+
+    def test_parents_are_preorder(self, rng):
+        tree = paper_tree(40, rng=rng)
+        canon = canonicalize(tree)
+        assert canon.parents[0] is None
+        for v, p in enumerate(canon.parents):
+            if v > 0:
+                assert p is not None and p < v
+
+    def test_canonical_tree_is_isomorphic(self, rng):
+        tree = paper_tree(30, rng=rng)
+        canon = canonicalize(tree)
+        rebuilt = Tree(canon.parents, canon.clients)
+        assert rebuilt.n_nodes == tree.n_nodes
+        assert rebuilt.total_requests == tree.total_requests
+        assert rebuilt.height == tree.height
+
+    def test_map_back_translates_ids(self, rng):
+        tree = paper_tree(20, rng=rng)
+        canon = canonicalize(tree)
+        assert canon.map_back(range(tree.n_nodes)) == frozenset(
+            range(tree.n_nodes)
+        )
+
+    def test_rejects_bad_preexisting(self, rng):
+        tree = paper_tree(5, rng=rng)
+        with pytest.raises(ConfigurationError):
+            canonicalize(tree, {99})
+
+
+class TestDigestInvariance:
+    def test_relabelled_tree_same_digest(self, rng):
+        tree = paper_tree(50, rng=rng)
+        pre = random_preexisting(tree, 10, rng=rng)
+        for seed in range(5):
+            perm = np.random.default_rng(seed).permutation(tree.n_nodes)
+            tree2, pre2 = relabel_tree(tree, perm, pre)
+            assert _digest(tree2, pre2) == _digest(tree, pre)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_trees(max_nodes=12))
+    def test_relabelled_tree_same_digest_hypothesis(self, tree):
+        perm = np.random.default_rng(tree.n_nodes).permutation(tree.n_nodes)
+        tree2, _ = relabel_tree(tree, perm)
+        assert _digest(tree2) == _digest(tree)
+
+    def test_different_requests_different_digest(self):
+        tree_a = Tree([None, 0, 0], [(1, 4), (2, 2)])
+        tree_b = Tree([None, 0, 0], [(1, 4), (2, 3)])
+        assert _digest(tree_a) != _digest(tree_b)
+
+    def test_preexisting_location_matters_up_to_symmetry(self):
+        # Asymmetric tree: node 1 carries clients, node 2 does not, so a
+        # pre-existing server on 1 vs 2 is a genuinely different instance.
+        tree = Tree([None, 0, 0], [(1, 4)])
+        assert _digest(tree, {1}) != _digest(tree, {2})
+        # On a symmetric tree the two placements are isomorphic.
+        sym = Tree([None, 0, 0], [(1, 4), (2, 4)])
+        assert _digest(sym, {1}) == _digest(sym, {2})
+
+    def test_solver_params_in_digest(self, rng):
+        tree = paper_tree(15, rng=rng)
+        base = _digest(tree)
+        assert _digest(tree, capacity=11) != base
+        assert _digest(tree, cm=UniformCostModel(0.2, 0.01)) != base
+        assert _digest(tree, solver="greedy") != base
+
+    def test_structure_in_digest(self):
+        chain = Tree([None, 0, 1], [(2, 3)])
+        star = Tree([None, 0, 0], [(2, 3)])
+        assert _digest(chain) != _digest(star)
+
+
+class TestRelabelTree:
+    def test_identity_permutation(self, rng):
+        tree = paper_tree(10, rng=rng)
+        tree2, pre2 = relabel_tree(tree, list(range(10)), {3})
+        assert tree2 == tree
+        assert pre2 == frozenset({3})
+
+    def test_rejects_non_permutation(self, rng):
+        tree = paper_tree(4, rng=rng)
+        with pytest.raises(ValueError):
+            relabel_tree(tree, [0, 0, 1, 2])

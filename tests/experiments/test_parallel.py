@@ -96,3 +96,37 @@ class TestParallelRunners:
     def test_bad_workers(self):
         with pytest.raises(ConfigurationError):
             run_experiment1_parallel(Exp1Config(n_trees=2), n_workers=0)
+
+
+class TestDeterminism:
+    """A fixed ``(seed, n_workers)`` pair must reproduce bit-identical
+    merged series (the module docstring's reproducibility contract)."""
+
+    def test_exp1_same_seed_workers_identical(self):
+        cfg = Exp1Config(n_trees=4, n_nodes=20, e_values=(0, 5, 10), seed=11)
+        a = run_experiment1_parallel(cfg, n_workers=2)
+        b = run_experiment1_parallel(cfg, n_workers=2)
+        assert a.dp_reuse == b.dp_reuse
+        assert a.gr_reuse == b.gr_reuse
+        assert a.gap == b.gap
+        assert a.mean_gap == b.mean_gap
+        assert a.max_gap == b.max_gap
+
+    def test_exp2_same_seed_workers_identical(self):
+        cfg = Exp2Config(n_trees=4, n_nodes=20, n_steps=3, seed=11)
+        a = run_experiment2_parallel(cfg, n_workers=2)
+        b = run_experiment2_parallel(cfg, n_workers=2)
+        assert a.dp_cumulative == b.dp_cumulative
+        assert a.gr_cumulative == b.gr_cumulative
+        assert a.gap_histogram == b.gap_histogram
+
+    def test_exp3_same_seed_workers_identical(self):
+        cfg = Exp3Config(
+            n_trees=4, n_nodes=15, cost_bounds=(10.0, 30.0), seed=11
+        )
+        a = run_experiment3_parallel(cfg, n_workers=2)
+        b = run_experiment3_parallel(cfg, n_workers=2)
+        assert a.dp_inverse == b.dp_inverse
+        assert a.gr_inverse == b.gr_inverse
+        assert a.dp_success == b.dp_success
+        assert a.gr_success == b.gr_success

@@ -121,3 +121,65 @@ class TestExperiments:
         assert main(["exp3", "--trees", "2"]) == 0
         out = capsys.readouterr().out
         assert "Figure 8" in out and "peak GR-over-DP" in out
+
+
+class TestBatch:
+    def test_demo_batch(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--demo", "6", "--duplicate-rate", "0.5",
+                    "--nodes", "20", "--seed", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "digest" in out
+        assert "unique_solved=3" in out
+        assert "duplicates_folded=3" in out
+
+    def test_batch_file_with_cache_dir(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.batch import batch_to_json, random_batch
+
+        path = tmp_path / "batch.json"
+        path.write_text(
+            batch_to_json(
+                random_batch(
+                    4, duplicate_rate=0.5, n_nodes=15,
+                    rng=np.random.default_rng(2),
+                )
+            )
+        )
+        cache_dir = str(tmp_path / "cache")
+        assert main(["batch", str(path), "--cache-dir", cache_dir]) == 0
+        first = capsys.readouterr().out
+        assert "unique_solved=2" in first
+        # Second run is served entirely from the persistent store.
+        assert main(["batch", str(path), "--cache-dir", cache_dir]) == 0
+        second = capsys.readouterr().out
+        assert "unique_solved=0" in second and "hit_rate=1.00" in second
+
+    def test_batch_greedy_solver(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--demo", "3", "--nodes", "15", "--seed", "4",
+                    "--solver", "greedy", "--duplicate-rate", "0.0",
+                ]
+            )
+            == 0
+        )
+        assert "unique_solved=3" in capsys.readouterr().out
+
+    def test_batch_requires_input(self, capsys):
+        assert main(["batch"]) == 2
+        assert "batch file or --demo" in capsys.readouterr().err
+
+    def test_batch_file_and_demo_conflict(self, tmp_path, capsys):
+        path = tmp_path / "b.json"
+        path.write_text("{}")
+        assert main(["batch", str(path), "--demo", "3"]) == 2
+        assert "mutually exclusive" in capsys.readouterr().err

@@ -1,0 +1,91 @@
+"""Warm-vs-cold batch throughput with a persistent cache directory.
+
+CI persists ``REPRO_WARM_CACHE_DIR`` across runs (``actions/cache``), so
+the warm pass measures cross-run cache reuse: on the first run the warm
+directory is empty and the two passes match; on later runs the warm pass
+is served from disk without a single solve.  Cache records are versioned
+by ``repro.__version__`` — bumping the version or the digest schema
+cleanly invalidates the persisted store, so drift can never serve stale
+records (the report then shows a cold-ish warm pass for one run).
+
+The batch is seed-fixed so digests are stable across runs of the same
+code version.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.batch import ResultCache, random_batch, solve_batch
+
+N_INSTANCES = 30
+N_NODES = 90
+DUP_RATE = 0.5
+SEED = 777
+
+WARM_DIR = os.environ.get(
+    "REPRO_WARM_CACHE_DIR", "benchmarks/results/warm-cache-dir"
+)
+
+
+def _batch():
+    return random_batch(
+        N_INSTANCES,
+        duplicate_rate=DUP_RATE,
+        n_nodes=N_NODES,
+        n_preexisting=20,
+        rng=np.random.default_rng(SEED),
+    )
+
+
+def _run(cache_dir):
+    cache = ResultCache(max_entries=512, cache_dir=cache_dir)
+    t0 = time.perf_counter()
+    results = solve_batch(_batch(), solver="dp", cache=cache)
+    elapsed = time.perf_counter() - t0
+    return results, elapsed, cache.stats
+
+
+def test_warm_vs_cold_throughput(emit, tmp_path):
+    cold_results, t_cold, cold = _run(tmp_path / "cold")
+    warm_results, t_warm, warm = _run(WARM_DIR)
+
+    # Warm-tier correctness: the persisted records must reproduce the
+    # cold solve exactly.
+    assert [r.cost for r in warm_results] == [r.cost for r in cold_results]
+    # A persisted store can only remove work, never add it.
+    assert warm.unique_solved <= cold.unique_solved
+
+    rows = [
+        (
+            "cold",
+            cold.unique_solved,
+            cold.disk_hits,
+            f"{N_INSTANCES / t_cold:.0f}",
+        ),
+        (
+            "warm",
+            warm.unique_solved,
+            warm.disk_hits,
+            f"{N_INSTANCES / t_warm:.0f}",
+        ),
+    ]
+    emit(
+        "warm_cache",
+        format_table(("pass", "unique_solved", "disk_hits", "solves/s"), rows)
+        + f"\n\nbatch={N_INSTANCES} instances, N={N_NODES}, "
+        f"dup_rate={DUP_RATE:.0%}, warm dir={WARM_DIR}\n"
+        f"warm/cold throughput: {t_cold / t_warm:.2f}x "
+        f"(1.0x expected on a first run with an empty warm dir)",
+    )
+
+    # Second in-process pass over the now-populated warm dir must be
+    # entirely solve-free regardless of CI cache state.
+    rerun = ResultCache(max_entries=512, cache_dir=WARM_DIR)
+    solve_batch(_batch(), solver="dp", cache=rerun)
+    assert rerun.stats.unique_solved == 0
+    assert rerun.stats.disk_hits > 0

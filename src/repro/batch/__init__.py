@@ -3,8 +3,8 @@
 Replica-placement traffic is dominated by repeated and isomorphic
 instances (the same tree families re-solved across request vectors), so
 the batch layer dedupes by a relabelling-invariant canonical digest,
-caches canonical solutions in an LRU + optional disk store, and fans
-results back out through each instance's inverse relabelling:
+caches canonical solutions in an LRU + optional sharded disk store, and
+fans results back out through each instance's inverse relabelling:
 
 >>> import numpy as np
 >>> from repro.batch import ResultCache, random_batch, solve_batch
@@ -13,6 +13,12 @@ results back out through each instance's inverse relabelling:
 >>> results = solve_batch(batch, solver="dp", cache=cache)
 >>> len(results) == 8 and cache.stats.duplicates_folded > 0
 True
+
+Solver families are pluggable policies (:mod:`repro.batch.registry`):
+the MinCost trio (``dp`` / ``greedy`` / ``dp_nopre``) and the power
+family (``min_power`` / ``power_frontier`` / ``greedy_power``) ship
+built in, and a new solver is a ~50-line registration — digest fields,
+canonical solve, fan-out — not an executor fork.
 
 See ``README.md`` ("Batch solving and caching") for cache semantics and
 the CLI front-end (``repro batch``).
@@ -25,7 +31,7 @@ from repro.batch.canonical import (
     instance_digest,
     relabel_tree,
 )
-from repro.batch.executor import SOLVERS, solve_batch
+from repro.batch.executor import solve_batch
 from repro.batch.instance import (
     BatchInstance,
     batch_from_json,
@@ -34,19 +40,28 @@ from repro.batch.instance import (
     instance_to_dict,
     random_batch,
 )
+from repro.batch.registry import (
+    SolverPolicy,
+    available_solvers,
+    get_policy,
+    register_policy,
+)
 
 __all__ = [
     "BatchInstance",
     "Canonical",
     "ResultCache",
-    "SOLVERS",
+    "SolverPolicy",
+    "available_solvers",
     "batch_from_json",
     "batch_to_json",
     "canonicalize",
+    "get_policy",
     "instance_digest",
     "instance_from_dict",
     "instance_to_dict",
     "random_batch",
+    "register_policy",
     "relabel_tree",
     "solve_batch",
 ]

@@ -1,18 +1,33 @@
-"""Result cache: in-memory LRU with an optional on-disk JSON-lines store.
+"""Result cache: in-memory LRU with a sharded, size-bounded disk store.
 
 The cache maps canonical instance digests (:func:`repro.batch.canonical
 .instance_digest`) to small JSON-able result records.  Two tiers:
 
 * an :class:`collections.OrderedDict` LRU bounded by ``max_entries``;
-* optionally a ``batch-cache.jsonl`` file under ``cache_dir`` that
-  persists every stored record across processes.  Each line carries the
-  writing package version (:data:`repro._version.__version__`); entries
-  written by a different version are dropped at load time (solver output
-  or canonical schema may have changed) and the file is compacted.
+* optionally a set of JSON-lines files under ``cache_dir``, sharded by
+  the first two hex characters of the digest
+  (``batch-cache.<2hex>.jsonl``) so concurrent writers appending
+  different digests land on different files instead of contending on one
+  append-only log.  Each line carries the writing package version
+  (:data:`repro._version.__version__`); entries written by a different
+  version are dropped at load time (solver output or canonical schema
+  may have changed) and the affected shards are compacted.
 
-The disk tier is append-only and unbounded — sharding and an eviction /
-compaction policy for long-lived deployments are tracked as ROADMAP open
-items.  Records must be plain JSON-able dicts; the cache never pickles.
+With ``max_disk_entries`` set, the disk tier is size-bounded: when a
+store pushes it past the budget (plus ~1.5% amortisation slack), the
+least-recently-used digests are evicted and only the shards that lost
+entries are rewritten in place.  Rewrites re-read the shard first and
+carry over current-version lines appended by concurrent writers (a
+small unlocked read→replace window remains — per-shard advisory
+locking is a ROADMAP item).  Recency is approximate across restarts
+(load order seeds it), exact within a process.  A legacy single-file
+``batch-cache.jsonl`` store is migrated into shards on first load.
+
+Records must be plain JSON-able dicts; the cache never pickles.  Lookups
+may pass an expected record ``schema``: a cached record whose ``schema``
+field differs is treated as a miss (and counted in
+``stats.schema_discards``), so a policy can never be served a record
+shape it does not understand.
 """
 
 from __future__ import annotations
@@ -21,7 +36,7 @@ import json
 import os
 from collections import OrderedDict
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterable
 
 from repro._version import __version__
 from repro.exceptions import ConfigurationError
@@ -29,7 +44,9 @@ from repro.perf.stats import BatchCacheStats
 
 __all__ = ["ResultCache"]
 
-_CACHE_FILENAME = "batch-cache.jsonl"
+_CACHE_BASENAME = "batch-cache"
+#: Pre-sharding store file, migrated into shards at load time.
+_LEGACY_FILENAME = "batch-cache.jsonl"
 
 
 class ResultCache:
@@ -42,8 +59,12 @@ class ResultCache:
         Evicted records remain retrievable from the disk tier when one is
         configured.
     cache_dir:
-        Directory for the persistent JSONL store (created on demand).
-        ``None`` keeps the cache purely in-memory.
+        Directory for the persistent sharded JSONL store (created on
+        demand).  ``None`` keeps the cache purely in-memory.
+    max_disk_entries:
+        Optional budget for the disk tier; exceeding it evicts the
+        least-recently-used digests and compacts their shards in place.
+        ``None`` keeps the disk tier unbounded.
     stats:
         Optional shared :class:`~repro.perf.stats.BatchCacheStats`
         collector; a private one is created otherwise.
@@ -54,21 +75,26 @@ class ResultCache:
         max_entries: int = 4096,
         *,
         cache_dir: str | os.PathLike[str] | None = None,
+        max_disk_entries: int | None = None,
         stats: BatchCacheStats | None = None,
     ) -> None:
         if max_entries < 1:
             raise ConfigurationError(
                 f"max_entries must be >= 1, got {max_entries}"
             )
+        if max_disk_entries is not None and max_disk_entries < 1:
+            raise ConfigurationError(
+                f"max_disk_entries must be >= 1, got {max_disk_entries}"
+            )
         self.max_entries = max_entries
+        self.max_disk_entries = max_disk_entries
         self.stats = stats if stats is not None else BatchCacheStats()
         self._lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
-        self._disk: dict[str, dict[str, Any]] = {}
-        self._disk_path: Path | None = None
+        self._disk: OrderedDict[str, dict[str, Any]] = OrderedDict()
+        self._dir: Path | None = None
         if cache_dir is not None:
-            directory = Path(cache_dir)
-            directory.mkdir(parents=True, exist_ok=True)
-            self._disk_path = directory / _CACHE_FILENAME
+            self._dir = Path(cache_dir)
+            self._dir.mkdir(parents=True, exist_ok=True)
             self._load_disk()
 
     # ------------------------------------------------------------------
@@ -81,22 +107,41 @@ class ResultCache:
         return digest in self._lru or digest in self._disk
 
     def get(
-        self, digest: str, *, stats: BatchCacheStats | None = None
+        self,
+        digest: str,
+        *,
+        stats: BatchCacheStats | None = None,
+        schema: int | None = None,
     ) -> dict[str, Any] | None:
         """Look up a record; counts a hit/miss and refreshes LRU order.
 
         ``stats`` overrides the collector for this lookup — the batch
         executor passes its effective collector so every counter of one
-        ``solve_batch`` call lands in a single object.
+        ``solve_batch`` call lands in a single object.  With ``schema``
+        set, a record whose ``schema`` field differs is treated as a miss
+        (counted in ``schema_discards``) instead of being returned.
         """
         stats = stats if stats is not None else self.stats
         record = self._lru.get(digest)
         if record is not None:
+            if schema is not None and record.get("schema") != schema:
+                stats.schema_discards += 1
+                stats.record_miss()
+                return None
             self._lru.move_to_end(digest)
+            if digest in self._disk:
+                # Memory-tier hits still count as disk usage, so the
+                # size-bounded disk tier evicts genuinely cold digests.
+                self._disk.move_to_end(digest)
             stats.record_hit()
             return record
         record = self._disk.get(digest)
         if record is not None:
+            if schema is not None and record.get("schema") != schema:
+                stats.schema_discards += 1
+                stats.record_miss()
+                return None
+            self._disk.move_to_end(digest)
             stats.record_hit(disk=True)
             self._insert(digest, record, stats)
             return record
@@ -110,22 +155,35 @@ class ResultCache:
         *,
         stats: BatchCacheStats | None = None,
     ) -> None:
-        """Store a record in the LRU and append it to the disk tier."""
+        """Store a record in the LRU and append it to its disk shard.
+
+        A digest whose on-disk record differs (e.g. a stale-schema entry
+        that was bypassed via ``get(..., schema=...)``) is overwritten:
+        the new record is appended and wins at load time (later lines
+        shadow earlier ones within a shard), so the cache converges
+        instead of re-solving the same digest forever.
+        """
         stats = stats if stats is not None else self.stats
         self._insert(digest, record, stats)
         stats.stores += 1
-        if self._disk_path is not None and digest not in self._disk:
+        if self._dir is not None and self._disk.get(digest) != record:
             self._disk[digest] = record
+            self._disk.move_to_end(digest)
             line = json.dumps(
                 {"version": __version__, "digest": digest, "record": record},
                 separators=(",", ":"),
             )
-            with open(self._disk_path, "a", encoding="utf-8") as fh:
+            with open(self._shard_path(digest), "a", encoding="utf-8") as fh:
                 fh.write(line + "\n")
+            self._enforce_disk_budget(stats)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
+    def _shard_path(self, digest: str) -> Path:
+        assert self._dir is not None
+        return self._dir / f"{_CACHE_BASENAME}.{digest[:2]}.jsonl"
+
     def _insert(
         self,
         digest: str,
@@ -139,12 +197,88 @@ class ResultCache:
             self._lru.popitem(last=False)
             stats.evictions += 1
 
-    def _load_disk(self) -> None:
-        assert self._disk_path is not None
-        if not self._disk_path.exists():
+    def _enforce_disk_budget(self, stats: BatchCacheStats) -> None:
+        if self.max_disk_entries is None:
             return
+        if len(self._disk) <= self.max_disk_entries:
+            return
+        # Evict slightly below the budget (~1.5% slack) so a store at
+        # steady state triggers one compaction per batch of puts rather
+        # than a survivor scan + shard rewrite on every single put.
+        target = self.max_disk_entries - self.max_disk_entries // 64
+        dropped: set[str] = set()
+        while len(self._disk) > target:
+            evicted, _ = self._disk.popitem(last=False)
+            dropped.add(evicted)
+            stats.disk_evictions += 1
+        self._compact_shards({d[:2] for d in dropped}, dropped)
+
+    def _compact_shards(self, prefixes: set[str], dropped: set[str]) -> None:
+        """Rewrite the shards of ``prefixes``, dropping ``dropped`` digests.
+
+        Surviving entries are bucketed by prefix in one pass over the
+        disk view, so a compaction event costs O(total entries + lines
+        rewritten) rather than one full scan per touched shard.
+        """
+        if not prefixes:
+            return
+        buckets: dict[str, list[tuple[str, dict[str, Any]]]] = {
+            p: [] for p in prefixes
+        }
+        for digest, record in self._disk.items():
+            bucket = buckets.get(digest[:2])
+            if bucket is not None:
+                bucket.append((digest, record))
+        for prefix in prefixes:
+            self._rewrite_shard(prefix, buckets[prefix], dropped)
+
+    def _rewrite_shard(
+        self,
+        prefix: str,
+        survivors: list[tuple[str, dict[str, Any]]],
+        dropped: set[str],
+    ) -> None:
+        """Rewrite one shard from ``survivors``, merging concurrent appends.
+
+        The shard is re-read immediately before the rewrite: any
+        current-version line another process appended since we loaded
+        (a digest we neither hold nor just evicted) is carried over, so
+        compaction does not silently discard concurrent writers' work.
+        A small unlocked read→replace window remains; per-shard advisory
+        locking is a ROADMAP item.
+        """
+        assert self._dir is not None
+        path = self._dir / f"{_CACHE_BASENAME}.{prefix}.jsonl"
+        merged = dict(survivors)
+        if path.exists():
+            on_disk, _ = self._read_lines(path)
+            for digest, record in on_disk.items():
+                if digest not in merged and digest not in dropped:
+                    merged[digest] = record
+        if not merged:
+            path.unlink(missing_ok=True)
+            return
+        tmp = path.with_suffix(".jsonl.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for digest, record in merged.items():
+                fh.write(
+                    json.dumps(
+                        {
+                            "version": __version__,
+                            "digest": digest,
+                            "record": record,
+                        },
+                        separators=(",", ":"),
+                    )
+                    + "\n"
+                )
+        os.replace(tmp, path)
+
+    def _read_lines(self, path: Path) -> tuple[dict[str, dict[str, Any]], bool]:
+        """Parse one store file; returns (entries, saw_stale_or_corrupt)."""
+        entries: dict[str, dict[str, Any]] = {}
         stale_or_corrupt = False
-        with open(self._disk_path, encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
@@ -160,25 +294,48 @@ class ResultCache:
                 if version != __version__:
                     stale_or_corrupt = True
                     continue
-                self._disk[digest] = record
-        if stale_or_corrupt:
-            self._compact()
+                entries[digest] = record
+        return entries, stale_or_corrupt
 
-    def _compact(self) -> None:
-        """Rewrite the store keeping only current-version entries."""
-        assert self._disk_path is not None
-        tmp = self._disk_path.with_suffix(".jsonl.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for digest, record in self._disk.items():
-                fh.write(
-                    json.dumps(
-                        {
-                            "version": __version__,
-                            "digest": digest,
-                            "record": record,
-                        },
-                        separators=(",", ":"),
-                    )
-                    + "\n"
-                )
-        os.replace(tmp, self._disk_path)
+    def _shard_files(self) -> Iterable[Path]:
+        assert self._dir is not None
+        # The legacy un-sharded "batch-cache.jsonl" has no prefix token and
+        # is deliberately not matched here (it is migrated separately).
+        return sorted(
+            p
+            for p in self._dir.glob(f"{_CACHE_BASENAME}.*.jsonl")
+            if p.name != _LEGACY_FILENAME and not p.name.endswith(".tmp")
+        )
+
+    def _load_disk(self) -> None:
+        assert self._dir is not None
+        needs_rewrite: set[str] = set()
+        for path in self._shard_files():
+            entries, dirty = self._read_lines(path)
+            # Shard names are digest prefixes; a two-char suffix like the
+            # migrated legacy shards' is always digest[:2].
+            prefix = path.name[len(_CACHE_BASENAME) + 1 : -len(".jsonl")]
+            if dirty:
+                needs_rewrite.add(prefix)
+            for digest, record in entries.items():
+                self._disk[digest] = record
+        legacy = self._dir / _LEGACY_FILENAME
+        migrating = legacy.exists()
+        if migrating:
+            entries, _ = self._read_lines(legacy)
+            for digest, record in entries.items():
+                if digest not in self._disk:
+                    self._disk[digest] = record
+                needs_rewrite.add(digest[:2])
+        dropped: set[str] = set()
+        if self.max_disk_entries is not None:
+            while len(self._disk) > self.max_disk_entries:
+                evicted, _ = self._disk.popitem(last=False)
+                dropped.add(evicted)
+                needs_rewrite.add(evicted[:2])
+                self.stats.disk_evictions += 1
+        self._compact_shards(needs_rewrite, dropped)
+        if migrating:
+            # Unlink only after the shards hold the migrated entries, so
+            # a crash mid-migration never loses the legacy store.
+            legacy.unlink()

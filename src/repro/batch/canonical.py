@@ -8,22 +8,36 @@ thousands of times).  To dedupe such traffic the batch layer needs a
 canonical form that is invariant under relabelling of internal nodes.
 
 The canonicalisation is the classical AHU rooted-tree encoding extended
-with per-node annotations:
+with per-node annotations, with subtree codes *interned to integers*:
 
 * each node's annotation is the sorted multiset of its direct client
-  request counts plus a pre-existing-server marker;
-* a node's code is ``"(" + annotation + sorted(child codes) + ")"``;
-* the canonical node numbering is the pre-order walk that visits children
-  in ascending code order.
+  request counts plus a pre-existing-server marker (``0`` for plain
+  nodes, ``1 + old_mode`` for pre-existing servers, so an unmoded
+  pre-existing set is exactly the all-modes-0 case);
+* nodes are processed level by level (by subtree height, leaves first);
+  a node's key is ``(annotation, sorted child codes)`` and every *new*
+  key in a level is assigned the next integer code in sorted key order.
+  Because identical keys can only occur at one height, and the sorted
+  assignment within a level is label-free, two isomorphic annotated
+  trees receive identical code tables — by induction over heights;
+* the canonical node numbering is the pre-order walk that visits
+  children in ascending code order.
+
+Interning keeps the encoding near-linear: the original string encoding
+concatenated child codes, which is O(N²) characters on path-shaped trees
+(``benchmarks/bench_canonical_deep.py`` guards the regression).
 
 Two instances receive the same digest **iff** there is a tree isomorphism
 mapping one onto the other that preserves client workloads and the
-pre-existing set — so a cached solution for one can be relabelled into a
-solution for the other via :attr:`Canonical.from_canonical`.
+pre-existing set (including old modes, when given as a mapping) — so a
+cached solution for one can be relabelled into a solution for the other
+via :attr:`Canonical.from_canonical`.
 
-The digest additionally covers the solver parameters (capacity, cost
-model, solver policy) so distinct questions about the same tree never
-collide.
+The digest additionally covers the solver parameters a policy's solution
+set actually consumes — capacity, cost model, power model, modal cost
+model — as declared by the policy (:mod:`repro.batch.registry`), so
+distinct questions about the same tree never collide while equivalent
+questions share one record.
 """
 
 from __future__ import annotations
@@ -31,11 +45,15 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 from repro.core.costs import UniformCostModel
 from repro.tree.model import Tree
 from repro.tree.validate import check_preexisting
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.costs import ModalCostModel
+    from repro.power.modes import PowerModel
 
 __all__ = [
     "Canonical",
@@ -44,7 +62,11 @@ __all__ = [
     "relabel_tree",
 ]
 
-_DIGEST_SCHEMA = 1
+#: Bumped to 2 when AHU codes switched from strings to interned integers
+#: (the child ordering, hence the canonical numbering, changed) and the
+#: digest grew optional power-model fields.  Old records can never be
+#: returned: they are keyed by old-schema digests no new request computes.
+_DIGEST_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -60,6 +82,9 @@ class Canonical:
         Sorted ``(canonical node, requests)`` pairs.
     preexisting:
         Sorted canonical ids of the pre-existing servers.
+    preexisting_modes:
+        Sorted ``(canonical node, old mode)`` pairs; mode 0 for every
+        server when the pre-existing set was given as a plain iterable.
     to_canonical:
         ``to_canonical[original_id] == canonical_id``.
     from_canonical:
@@ -69,6 +94,7 @@ class Canonical:
     parents: tuple[int | None, ...]
     clients: tuple[tuple[int, int], ...]
     preexisting: tuple[int, ...]
+    preexisting_modes: tuple[tuple[int, int], ...]
     to_canonical: tuple[int, ...]
     from_canonical: tuple[int, ...]
 
@@ -77,24 +103,54 @@ class Canonical:
         return frozenset(self.from_canonical[v] for v in canonical_nodes)
 
 
-def canonicalize(tree: Tree, preexisting: Iterable[int] = ()) -> Canonical:
-    """Compute the relabelling-invariant canonical form of an instance."""
-    pre = check_preexisting(tree, preexisting)
+def canonicalize(
+    tree: Tree, preexisting: Iterable[int] | Mapping[int, int] = ()
+) -> Canonical:
+    """Compute the relabelling-invariant canonical form of an instance.
+
+    ``preexisting`` is either a plain iterable of node ids (the MinCost
+    shape) or a ``{node: old_mode}`` mapping (the power shape); a plain
+    set canonicalises exactly like the all-modes-0 mapping.
+    """
+    if isinstance(preexisting, Mapping):
+        pre_modes = {int(v): int(m) for v, m in preexisting.items()}
+    else:
+        pre_modes = {int(v): 0 for v in preexisting}
+    check_preexisting(tree, pre_modes)
     n = tree.n_nodes
 
-    # AHU codes, children before parents.  Codes are strings; identically
-    # coded siblings root isomorphic annotated subtrees, so any order
-    # between them yields the same canonical instance.
-    codes: list[str] = [""] * n
+    # Group nodes by subtree height so codes can be interned level by
+    # level: identical keys only ever occur at one height, and assigning
+    # fresh integers in sorted-key order per level is labelling-free.
+    heights = [0] * n
+    by_height: list[list[int]] = []
     for v in tree.post_order():
         vi = int(v)
-        reqs = ",".join(
-            str(r) for r in sorted(c.requests for c in tree.clients_at(vi))
-        )
-        kids = "".join(sorted(codes[c] for c in tree.children(vi)))
-        codes[vi] = f"({reqs}|{1 if vi in pre else 0}{kids})"
+        kids = tree.children(vi)
+        h = 1 + max((heights[c] for c in kids), default=-1)
+        heights[vi] = h
+        while len(by_height) <= h:
+            by_height.append([])
+        by_height[h].append(vi)
+
+    codes = [0] * n
+    intern: dict[tuple, int] = {}
+    for level in by_height:
+        level_keys: dict[int, tuple] = {}
+        for vi in level:
+            reqs = tuple(sorted(c.requests for c in tree.clients_at(vi)))
+            marker = pre_modes.get(vi, -1) + 1
+            kids = tuple(sorted(codes[c] for c in tree.children(vi)))
+            level_keys[vi] = (reqs, marker, kids)
+        for key in sorted(set(level_keys.values())):
+            if key not in intern:
+                intern[key] = len(intern)
+        for vi in level:
+            codes[vi] = intern[level_keys[vi]]
 
     # Canonical numbering: pre-order, children in ascending code order.
+    # Identically coded siblings root isomorphic annotated subtrees, so
+    # any order between them yields the same canonical instance.
     order: list[int] = []
     stack = [tree.root]
     while stack:
@@ -115,10 +171,14 @@ def canonicalize(tree: Tree, preexisting: Iterable[int] = ()) -> Canonical:
     clients = tuple(
         sorted((to_canon[c.node], c.requests) for c in tree.clients)
     )
+    canon_modes = tuple(
+        sorted((to_canon[v], m) for v, m in pre_modes.items())
+    )
     return Canonical(
         parents=tuple(parents),
         clients=clients,
-        preexisting=tuple(sorted(to_canon[v] for v in pre)),
+        preexisting=tuple(v for v, _ in canon_modes),
+        preexisting_modes=canon_modes,
         to_canonical=tuple(to_canon),
         from_canonical=tuple(order),
     )
@@ -126,26 +186,46 @@ def canonicalize(tree: Tree, preexisting: Iterable[int] = ()) -> Canonical:
 
 def instance_digest(
     canonical: Canonical,
-    capacity: int,
+    capacity: int | None,
     cost_model: UniformCostModel | None,
     solver: str,
+    *,
+    power_model: "PowerModel | None" = None,
+    modal_cost_model: "ModalCostModel | None" = None,
+    include_pre_modes: bool = False,
 ) -> str:
     """Content-addressed SHA-256 digest of a canonical solver instance.
 
-    Pass ``cost_model=None`` for solver policies whose *solution set* does
-    not depend on the cost model (greedy, dp_nopre) so that equivalent
-    requests share a digest; the executor makes that call per policy.
+    Only the parameters a solver policy's *solution set* consumes belong
+    in its digest (:attr:`repro.batch.registry.SolverPolicy.digest_fields`
+    makes that call per policy): pass ``cost_model=None`` for policies
+    that price solutions only during fan-out (greedy, dp_nopre), and
+    ``capacity=None`` for power policies, whose capacity comes from the
+    mode set.  ``include_pre_modes`` additionally covers the pre-existing
+    servers' old modes (the power shape of the pre-existing set).
     """
-    payload = {
+    payload: dict = {
         "schema": _DIGEST_SCHEMA,
         "solver": solver,
-        "capacity": int(capacity),
+        "capacity": None if capacity is None else int(capacity),
         "create": None if cost_model is None else cost_model.create,
         "delete": None if cost_model is None else cost_model.delete,
         "parents": list(canonical.parents),
         "clients": [list(c) for c in canonical.clients],
         "pre": list(canonical.preexisting),
     }
+    if power_model is not None or modal_cost_model is not None:
+        from repro.power.serialize import (
+            modal_cost_model_to_dict,
+            power_model_to_dict,
+        )
+
+        if power_model is not None:
+            payload["power"] = power_model_to_dict(power_model)
+        if modal_cost_model is not None:
+            payload["modal_cost"] = modal_cost_model_to_dict(modal_cost_model)
+    if include_pre_modes:
+        payload["pre_modes"] = [list(p) for p in canonical.preexisting_modes]
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
@@ -153,13 +233,15 @@ def instance_digest(
 def relabel_tree(
     tree: Tree,
     perm: Sequence[int],
-    preexisting: Iterable[int] = (),
-) -> tuple[Tree, frozenset[int]]:
+    preexisting: Iterable[int] | Mapping[int, int] = (),
+) -> tuple[Tree, frozenset[int]] | tuple[Tree, dict[int, int]]:
     """Apply a node permutation (``perm[old] == new``) to an instance.
 
     Returns the relabelled tree and pre-existing set — an isomorphic copy
-    that must canonicalise to the same digest.  Used by the batch tests
-    and the duplicate-heavy benchmark workloads.
+    that must canonicalise to the same digest.  A ``{node: mode}``
+    pre-existing mapping is relabelled to a mapping; a plain iterable to
+    a frozenset.  Used by the batch tests and the duplicate-heavy
+    benchmark workloads.
     """
     n = tree.n_nodes
     if sorted(int(p) for p in perm) != list(range(n)):
@@ -168,5 +250,7 @@ def relabel_tree(
     for old, p in enumerate(tree.parents):
         parents[int(perm[old])] = None if p is None else int(perm[p])
     clients = [(int(perm[c.node]), c.requests) for c in tree.clients]
-    pre = frozenset(int(perm[v]) for v in preexisting)
-    return Tree(parents, clients, validate=False), pre
+    relabelled = Tree(parents, clients, validate=False)
+    if isinstance(preexisting, Mapping):
+        return relabelled, {int(perm[v]): int(m) for v, m in preexisting.items()}
+    return relabelled, frozenset(int(perm[v]) for v in preexisting)

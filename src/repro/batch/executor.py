@@ -7,7 +7,7 @@ engine.  For a batch of :class:`~repro.batch.instance.BatchInstance`:
    keyed by its content digest — relabelled isomorphic duplicates collapse
    onto one key;
 2. unique keys are looked up in an optional
-   :class:`~repro.batch.cache.ResultCache` (LRU + disk tier);
+   :class:`~repro.batch.cache.ResultCache` (LRU + sharded disk tier);
 3. the remaining misses are solved — serially, or across a
    :class:`~concurrent.futures.ProcessPoolExecutor` in contiguous chunks
    (the chunk/merge discipline of :mod:`repro.experiments.parallel`);
@@ -15,19 +15,16 @@ engine.  For a batch of :class:`~repro.batch.instance.BatchInstance`:
    relabelling and re-verified against the *original* tree, so a cache or
    mapping bug can never return an invalid placement silently.
 
-Only the canonical replica set crosses process and disk boundaries — the
-per-instance bookkeeping (loads, reuse partition, Equation-2 cost) is
-recomputed in O(N) during fan-out, which keeps cache records tiny and
+Only relabelling-covariant data crosses process and disk boundaries —
+the canonical replica set for the MinCost family, ``(cost, power,
+canonical modes)`` triples for the power family; per-instance bookkeeping
+is recomputed in O(N) during fan-out, which keeps cache records tiny and
 JSON-able.
 
-Solver policies: ``"dp"`` (MinCost-WithPre, the paper's Theorem 1),
-``"greedy"`` (GR baseline) and ``"dp_nopre"`` (pre-existing-oblivious
-MinCost).  Results are cross-compatible only within one policy; the digest
-covers the policy name.  The digest also covers *only* the parameters the
-policy's solution set depends on: greedy (index tie-break) and dp_nopre
-place replicas independently of the pre-existing set and the cost model —
-those only enter the per-instance fan-out pricing — so requests differing
-just in pre/cost share one cached solve under those policies.
+Everything solver-specific lives in :mod:`repro.batch.registry`: which
+instance parameters enter the digest, how a canonical payload is solved,
+and how records fan back out.  This module never dispatches on policy
+names — adding a solver is a registry entry, not an executor fork.
 """
 
 from __future__ import annotations
@@ -36,86 +33,17 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
 from repro.batch.cache import ResultCache
-from repro.batch.canonical import Canonical, canonicalize, instance_digest
 from repro.batch.instance import BatchInstance
-from repro.core.dp_nopre import dp_nopre_placement
-from repro.core.dp_withpre import replica_update
-from repro.core.greedy import greedy_placement
-from repro.core.costs import UniformCostModel
-from repro.core.solution import PlacementResult
+from repro.batch.registry import get_policy
 from repro.exceptions import ConfigurationError
 from repro.perf.stats import BatchCacheStats
-from repro.tree.model import Tree
 
-__all__ = ["SOLVERS", "solve_batch"]
-
-SOLVERS = ("dp", "greedy", "dp_nopre")
-
-#: Policies whose replica set depends on the pre-existing servers and the
-#: cost model.  greedy (index tie-break) and dp_nopre use both only for
-#: result bookkeeping, which the fan-out recomputes per instance anyway.
-_POLICY_USES_PRE_AND_COST = frozenset({"dp"})
-
-_RECORD_SCHEMA = 1
-
-
-def _instance_key(
-    instance: BatchInstance, solver: str
-) -> tuple[Canonical, str]:
-    """Canonical form + digest covering only what ``solver`` consumes."""
-    if solver in _POLICY_USES_PRE_AND_COST:
-        canonical = canonicalize(instance.tree, instance.preexisting)
-        digest = instance_digest(
-            canonical, instance.capacity, instance.cost_model, solver
-        )
-    else:
-        canonical = canonicalize(instance.tree)
-        digest = instance_digest(canonical, instance.capacity, None, solver)
-    return canonical, digest
-
-
-def _canonical_payload(
-    canonical: Canonical, instance: BatchInstance, solver: str
-) -> dict[str, Any]:
-    """Picklable/pure-data description of one canonical solve."""
-    return {
-        "parents": list(canonical.parents),
-        "clients": [list(c) for c in canonical.clients],
-        "pre": list(canonical.preexisting),
-        "capacity": instance.capacity,
-        "create": instance.cost_model.create,
-        "delete": instance.cost_model.delete,
-        "solver": solver,
-    }
+__all__ = ["solve_batch"]
 
 
 def _solve_canonical(payload: dict[str, Any]) -> dict[str, Any]:
-    """Solve one canonical instance; returns a JSON-able cache record."""
-    tree = Tree(
-        [None if p is None else int(p) for p in payload["parents"]],
-        [(int(n), int(r)) for n, r in payload["clients"]],
-        validate=False,
-    )
-    pre = frozenset(int(v) for v in payload["pre"])
-    capacity = int(payload["capacity"])
-    solver = payload["solver"]
-    if solver == "dp":
-        result = replica_update(
-            tree,
-            capacity,
-            pre,
-            UniformCostModel(payload["create"], payload["delete"]),
-        )
-    elif solver == "greedy":
-        result = greedy_placement(tree, capacity, preexisting=pre)
-    elif solver == "dp_nopre":
-        result = dp_nopre_placement(tree, capacity)
-    else:  # pragma: no cover - guarded in solve_batch
-        raise ConfigurationError(f"unknown solver policy {solver!r}")
-    return {
-        "schema": _RECORD_SCHEMA,
-        "replicas": sorted(result.replicas),
-    }
+    """Solve one canonical payload via its policy's solver."""
+    return get_policy(payload["solver"]).solve(payload)
 
 
 def _solve_chunk(payloads: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -142,7 +70,7 @@ def solve_batch(
     workers: int = 1,
     cache: ResultCache | None = None,
     stats: BatchCacheStats | None = None,
-) -> list[PlacementResult]:
+) -> list[Any]:
     """Solve many instances with canonical dedupe, caching and parallelism.
 
     Parameters
@@ -150,7 +78,7 @@ def solve_batch(
     instances:
         The batch; results are returned in the same order.
     solver:
-        Policy from :data:`SOLVERS`.
+        A registered policy name (:func:`repro.batch.available_solvers`).
     workers:
         Process-pool size for the unique cache misses; ``1`` solves
         in-process (deterministic and allocation-free, the right default
@@ -165,20 +93,26 @@ def solve_batch(
 
     Returns
     -------
-    list[PlacementResult]
-        Verified placements in original node ids, priced with each
-        instance's own cost model.
+    list
+        Verified per-instance results in original node ids, in input
+        order.  The element type is policy-defined: the MinCost family
+        returns :class:`~repro.core.solution.PlacementResult`,
+        ``min_power`` / ``greedy_power`` return
+        :class:`~repro.power.result.ModalPlacementResult` /
+        :class:`~repro.power.greedy_power.GreedyPowerCandidates`, and
+        ``power_frontier`` returns a full
+        :class:`~repro.power.dp_power_pareto.PowerFrontier`.  Every
+        result carries the canonical digest in its ``extra`` mapping.
     """
-    if solver not in SOLVERS:
-        raise ConfigurationError(
-            f"unknown solver policy {solver!r}; expected one of {SOLVERS}"
-        )
+    policy = get_policy(solver)
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
     if stats is None:
         stats = cache.stats if cache is not None else BatchCacheStats()
+    for index, instance in enumerate(instances):
+        policy.check_instance(instance, index)
 
-    keys = [_instance_key(i, solver) for i in instances]
+    keys = [policy.instance_key(i) for i in instances]
     canonicals = [c for c, _ in keys]
     digests = [d for _, d in keys]
 
@@ -193,7 +127,11 @@ def solve_batch(
     records: dict[str, dict[str, Any]] = {}
     misses: list[tuple[str, dict[str, Any]]] = []
     for digest, idxs in groups.items():
-        record = cache.get(digest, stats=stats) if cache is not None else None
+        record = (
+            cache.get(digest, stats=stats, schema=policy.record_schema)
+            if cache is not None
+            else None
+        )
         if record is not None:
             records[digest] = record
         else:
@@ -201,7 +139,7 @@ def solve_batch(
                 stats.record_miss()
             rep = idxs[0]
             misses.append(
-                (digest, _canonical_payload(canonicals[rep], instances[rep], solver))
+                (digest, policy.payload(canonicals[rep], instances[rep]))
             )
 
     if misses:
@@ -218,20 +156,9 @@ def solve_batch(
             if cache is not None:
                 cache.put(digest, record, stats=stats)
 
-    # Fan out: map canonical replicas through each instance's inverse
+    # Fan out: map canonical solutions through each instance's inverse
     # relabelling, re-verify on the original tree and re-price.
-    results: list[PlacementResult] = []
-    for instance, canonical, digest in zip(instances, canonicals, digests):
-        replicas = canonical.map_back(records[digest]["replicas"])
-        cost = instance.cost_model.of_placement(replicas, instance.preexisting)
-        results.append(
-            PlacementResult.from_replicas(
-                instance.tree,
-                replicas,
-                instance.capacity,
-                instance.preexisting,
-                cost=cost,
-                extra={"digest": digest},
-            )
-        )
-    return results
+    return [
+        policy.fan_out(instance, canonical, records[digest], digest)
+        for instance, canonical, digest in zip(instances, canonicals, digests)
+    ]

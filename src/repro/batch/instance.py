@@ -2,8 +2,10 @@
 
 A :class:`BatchInstance` bundles everything :func:`repro.batch.solve_batch`
 needs to answer one placement question — the tree (structure + workload),
-the capacity, the pre-existing server set and the Equation-2 cost model.
-The solver *policy* (dp / greedy / dp_nopre) is chosen per batch, not per
+the capacity, the pre-existing server set and the Equation-2 cost model,
+plus (for the power policies) the Equation-3 power model, the Equation-4
+modal cost model and the pre-existing servers' old modes.  The solver
+*policy* (see :mod:`repro.batch.registry`) is chosen per batch, not per
 instance, mirroring how a serving tier routes traffic.
 
 The JSON schema wraps the versioned tree schema of
@@ -12,24 +14,39 @@ The JSON schema wraps the versioned tree schema of
 .. code-block:: python
 
     {
-        "schema": 1,
+        "schema": 2,
         "instances": [
             {"tree": {...}, "capacity": 10,
-             "preexisting": [3, 7], "create": 0.1, "delete": 0.01},
+             "preexisting": [3, 7], "create": 0.1, "delete": 0.01,
+             # optional power fields:
+             "power": {"capacities": [5, 10], "static_power": 12.5,
+                       "alpha": 3.0, "capacity_scale": 1.0},
+             "modal_cost": {"create": [...], "delete": [...],
+                            "changed": [[...], ...]},
+             "preexisting_modes": [[3, 1], [7, 0]]},
         ],
     }
+
+Schema-1 batches (no power fields) remain loadable.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.costs import UniformCostModel
+from repro.core.costs import ModalCostModel, UniformCostModel
 from repro.exceptions import ConfigurationError
+from repro.power.modes import PowerModel
+from repro.power.serialize import (
+    modal_cost_model_from_dict,
+    modal_cost_model_to_dict,
+    power_model_from_dict,
+    power_model_to_dict,
+)
 from repro.tree.generators import paper_tree, random_preexisting
 from repro.tree.model import Tree
 from repro.tree.serialize import tree_from_dict, tree_to_dict
@@ -44,17 +61,28 @@ __all__ = [
     "random_batch",
 ]
 
-_SCHEMA = 1
+_SCHEMA = 2
+_ACCEPTED_SCHEMAS = (1, 2)
 
 
 @dataclass(frozen=True)
 class BatchInstance:
-    """One placement request for the batch executor."""
+    """One placement request for the batch executor.
+
+    The power fields are optional: MinCost policies ignore them, power
+    policies require :attr:`power_model` (the executor enforces this).
+    ``preexisting_modes`` carries the old mode of each pre-existing
+    server; when omitted, power policies assume the lowest mode for every
+    server in :attr:`preexisting` (see :meth:`pre_modes`).
+    """
 
     tree: Tree
     capacity: int
     preexisting: frozenset[int] = frozenset()
     cost_model: UniformCostModel = field(default_factory=UniformCostModel)
+    power_model: PowerModel | None = None
+    modal_cost_model: ModalCostModel | None = None
+    preexisting_modes: tuple[tuple[int, int], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -64,28 +92,113 @@ class BatchInstance:
         object.__setattr__(
             self, "preexisting", frozenset(int(v) for v in self.preexisting)
         )
+        if self.preexisting_modes is not None:
+            if isinstance(self.preexisting_modes, Mapping):
+                items = self.preexisting_modes.items()
+            else:
+                items = tuple(self.preexisting_modes)  # type: ignore[assignment]
+            modes = tuple(sorted((int(v), int(m)) for v, m in items))
+            object.__setattr__(self, "preexisting_modes", modes)
+            keys = frozenset(v for v, _ in modes)
+            if len(keys) != len(modes):
+                raise ConfigurationError(
+                    "preexisting_modes assigns multiple modes to one server"
+                )
+            if self.preexisting and keys != self.preexisting:
+                raise ConfigurationError(
+                    "preexisting_modes keys must match the preexisting set"
+                )
+            object.__setattr__(self, "preexisting", keys)
+        n_modes = (
+            None if self.power_model is None else self.power_model.modes.n_modes
+        )
+        if (
+            self.modal_cost_model is not None
+            and n_modes is not None
+            and self.modal_cost_model.n_modes != n_modes
+        ):
+            raise ConfigurationError(
+                f"modal cost model covers {self.modal_cost_model.n_modes} "
+                f"modes but the power model has {n_modes}"
+            )
+        if n_modes is not None and self.preexisting_modes is not None:
+            for v, m in self.preexisting_modes:
+                if not (0 <= m < n_modes):
+                    raise ConfigurationError(
+                        f"pre-existing server {v} has invalid mode {m}"
+                    )
+
+    def pre_modes(self) -> dict[int, int]:
+        """``{node: old_mode}`` for the power solvers.
+
+        Servers without an explicit mode default to the lowest mode, so a
+        plain pre-existing set behaves like the all-modes-0 mapping.
+        """
+        if self.preexisting_modes is not None:
+            return dict(self.preexisting_modes)
+        return {v: 0 for v in self.preexisting}
+
+    def effective_modal_cost(self) -> ModalCostModel:
+        """The Equation-4 cost model the power policies should price with.
+
+        Falls back to a uniform modal model derived from the instance's
+        Equation-2 prices (the simplification noted in the paper's §2.2)
+        when no explicit :attr:`modal_cost_model` is set.
+        """
+        if self.modal_cost_model is not None:
+            return self.modal_cost_model
+        if self.power_model is None:
+            raise ConfigurationError(
+                "instance has no power model; modal costs are undefined"
+            )
+        return ModalCostModel.uniform(
+            self.power_model.modes.n_modes,
+            create=self.cost_model.create,
+            delete=self.cost_model.delete,
+        )
 
 
 def instance_to_dict(instance: BatchInstance) -> dict[str, Any]:
     """Serialize one instance to a JSON-friendly dict."""
-    return {
+    out: dict[str, Any] = {
         "tree": tree_to_dict(instance.tree),
         "capacity": instance.capacity,
         "preexisting": sorted(instance.preexisting),
         "create": instance.cost_model.create,
         "delete": instance.cost_model.delete,
     }
+    if instance.power_model is not None:
+        out["power"] = power_model_to_dict(instance.power_model)
+    if instance.modal_cost_model is not None:
+        out["modal_cost"] = modal_cost_model_to_dict(instance.modal_cost_model)
+    if instance.preexisting_modes is not None:
+        out["preexisting_modes"] = [list(p) for p in instance.preexisting_modes]
+    return out
 
 
 def instance_from_dict(data: Mapping[str, Any]) -> BatchInstance:
     """Inverse of :func:`instance_to_dict`."""
     try:
+        pre_modes = data.get("preexisting_modes")
         return BatchInstance(
             tree=tree_from_dict(data["tree"]),
             capacity=int(data["capacity"]),
             preexisting=frozenset(int(v) for v in data.get("preexisting", ())),
             cost_model=UniformCostModel(
                 float(data.get("create", 0.1)), float(data.get("delete", 0.01))
+            ),
+            power_model=(
+                power_model_from_dict(data["power"]) if "power" in data else None
+            ),
+            modal_cost_model=(
+                modal_cost_model_from_dict(data["modal_cost"])
+                if "modal_cost" in data
+                else None
+            ),
+            preexisting_modes=(
+                None
+                if pre_modes is None
+                else tuple((int(v), int(m)) for v, m in pre_modes)
             ),
         )
     except (KeyError, TypeError, ValueError) as exc:
@@ -104,12 +217,12 @@ def batch_to_json(
 
 
 def batch_from_json(text: str) -> list[BatchInstance]:
-    """Parse a batch written by :func:`batch_to_json`."""
+    """Parse a batch written by :func:`batch_to_json` (schema 1 or 2)."""
     try:
         payload = json.loads(text)
     except json.JSONDecodeError as exc:
         raise ConfigurationError(f"invalid JSON: {exc}") from exc
-    if payload.get("schema") != _SCHEMA:
+    if payload.get("schema") not in _ACCEPTED_SCHEMAS:
         raise ConfigurationError(
             f"unsupported batch schema {payload.get('schema')}"
         )
@@ -127,14 +240,18 @@ def random_batch(
     capacity: int = 10,
     n_preexisting: int = 8,
     cost_model: UniformCostModel | None = None,
+    power_model: PowerModel | None = None,
+    modal_cost_model: ModalCostModel | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> list[BatchInstance]:
     """Generate a demo/benchmark batch with a controlled duplicate rate.
 
     ``duplicate_rate`` of the instances are relabelled isomorphic copies of
     the unique ones — *not* byte-identical payloads — so they exercise the
-    canonical hashing rather than trivial memoisation.  The returned order
-    is shuffled.
+    canonical hashing rather than trivial memoisation.  Whenever the rate
+    is nonzero (and the batch has more than one instance) at least one
+    duplicate is emitted, even when rounding would fill the batch with
+    unique instances.  The returned order is shuffled.
     """
     if n_instances < 1:
         raise ConfigurationError(
@@ -147,15 +264,32 @@ def random_batch(
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     cm = cost_model or UniformCostModel()
     n_unique = max(1, round(n_instances * (1.0 - duplicate_rate)))
+    if duplicate_rate > 0.0 and n_instances > 1:
+        # round() must not swallow the requested duplication on small
+        # batches: a nonzero rate guarantees at least one duplicate.
+        n_unique = min(n_unique, n_instances - 1)
     base: list[BatchInstance] = []
     for _ in range(min(n_unique, n_instances)):
         tree = paper_tree(n_nodes, rng=gen)
         pre = random_preexisting(tree, min(n_preexisting, n_nodes), rng=gen)
-        base.append(BatchInstance(tree, capacity, pre, cm))
+        base.append(
+            BatchInstance(
+                tree, capacity, pre, cm, power_model, modal_cost_model
+            )
+        )
     out = list(base)
     while len(out) < n_instances:
         src = base[int(gen.integers(len(base)))]
         perm = gen.permutation(src.tree.n_nodes)
         tree, pre = relabel_tree(src.tree, perm, src.preexisting)
-        out.append(BatchInstance(tree, src.capacity, pre, src.cost_model))
+        out.append(
+            BatchInstance(
+                tree,
+                src.capacity,
+                pre,
+                src.cost_model,
+                src.power_model,
+                src.modal_cost_model,
+            )
+        )
     return [out[i] for i in gen.permutation(len(out))]

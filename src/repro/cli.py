@@ -22,6 +22,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Sequence
 
@@ -29,9 +30,10 @@ import numpy as np
 
 from repro.analysis import bar_plot, format_table, line_plot, render_tree, to_csv
 from repro.batch import (
-    SOLVERS,
     ResultCache,
+    available_solvers,
     batch_from_json,
+    get_policy,
     random_batch,
     solve_batch,
 )
@@ -39,7 +41,7 @@ from repro.dynamics import plan_migration
 from repro.core.costs import ModalCostModel, UniformCostModel
 from repro.core.dp_withpre import replica_update
 from repro.core.greedy import greedy_placement
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.experiments import (
     Exp1Config,
     Exp2Config,
@@ -115,16 +117,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument("--nodes", type=int, default=60, help="tree size for --demo")
     b.add_argument("--seed", type=int, default=None)
-    b.add_argument("--solver", choices=SOLVERS, default="dp")
+    b.add_argument(
+        "--solver", choices=available_solvers(), default="dp",
+        help="registered solver policy (see repro.batch.registry)",
+    )
     b.add_argument("--workers", type=int, default=1, help="process-pool size")
     b.add_argument(
         "--cache-dir", type=str, default=None,
-        help="directory for the persistent result store (JSONL)",
+        help="directory for the persistent result store (sharded JSONL)",
     )
     b.add_argument(
         "--lru-size", type=int, default=4096,
         help="in-memory cache capacity (entries)",
     )
+    b.add_argument(
+        "--disk-size", type=int, default=None, metavar="N",
+        help="disk-store budget (entries); LRU digests are evicted and "
+        "their shards compacted when exceeded",
+    )
+    b.add_argument(
+        "--modes", type=str, default="5,10",
+        help="mode capacities for power policies (instances without a "
+        "power model get this one)",
+    )
+    b.add_argument("--alpha", type=float, default=3.0)
+    b.add_argument("--static", type=float, default=12.5)
 
     p = sub.add_parser("power", help="print the cost/power frontier of a tree")
     p.add_argument("tree", type=str)
@@ -172,6 +189,22 @@ def _read_text(path: str) -> str:
 
 def _read_tree(path: str):
     return tree_from_json(_read_text(path))
+
+
+def _parse_mode_set(spec: str) -> ModeSet:
+    """Parse a comma-separated capacity list into a :class:`ModeSet`.
+
+    Malformed tokens surface as the CLI's usual ``error: ...`` + exit 2
+    instead of a traceback.
+    """
+    try:
+        capacities = tuple(int(c) for c in spec.split(","))
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid --modes value {spec!r}: expected comma-separated "
+            "integer capacities, e.g. '5,10'"
+        ) from None
+    return ModeSet(capacities)
 
 
 def _parse_pre_modes(spec: str) -> dict[int, int]:
@@ -267,28 +300,34 @@ def _dispatch(args: argparse.Namespace) -> int:
         else:
             print("error: provide a batch file or --demo N", file=sys.stderr)
             return 2
-        cache = ResultCache(args.lru_size, cache_dir=args.cache_dir)
+        policy = get_policy(args.solver)
+        if policy.needs_power:
+            # Instances without an explicit power model are served with
+            # the CLI-configured one (modal costs derive from each
+            # instance's Equation-2 prices, see effective_modal_cost).
+            default_pm = PowerModel(
+                _parse_mode_set(args.modes),
+                static_power=args.static,
+                alpha=args.alpha,
+            )
+            instances = [
+                i if i.power_model is not None
+                else dataclasses.replace(i, power_model=default_pm)
+                for i in instances
+            ]
+        cache = ResultCache(
+            args.lru_size,
+            cache_dir=args.cache_dir,
+            max_disk_entries=args.disk_size,
+        )
         results = solve_batch(
             instances, solver=args.solver, workers=args.workers, cache=cache
         )
         rows = [
-            (
-                i,
-                str(r.extra["digest"])[:12],
-                r.n_replicas,
-                r.n_reused,
-                r.n_created,
-                r.n_deleted,
-                f"{r.cost:.3f}",
-            )
+            (i, str(r.extra["digest"])[:12], *policy.row(r))
             for i, r in enumerate(results)
         ]
-        print(
-            format_table(
-                ("#", "digest", "R", "reused", "created", "deleted", "cost"),
-                rows,
-            )
-        )
+        print(format_table(("#", "digest", *policy.columns), rows))
         s = cache.stats
         print(
             f"instances={len(instances)} unique_solved={s.unique_solved} "
@@ -300,7 +339,7 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "power":
         tree = _read_tree(args.tree)
-        modes = ModeSet(tuple(int(c) for c in args.modes.split(",")))
+        modes = _parse_mode_set(args.modes)
         power_model = PowerModel(modes, static_power=args.static, alpha=args.alpha)
         cost_model = ModalCostModel.uniform(
             modes.n_modes, create=args.create, delete=args.delete, changed=args.changed

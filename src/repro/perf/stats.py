@@ -45,16 +45,22 @@ class BatchCacheStats:
     batch); ``disk_hits`` is the subset of hits served by the persistent
     tier.  ``duplicates_folded`` counts instances answered by another
     instance's solve in the same batch, and ``unique_solved`` counts
-    actual solver invocations.
+    actual solver invocations.  ``evictions`` / ``disk_evictions`` track
+    the LRU and the size-bounded disk tier respectively, and
+    ``schema_discards`` counts cached records dropped because their
+    schema did not match the requesting policy's record schema (the
+    record is re-solved; see :mod:`repro.batch.registry`).
     """
 
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
     evictions: int = 0
+    disk_evictions: int = 0
     stores: int = 0
     unique_solved: int = 0
     duplicates_folded: int = 0
+    schema_discards: int = 0
 
     def record_hit(self, *, disk: bool = False) -> None:
         self.hits += 1
@@ -76,9 +82,11 @@ class BatchCacheStats:
             "misses": self.misses,
             "disk_hits": self.disk_hits,
             "evictions": self.evictions,
+            "disk_evictions": self.disk_evictions,
             "stores": self.stores,
             "unique_solved": self.unique_solved,
             "duplicates_folded": self.duplicates_folded,
+            "schema_discards": self.schema_discards,
             "hit_rate": self.hit_rate,
         }
 

@@ -31,6 +31,13 @@ from repro.power.npcomplete import (
     two_partition_reference,
 )
 from repro.power.result import ModalPlacementResult, modal_from_replicas
+from repro.power.serialize import (
+    modal_cost_model_from_dict,
+    modal_cost_model_to_dict,
+    modal_result_to_record,
+    power_model_from_dict,
+    power_model_to_dict,
+)
 
 __all__ = [
     "FrontierPoint",
@@ -47,10 +54,15 @@ __all__ = [
     "local_search_power",
     "min_power",
     "min_power_bounded_cost",
+    "modal_cost_model_from_dict",
+    "modal_cost_model_to_dict",
     "modal_from_replicas",
+    "modal_result_to_record",
     "partition_from_placement",
     "power_frontier",
     "power_frontier_counts",
+    "power_model_from_dict",
+    "power_model_to_dict",
     "reuse_aware_greedy_power",
     "solve_two_partition_via_minpower",
     "two_partition_reference",

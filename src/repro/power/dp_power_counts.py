@@ -6,9 +6,14 @@ This mirrors §4.3 literally: per subtree, the state enumerates
 * ``e_{o,m}`` — reused pre-existing servers whose mode changed from ``W_o``
   to ``W_m`` (``M²`` counters),
 
-and stores the minimal number of requests traversing the subtree root for
-every reachable state — the direct generalisation of Algorithm 3's
-``(e, n)`` tables.  Its complexity is exponential in the number of modes
+and stores the *set of achievable* request flows traversing the subtree
+root for every reachable state — the direct generalisation of Algorithm
+3's ``(e, n)`` tables.  (Keeping only the minimal flow per count vector
+is lossy: a larger flow can complete to a strictly cheaper solution,
+e.g. a reused root absorbing enough requests to stay at its old mode
+avoids the mode-change charge at the price of more power — a genuine
+point of the cost/power frontier.)  Its complexity is exponential in the
+number of modes
 (Theorem 3: ``O(N·M·(N-E+1)^{2M}·(E+1)^{2M²})``), polynomial for fixed
 ``M``; the implementation keeps states in sparse dictionaries so only
 reachable count vectors are materialised (bounded by subtree contents, the
@@ -87,7 +92,7 @@ def power_frontier_counts(
     def add_states(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
         return tuple(x + y for x, y in zip(a, b))
 
-    tables: list[dict[tuple[int, ...], int] | None] = [None] * tree.n_nodes
+    tables: list[dict[tuple[int, ...], set[int]] | None] = [None] * tree.n_nodes
 
     for v in tree.post_order():
         j = int(v)
@@ -97,34 +102,35 @@ def power_frontier_counts(
                 f"direct client load {load} at node {j} exceeds W={w_max}",
                 node=j,
             )
-        acc: dict[tuple[int, ...], int] = {zero_state: load}
+        acc: dict[tuple[int, ...], set[int]] = {zero_state: {load}}
         for child in tree.children(j):
             child_table = tables[child]
             assert child_table is not None
             tables[child] = None
-            options: dict[tuple[int, ...], int] = {}
-            for state, flow in child_table.items():
-                # Option 1: no replica on the child, flow passes up.
-                if flow < options.get(state, w_max + 1):
-                    options[state] = flow
-                # Option 2: replica on the child absorbs the flow at its
-                # load-determined mode.
-                mode = modes.mode_of(flow)
-                if child in pre:
-                    placed = place_reused(state, pre[child], mode)
-                else:
-                    placed = place_new(state, mode)
-                if 0 < options.get(placed, w_max + 1):
-                    options[placed] = 0
-            merged: dict[tuple[int, ...], int] = {}
-            for s1, f1 in acc.items():
-                for s2, f2 in options.items():
-                    f = f1 + f2
-                    if f > w_max:
-                        continue
+            options: dict[tuple[int, ...], set[int]] = {}
+            for state, flows in child_table.items():
+                for flow in flows:
+                    # Option 1: no replica on the child, flow passes up.
+                    options.setdefault(state, set()).add(flow)
+                    # Option 2: replica on the child absorbs the flow at
+                    # its load-determined mode.
+                    mode = modes.mode_of(flow)
+                    if child in pre:
+                        placed = place_reused(state, pre[child], mode)
+                    else:
+                        placed = place_new(state, mode)
+                    options.setdefault(placed, set()).add(0)
+            merged: dict[tuple[int, ...], set[int]] = {}
+            for s1, flows1 in acc.items():
+                for s2, flows2 in options.items():
                     s = add_states(s1, s2)
-                    if f < merged.get(s, w_max + 1):
-                        merged[s] = f
+                    bucket = merged.setdefault(s, set())
+                    for f1 in flows1:
+                        for f2 in flows2:
+                            f = f1 + f2
+                            if f <= w_max:
+                                bucket.add(f)
+            merged = {s: fl for s, fl in merged.items() if fl}
             acc = merged
         tables[j] = acc
 
@@ -160,18 +166,19 @@ def power_frontier_counts(
         return round(cost, 9), round(power, 9)
 
     candidates: list[tuple[float, float]] = []
-    for state, flow in root_table.items():
+    for state, flows in root_table.items():
         variants: list[tuple[int, ...]] = []
-        if flow == 0:
-            variants.append(state)
-            if root in pre:  # idle reused root
-                variants.append(place_reused(state, pre[root], 0))
-        else:
-            mode = modes.mode_of(flow)
-            if root in pre:
-                variants.append(place_reused(state, pre[root], mode))
+        for flow in flows:
+            if flow == 0:
+                variants.append(state)
+                if root in pre:  # idle reused root
+                    variants.append(place_reused(state, pre[root], 0))
             else:
-                variants.append(place_new(state, mode))
+                mode = modes.mode_of(flow)
+                if root in pre:
+                    variants.append(place_reused(state, pre[root], mode))
+                else:
+                    variants.append(place_new(state, mode))
         candidates.extend(complete(s) for s in variants)
 
     candidates.sort()

@@ -94,15 +94,29 @@ def _prune(labels: list[_Label]) -> list[_Label]:
 
 @dataclass(frozen=True)
 class FrontierPoint:
-    """One non-dominated ``(cost, power)`` outcome at the root."""
+    """One non-dominated ``(cost, power)`` outcome at the root.
+
+    Points carry either DP provenance (``_label`` + ``_root_mode``, the
+    solver path) or an explicit ``_placement`` (the record path used when
+    a frontier is rebuilt from a cached record via
+    :meth:`PowerFrontier.from_records`).
+    """
 
     cost: float
     power: float
-    _label: _Label
-    _root_mode: int | None
+    _label: _Label | None = None
+    _root_mode: int | None = None
+    _placement: tuple[tuple[int, int], ...] | None = None
 
     def placement(self) -> dict[int, int]:
-        """Reconstruct the ``{node: mode}`` placement for this point."""
+        """Reconstruct the ``{node: mode}`` placement for this point.
+
+        The DP path excludes the root (see :meth:`PowerFrontier
+        ._materialise`); the record path returns the full placement.
+        """
+        if self._placement is not None:
+            return {int(v): int(m) for v, m in self._placement}
+        assert self._label is not None
         out: dict[int, int] = {}
         stack = [self._label]
         while stack:
@@ -141,6 +155,8 @@ class PowerFrontier:
         cost_model: ModalCostModel,
         preexisting_modes: Mapping[int, int],
         root_node: int,
+        *,
+        extra: Mapping[str, object] | None = None,
     ) -> None:
         self._tree = tree
         self.points = list(points)
@@ -148,9 +164,79 @@ class PowerFrontier:
         self._cost_model = cost_model
         self._pre = dict(preexisting_modes)
         self._root = root_node
+        self.extra: dict[str, object] = dict(extra or {})
 
     def __len__(self) -> int:
         return len(self.points)
+
+    def to_records(self) -> list[dict[str, object]]:
+        """JSON-able ``[{cost, power, modes}, ...]`` frontier records.
+
+        ``modes`` is the *full* sorted ``[[node, mode], ...]`` placement
+        (root included).  Records are relabelling-covariant: mapping the
+        node ids through a tree isomorphism yields the frontier of the
+        relabelled instance — the property the batch cache relies on.
+        """
+        records: list[dict[str, object]] = []
+        for pt in self.points:
+            placement = pt.placement()
+            if pt._root_mode is not None:
+                placement[self._root] = pt._root_mode
+            records.append(
+                {
+                    "cost": pt.cost,
+                    "power": pt.power,
+                    "modes": [[v, m] for v, m in sorted(placement.items())],
+                }
+            )
+        return records
+
+    @classmethod
+    def from_records(
+        cls,
+        tree: Tree,
+        records: Sequence[Mapping[str, object]],
+        power_model: PowerModel,
+        cost_model: ModalCostModel,
+        preexisting_modes: Mapping[int, int] | None = None,
+        *,
+        extra: Mapping[str, object] | None = None,
+        verify: bool = True,
+    ) -> "PowerFrontier":
+        """Rebuild a frontier from :meth:`to_records` output.
+
+        With ``verify=True`` every point is materialised once, which
+        re-verifies each placement against the tree (validity, load
+        determined modes) and re-prices it against the given models —
+        a corrupted or mis-mapped record raises :class:`SolverError`
+        instead of being served.
+        """
+        points = [
+            FrontierPoint(
+                float(rec["cost"]),  # type: ignore[arg-type]
+                float(rec["power"]),  # type: ignore[arg-type]
+                None,
+                None,
+                tuple(
+                    (int(v), int(m))
+                    for v, m in rec["modes"]  # type: ignore[union-attr]
+                ),
+            )
+            for rec in records
+        ]
+        frontier = cls(
+            tree,
+            points,
+            power_model,
+            cost_model,
+            dict(preexisting_modes or {}),
+            tree.root,
+            extra=extra,
+        )
+        if verify:
+            for pt in frontier.points:
+                frontier._materialise(pt)
+        return frontier
 
     def pairs(self) -> list[tuple[float, float]]:
         """Non-dominated ``(cost, power)`` pairs, cost-ascending."""

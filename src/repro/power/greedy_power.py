@@ -18,7 +18,7 @@ to ``W_M``, prices each greedy placement with load-determined modes, and
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Literal, Mapping, Sequence
 
 from repro.core.costs import ModalCostModel
@@ -38,6 +38,7 @@ class GreedyPowerCandidates:
     """All (capacity-sweep) greedy solutions for one instance."""
 
     candidates: tuple[ModalPlacementResult, ...]
+    extra: Mapping[str, object] = field(default_factory=dict)
 
     def best_under_cost(self, cost_bound: float) -> ModalPlacementResult | None:
         """Minimal-power candidate with cost within the bound, or ``None``."""

@@ -68,27 +68,128 @@ class TestDiskStore:
         assert cache.stats.disk_hits == 1
 
     def test_stale_version_dropped_and_compacted(self, tmp_path):
-        path = tmp_path / "batch-cache.jsonl"
+        path = tmp_path / "batch-cache.ol.jsonl"
         stale = {"version": "0.0.0", "digest": "old", "record": rec(9)}
         path.write_text(json.dumps(stale) + "\n", encoding="utf-8")
 
         cache = ResultCache(max_entries=8, cache_dir=tmp_path)
         assert cache.get("old") is None
-        # The store was compacted: the stale line is gone from disk.
-        assert "old" not in path.read_text()
+        # The shard was compacted: the stale line is gone from disk.
+        assert not path.exists() or "old" not in path.read_text()
 
     def test_corrupt_lines_tolerated(self, tmp_path):
-        path = tmp_path / "batch-cache.jsonl"
         good = ResultCache(max_entries=8, cache_dir=tmp_path)
-        good.put("a", rec(1))
+        good.put("abcd", rec(1))
+        path = tmp_path / "batch-cache.ab.jsonl"
+        assert path.exists()
         with open(path, "a", encoding="utf-8") as fh:
             fh.write("{not json\n")
         reopened = ResultCache(max_entries=8, cache_dir=tmp_path)
-        assert reopened.get("a") == rec(1)
+        assert reopened.get("abcd") == rec(1)
+        # Reloading compacted the dirty shard in place.
+        assert "not json" not in path.read_text()
 
     def test_no_duplicate_disk_lines(self, tmp_path):
         cache = ResultCache(max_entries=8, cache_dir=tmp_path)
-        cache.put("a", rec(1))
-        cache.put("a", rec(1))
-        lines = (tmp_path / "batch-cache.jsonl").read_text().strip().splitlines()
+        cache.put("abcd", rec(1))
+        cache.put("abcd", rec(1))
+        lines = (
+            (tmp_path / "batch-cache.ab.jsonl").read_text().strip().splitlines()
+        )
         assert len(lines) == 1
+
+    def test_sharded_by_digest_prefix(self, tmp_path):
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        cache.put("ab11", rec(1))
+        cache.put("ab22", rec(2))
+        cache.put("cd33", rec(3))
+        assert (tmp_path / "batch-cache.ab.jsonl").exists()
+        assert (tmp_path / "batch-cache.cd.jsonl").exists()
+        ab_lines = (
+            (tmp_path / "batch-cache.ab.jsonl").read_text().strip().splitlines()
+        )
+        assert len(ab_lines) == 2
+
+    def test_legacy_single_file_migrated_to_shards(self, tmp_path):
+        from repro._version import __version__
+
+        legacy = tmp_path / "batch-cache.jsonl"
+        entry = {"version": __version__, "digest": "ab99", "record": rec(7)}
+        legacy.write_text(json.dumps(entry) + "\n", encoding="utf-8")
+
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert cache.get("ab99") == rec(7)
+        assert not legacy.exists()
+        assert (tmp_path / "batch-cache.ab.jsonl").exists()
+        # The migrated entry survives another reload from the shard.
+        again = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert again.get("ab99") == rec(7)
+
+    def test_disk_budget_evicts_lru_and_compacts(self, tmp_path):
+        cache = ResultCache(
+            max_entries=8, cache_dir=tmp_path, max_disk_entries=2
+        )
+        cache.put("aa01", rec(1))
+        cache.put("bb02", rec(2))
+        cache.get("aa01")  # refresh: 'bb02' is now the disk-LRU entry
+        cache.put("cc03", rec(3))
+        assert cache.stats.disk_evictions == 1
+        # 'bb02' was dropped and its shard rewritten (empty -> removed).
+        assert not (tmp_path / "batch-cache.bb.jsonl").exists()
+        reopened = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert reopened.get("bb02") is None
+        assert reopened.get("aa01") == rec(1)
+        assert reopened.get("cc03") == rec(3)
+
+    def test_disk_budget_applies_at_load(self, tmp_path):
+        writer = ResultCache(max_entries=8, cache_dir=tmp_path)
+        for i in range(6):
+            writer.put(f"a{i}xx", rec(i))
+        bounded = ResultCache(
+            max_entries=8, cache_dir=tmp_path, max_disk_entries=3
+        )
+        assert bounded.stats.disk_evictions == 3
+        on_disk = sum(
+            1
+            for p in tmp_path.glob("batch-cache.*.jsonl")
+            for line in p.read_text().splitlines()
+            if line.strip()
+        )
+        assert on_disk == 3
+
+    def test_max_disk_entries_validated(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultCache(max_entries=4, cache_dir=tmp_path, max_disk_entries=0)
+
+    def test_schema_mismatch_is_a_miss(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("aa", {"schema": 1, "replicas": [1]})
+        assert cache.get("aa", schema=2) is None
+        assert cache.stats.schema_discards == 1
+        assert cache.stats.misses == 1
+        assert cache.get("aa", schema=1) == {"schema": 1, "replicas": [1]}
+
+    def test_compaction_preserves_concurrent_writers(self, tmp_path):
+        # Writer B loads, writer A appends to the same shard afterwards;
+        # B's compaction must carry A's entry over, not erase it.
+        b = ResultCache(max_entries=8, cache_dir=tmp_path, max_disk_entries=2)
+        b.put("ab01", rec(1))
+        b.put("cd02", rec(2))
+        a = ResultCache(max_entries=8, cache_dir=tmp_path)
+        a.put("abff", rec(9))  # lands in shard 'ab', unknown to b
+        b.put("ab03", rec(3))  # overflows b's budget -> compacts shard 'ab'
+        assert b.stats.disk_evictions > 0
+        fresh = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert fresh.get("abff") == rec(9)
+
+    def test_put_replaces_stale_disk_record(self, tmp_path):
+        # A re-solve after a schema discard must converge the disk tier:
+        # the replacement record wins on every subsequent load.
+        cache = ResultCache(max_entries=4, cache_dir=tmp_path)
+        cache.put("ab77", {"schema": 1, "replicas": [1]})
+        assert cache.get("ab77", schema=2) is None  # discarded
+        cache.put("ab77", {"schema": 2, "points": []})
+        assert cache.get("ab77", schema=2) == {"schema": 2, "points": []}
+        reopened = ResultCache(max_entries=4, cache_dir=tmp_path)
+        assert reopened.get("ab77", schema=2) == {"schema": 2, "points": []}
+        assert reopened.stats.schema_discards == 0

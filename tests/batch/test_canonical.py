@@ -105,6 +105,71 @@ class TestDigestInvariance:
         assert _digest(chain) != _digest(star)
 
 
+class TestModeAwareDigests:
+    def test_relabelled_mode_mapping_same_digest(self, rng):
+        from repro.tree.generators import random_preexisting_modes
+
+        tree = paper_tree(40, rng=rng)
+        pre = random_preexisting_modes(tree, 8, 2, rng=rng)
+        base = _digest(tree, pre)
+        for seed in range(4):
+            perm = np.random.default_rng(seed).permutation(tree.n_nodes)
+            tree2, pre2 = relabel_tree(tree, perm, pre)
+            assert _digest(tree2, pre2) == base
+
+    def test_mode_zero_mapping_equals_plain_set(self, rng):
+        tree = paper_tree(25, rng=rng)
+        pre = random_preexisting(tree, 5, rng=rng)
+        assert _digest(tree, {v: 0 for v in pre}) == _digest(tree, pre)
+
+    def test_modes_distinguish_instances(self, rng):
+        # Old modes ride in the digest's pre_modes field (the power
+        # policies set include_pre_modes), not in the canonical ids.
+        tree = paper_tree(25, rng=rng)
+        pre = sorted(random_preexisting(tree, 5, rng=rng))
+
+        def moded_digest(modes):
+            return instance_digest(
+                canonicalize(tree, modes), None, None, "min_power",
+                include_pre_modes=True,
+            )
+
+        assert moded_digest({v: 0 for v in pre}) != moded_digest(
+            {v: 1 for v in pre}
+        )
+
+
+class TestDeepTrees:
+    """Near-linear canonicalisation on path-heavy topologies.
+
+    The timing regression lives in ``benchmarks/bench_canonical_deep.py``;
+    here we pin correctness at depth 1000.
+    """
+
+    @staticmethod
+    def _path(depth, requests=(3,)):
+        parents = [None] + list(range(depth - 1))
+        clients = [(depth - 1, r) for r in requests] + [(depth // 2, 2)]
+        return Tree(parents, clients, validate=False)
+
+    def test_deep_path_digest_invariant_under_reversal(self):
+        tree = self._path(1000)
+        # Reversal is a worst case for the old string encoding: the
+        # post-order visits the longest codes first.
+        perm = list(range(999, -1, -1))
+        tree2, _ = relabel_tree(tree, perm)
+        assert _digest(tree2) == _digest(tree)
+
+    def test_deep_path_canonical_is_preorder(self):
+        canon = canonicalize(self._path(1000))
+        assert canon.parents[0] is None
+        assert all(
+            p is not None and p < v
+            for v, p in enumerate(canon.parents)
+            if v > 0
+        )
+
+
 class TestRelabelTree:
     def test_identity_permutation(self, rng):
         tree = paper_tree(10, rng=rng)

@@ -219,3 +219,38 @@ class TestInstanceSerialization:
             r.extra["digest"] for r in solve_batch(batch, solver="greedy")
         }
         assert len(digests) == 2  # 10 * (1 - 0.8) unique
+
+    @pytest.mark.parametrize(
+        "n_instances,rate",
+        [
+            (2, 0.1),
+            (3, 0.1),  # round(2.7) == 3 used to emit zero duplicates
+            (4, 0.2),
+            (5, 0.1),
+            (7, 0.05),
+            (9, 0.3),
+        ],
+    )
+    def test_nonzero_rate_always_emits_a_duplicate(self, n_instances, rate):
+        from repro.batch import get_policy
+
+        batch = random_batch(
+            n_instances,
+            duplicate_rate=rate,
+            n_nodes=12,
+            rng=np.random.default_rng(n_instances),
+        )
+        assert len(batch) == n_instances
+        policy = get_policy("dp")
+        digests = {policy.instance_key(i)[1] for i in batch}
+        expected = min(
+            max(1, round(n_instances * (1.0 - rate))), n_instances - 1
+        )
+        assert len(digests) == expected
+        assert len(digests) < n_instances  # at least one duplicate
+
+    def test_single_instance_batch_cannot_duplicate(self):
+        batch = random_batch(
+            1, duplicate_rate=0.5, rng=np.random.default_rng(0), n_nodes=10
+        )
+        assert len(batch) == 1

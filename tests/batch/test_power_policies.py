@@ -1,0 +1,261 @@
+"""Power policies in the batch pipeline: digest invariance + round-trips.
+
+Satellite coverage for the solver-policy registry: random relabellings of
+an instance must produce identical ``min_power``/``power_frontier``
+digests, and fanned-out results must match a direct per-instance solve
+point-for-point (cost/power pairs are relabelling-invariant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchInstance,
+    ResultCache,
+    batch_from_json,
+    batch_to_json,
+    get_policy,
+    random_batch,
+    solve_batch,
+)
+from repro.batch.canonical import canonicalize, relabel_tree
+from repro.core.costs import ModalCostModel
+from repro.exceptions import ConfigurationError
+from repro.power.dp_power_pareto import PowerFrontier, power_frontier
+from repro.power.greedy_power import GreedyPowerCandidates
+from repro.power.modes import ModeSet, PowerModel
+from repro.power.result import ModalPlacementResult
+from repro.tree.generators import paper_tree, random_preexisting
+from repro.tree.model import Tree
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+
+POWER_SOLVERS = ("min_power", "power_frontier", "greedy_power")
+
+
+def _power_instance(n_nodes=24, n_pre=5, seed=0, with_modes=True):
+    gen = np.random.default_rng(seed)
+    tree = paper_tree(n_nodes, request_range=(1, 4), rng=gen)
+    pre = random_preexisting(tree, n_pre, rng=gen)
+    pre_modes = (
+        tuple((v, int(gen.integers(0, 2))) for v in sorted(pre))
+        if with_modes
+        else None
+    )
+    return BatchInstance(
+        tree,
+        10,
+        pre,
+        power_model=PM,
+        modal_cost_model=CM,
+        preexisting_modes=pre_modes,
+    )
+
+
+def _relabelled_copy(instance, seed):
+    perm = np.random.default_rng(seed).permutation(instance.tree.n_nodes)
+    tree, pre_modes = relabel_tree(
+        instance.tree, perm, dict(instance.preexisting_modes or ())
+    )
+    return BatchInstance(
+        tree,
+        instance.capacity,
+        power_model=instance.power_model,
+        modal_cost_model=instance.modal_cost_model,
+        preexisting_modes=tuple(sorted(pre_modes.items())),
+    )
+
+
+class TestDigestInvariance:
+    @pytest.mark.parametrize("solver", POWER_SOLVERS)
+    def test_random_relabellings_share_digest(self, solver):
+        policy = get_policy(solver)
+        instance = _power_instance(seed=11)
+        base = policy.instance_key(instance)[1]
+        for seed in range(6):
+            copy = _relabelled_copy(instance, seed)
+            assert policy.instance_key(copy)[1] == base
+
+    def test_pre_modes_enter_power_digests(self):
+        gen = np.random.default_rng(2)
+        tree = paper_tree(18, rng=gen)
+        pre = sorted(random_preexisting(tree, 3, rng=gen))
+        low = BatchInstance(
+            tree, 10, power_model=PM,
+            preexisting_modes=tuple((v, 0) for v in pre),
+        )
+        high = BatchInstance(
+            tree, 10, power_model=PM,
+            preexisting_modes=tuple((v, 1) for v in pre),
+        )
+        plain = BatchInstance(
+            tree, 10, frozenset(pre), power_model=PM
+        )
+        policy = get_policy("min_power")
+        assert policy.instance_key(low)[1] != policy.instance_key(high)[1]
+        # A plain pre-existing set is exactly the all-modes-0 mapping.
+        assert policy.instance_key(plain)[1] == policy.instance_key(low)[1]
+
+    def test_power_model_params_enter_digest(self):
+        instance = _power_instance(seed=3)
+        other = BatchInstance(
+            instance.tree,
+            instance.capacity,
+            power_model=PowerModel(PM.modes, static_power=1.0, alpha=2.0),
+            modal_cost_model=instance.modal_cost_model,
+            preexisting_modes=instance.preexisting_modes,
+        )
+        policy = get_policy("min_power")
+        assert policy.instance_key(instance)[1] != policy.instance_key(other)[1]
+
+
+class TestFanOutMatchesDirectSolve:
+    def test_frontier_fan_out_matches_direct_point_for_point(self):
+        instance = _power_instance(seed=7)
+        duplicates = [instance] + [
+            _relabelled_copy(instance, s) for s in range(4)
+        ]
+        results = solve_batch(duplicates, solver="power_frontier")
+        for inst, frontier in zip(duplicates, results):
+            assert isinstance(frontier, PowerFrontier)
+            direct = power_frontier(
+                inst.tree, PM, CM, inst.pre_modes()
+            )
+            assert frontier.pairs() == direct.pairs()
+
+    def test_min_power_fan_out_matches_direct(self):
+        instance = _power_instance(seed=13)
+        duplicates = [instance] + [
+            _relabelled_copy(instance, s) for s in range(3)
+        ]
+        results = solve_batch(duplicates, solver="min_power")
+        for inst, result in zip(duplicates, results):
+            assert isinstance(result, ModalPlacementResult)
+            direct = power_frontier(
+                inst.tree, PM, CM, inst.pre_modes()
+            ).min_power()
+            assert result.power == pytest.approx(direct.power)
+            assert result.cost == pytest.approx(direct.cost)
+
+    def test_greedy_power_fan_out_is_verified_and_consistent(self):
+        instance = _power_instance(seed=17)
+        duplicates = [instance] + [
+            _relabelled_copy(instance, s) for s in range(3)
+        ]
+        results = solve_batch(duplicates, solver="greedy_power")
+        # All relabelled duplicates share one canonical sweep, so their
+        # candidate (cost, power) series are identical; every candidate
+        # was re-verified on its own tree during fan-out.
+        first = results[0]
+        assert isinstance(first, GreedyPowerCandidates)
+        assert len(first.candidates) >= 1
+        for result in results[1:]:
+            assert result.pairs() == first.pairs()
+        best = first.min_power()
+        assert best is not None and best.power > 0
+
+
+class TestCacheRoundTrip:
+    @pytest.mark.parametrize("solver", POWER_SOLVERS)
+    def test_90pct_duplicate_batch_one_solve_per_digest(self, solver, tmp_path):
+        # Acceptance criterion: a 90%-duplicate batch of relabelled
+        # isomorphic instances yields one unique solve per digest through
+        # cache + process pool, and every fanned-out result re-verifies.
+        batch = random_batch(
+            20,
+            duplicate_rate=0.9,
+            n_nodes=30,
+            power_model=PM,
+            modal_cost_model=CM,
+            rng=np.random.default_rng(42),
+        )
+        cache = ResultCache(64, cache_dir=tmp_path)
+        results = solve_batch(batch, solver=solver, workers=2, cache=cache)
+        assert len(results) == 20
+        assert cache.stats.unique_solved == 2  # 20 * (1 - 0.9)
+        assert cache.stats.duplicates_folded == 18
+        # Warm pass: served entirely from the persistent store.
+        warm = ResultCache(64, cache_dir=tmp_path)
+        again = solve_batch(batch, solver=solver, workers=2, cache=warm)
+        assert warm.stats.unique_solved == 0
+        if solver == "power_frontier":
+            assert [r.pairs() for r in again] == [r.pairs() for r in results]
+        elif solver == "min_power":
+            assert [r.power for r in again] == [r.power for r in results]
+        else:
+            assert [r.pairs() for r in again] == [r.pairs() for r in results]
+
+    def test_parallel_equals_serial(self):
+        batch = random_batch(
+            8,
+            duplicate_rate=0.5,
+            n_nodes=24,
+            power_model=PM,
+            rng=np.random.default_rng(9),
+        )
+        serial = solve_batch(batch, solver="min_power", workers=1)
+        parallel = solve_batch(batch, solver="min_power", workers=2)
+        assert [r.power for r in serial] == [r.power for r in parallel]
+        assert [r.cost for r in serial] == [r.cost for r in parallel]
+
+
+class TestValidationAndSerialization:
+    def test_power_policy_requires_power_model(self):
+        batch = random_batch(2, n_nodes=12, rng=np.random.default_rng(1))
+        with pytest.raises(ConfigurationError, match="power model"):
+            solve_batch(batch, solver="min_power")
+
+    def test_instance_json_round_trip_with_power_fields(self):
+        batch = [
+            _power_instance(seed=s, with_modes=bool(s % 2)) for s in range(4)
+        ]
+        restored = batch_from_json(batch_to_json(batch))
+        for a, b in zip(batch, restored):
+            assert a.tree == b.tree
+            assert a.power_model == b.power_model
+            assert a.modal_cost_model == b.modal_cost_model
+            assert a.preexisting_modes == b.preexisting_modes
+            assert a.preexisting == b.preexisting
+
+    def test_schema1_batch_still_loads(self):
+        batch = random_batch(2, n_nodes=10, rng=np.random.default_rng(0))
+        text = batch_to_json(batch).replace('"schema": 2', '"schema": 1')
+        assert len(batch_from_json(text)) == 2
+
+    def test_preexisting_modes_validated(self):
+        tree = paper_tree(10, rng=np.random.default_rng(4))
+        with pytest.raises(ConfigurationError, match="invalid mode"):
+            BatchInstance(
+                tree, 10, power_model=PM, preexisting_modes=((1, 9),)
+            )
+        with pytest.raises(ConfigurationError, match="match"):
+            BatchInstance(
+                tree, 10, frozenset({1, 2}),
+                preexisting_modes=((3, 0),),
+            )
+
+    def test_modal_cost_mode_count_validated(self):
+        tree = paper_tree(10, rng=np.random.default_rng(4))
+        with pytest.raises(ConfigurationError, match="modes"):
+            BatchInstance(
+                tree, 10, power_model=PM,
+                modal_cost_model=ModalCostModel.uniform(3),
+            )
+
+
+class TestModeAwareCanonicalisation:
+    def test_canonicalize_accepts_mode_mapping(self):
+        tree = Tree([None, 0, 0], [(1, 4), (2, 4)])
+        canon = canonicalize(tree, {1: 1, 2: 0})
+        assert canon.preexisting == (1, 2)
+        assert sorted(m for _, m in canon.preexisting_modes) == [0, 1]
+
+    def test_symmetric_siblings_mode_swap_is_isomorphic(self):
+        tree = Tree([None, 0, 0], [(1, 4), (2, 4)])
+        a = canonicalize(tree, {1: 1, 2: 0})
+        b = canonicalize(tree, {1: 0, 2: 1})
+        assert a.parents == b.parents
+        assert a.preexisting_modes == b.preexisting_modes

@@ -1,0 +1,193 @@
+"""Tests for :mod:`repro.batch.registry` (the pluggable policy contract)."""
+
+from __future__ import annotations
+
+import inspect
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchInstance,
+    ResultCache,
+    available_solvers,
+    get_policy,
+    random_batch,
+    register_policy,
+    solve_batch,
+)
+from repro.batch.registry import SolverPolicy, _REGISTRY
+from repro.core.solution import PlacementResult
+from repro.exceptions import ConfigurationError
+from repro.tree.generators import paper_tree
+from repro.tree.model import Tree
+
+
+class TestRegistryApi:
+    def test_builtin_policies_registered(self):
+        names = available_solvers()
+        for name in (
+            "dp",
+            "greedy",
+            "dp_nopre",
+            "min_power",
+            "power_frontier",
+            "greedy_power",
+        ):
+            assert name in names
+
+    def test_unknown_policy_rejected_with_available_names(self):
+        with pytest.raises(ConfigurationError, match="dp"):
+            get_policy("simulated-annealing")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_policy(get_policy("dp"))
+
+    def test_unknown_digest_fields_rejected(self):
+        class Bad(SolverPolicy):
+            name = "bad-fields"
+            digest_fields = frozenset({"quantum"})
+
+        with pytest.raises(ConfigurationError, match="quantum"):
+            register_policy(Bad())
+
+    def test_unnamed_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            register_policy(SolverPolicy())
+
+
+class TestExecutorIsPolicyAgnostic:
+    def test_no_policy_name_dispatch_in_executor(self):
+        # Acceptance criterion: adding a policy must require only a
+        # registry entry — the executor never branches on policy names.
+        import repro.batch.executor as executor
+
+        source = inspect.getsource(executor)
+        for name in available_solvers():
+            assert f'"{name}"' not in source.replace("solver: str = \"dp\"", "")
+
+    def test_custom_policy_runs_through_the_pipeline(self):
+        class LeafCountPolicy(SolverPolicy):
+            """Toy policy: place a replica on every leaf-most feasible node."""
+
+            name = "test_leafcount"
+            digest_fields = frozenset({"capacity"})
+            record_schema = 7
+            columns = ("R",)
+
+            def payload(self, canonical, instance):
+                return {
+                    "solver": self.name,
+                    "parents": list(canonical.parents),
+                    "clients": [list(c) for c in canonical.clients],
+                    "capacity": instance.capacity,
+                }
+
+            def solve(self, payload):
+                from repro.core.dp_nopre import dp_nopre_placement
+
+                tree = Tree(
+                    [None if p is None else int(p) for p in payload["parents"]],
+                    [(int(n), int(r)) for n, r in payload["clients"]],
+                    validate=False,
+                )
+                result = dp_nopre_placement(tree, int(payload["capacity"]))
+                return {
+                    "schema": self.record_schema,
+                    "replicas": sorted(result.replicas),
+                }
+
+            def fan_out(self, instance, canonical, record, digest):
+                replicas = canonical.map_back(record["replicas"])
+                return PlacementResult.from_replicas(
+                    instance.tree,
+                    replicas,
+                    instance.capacity,
+                    instance.preexisting,
+                    extra={"digest": digest},
+                )
+
+            def row(self, result):
+                return (result.n_replicas,)
+
+        register_policy(LeafCountPolicy())
+        try:
+            batch = random_batch(
+                6, duplicate_rate=0.5, n_nodes=20, rng=np.random.default_rng(0)
+            )
+            cache = ResultCache(32)
+            results = solve_batch(batch, solver="test_leafcount", cache=cache)
+            assert len(results) == 6
+            assert cache.stats.duplicates_folded > 0
+            assert all(r.n_replicas > 0 for r in results)
+            # The digest namespace is the policy name: no collisions with
+            # the identically-shaped dp_nopre policy.
+            solve_batch(batch, solver="dp_nopre", cache=cache)
+            assert cache.stats.hits == 0
+        finally:
+            _REGISTRY.pop("test_leafcount", None)
+
+    def test_replace_existing_policy(self):
+        original = get_policy("dp")
+
+        class Dp2(type(original)):
+            pass
+
+        replacement = Dp2()
+        register_policy(replacement, replace_existing=True)
+        try:
+            assert get_policy("dp") is replacement
+        finally:
+            register_policy(original, replace_existing=True)
+
+
+class TestRecordSchemaGuard:
+    def test_mismatching_cached_record_is_resolved(self):
+        batch = random_batch(
+            2, duplicate_rate=0.0, n_nodes=15, rng=np.random.default_rng(3)
+        )
+        cache = ResultCache(32)
+        solve_batch(batch, solver="dp", cache=cache)
+        # Corrupt the cached records' schema in place.
+        for digest in list(cache._lru):
+            cache._lru[digest] = {"schema": 999, "replicas": [0]}
+        results = solve_batch(batch, solver="dp", cache=cache)
+        assert cache.stats.schema_discards == 2
+        assert cache.stats.unique_solved == 4  # both re-solved
+        naive = solve_batch(batch, solver="dp")
+        assert [r.cost for r in results] == [r.cost for r in naive]
+
+
+class TestDigestFieldDeclarations:
+    def test_power_policies_ignore_capacity(self):
+        from repro.power.modes import ModeSet, PowerModel
+
+        tree = paper_tree(20, rng=np.random.default_rng(1))
+        pm = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+        a = BatchInstance(tree, 10, power_model=pm)
+        b = BatchInstance(tree, 7, power_model=pm)
+        policy = get_policy("min_power")
+        assert policy.instance_key(a)[1] == policy.instance_key(b)[1]
+        # ...while the MinCost policies keep capacity in the digest.
+        dp = get_policy("dp")
+        assert dp.instance_key(a)[1] != dp.instance_key(b)[1]
+
+    def test_min_power_and_frontier_share_cache_records(self):
+        from repro.power.modes import ModeSet, PowerModel
+
+        pm = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+        batch = random_batch(
+            3,
+            duplicate_rate=0.0,
+            n_nodes=18,
+            power_model=pm,
+            rng=np.random.default_rng(5),
+        )
+        cache = ResultCache(32)
+        solve_batch(batch, solver="power_frontier", cache=cache)
+        solved = cache.stats.unique_solved
+        solve_batch(batch, solver="min_power", cache=cache)
+        # The frontier records answer min_power traffic without a solve.
+        assert cache.stats.unique_solved == solved
+        assert cache.stats.hits == 3

@@ -174,6 +174,59 @@ class TestBatch:
         )
         assert "unique_solved=3" in capsys.readouterr().out
 
+    def test_batch_power_solvers(self, capsys):
+        for solver, column in (
+            ("min_power", "power"),
+            ("power_frontier", "points"),
+            ("greedy_power", "cands"),
+        ):
+            assert (
+                main(
+                    [
+                        "batch", "--demo", "6", "--duplicate-rate", "0.5",
+                        "--nodes", "20", "--seed", "1", "--solver", solver,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            assert column in out
+            assert "unique_solved=3" in out
+            assert "duplicates_folded=3" in out
+
+    def test_batch_disk_size_flag(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "batch", "--demo", "4", "--duplicate-rate", "0.0",
+                    "--nodes", "15", "--seed", "2",
+                    "--cache-dir", cache_dir, "--disk-size", "2",
+                ]
+            )
+            == 0
+        )
+        shards = list((tmp_path / "cache").glob("batch-cache.*.jsonl"))
+        stored_lines = sum(
+            1
+            for p in shards
+            for line in p.read_text().splitlines()
+            if line.strip()
+        )
+        assert stored_lines == 2  # budget enforced on disk
+
+    def test_batch_malformed_modes_is_clean_error(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--demo", "3", "--solver", "min_power",
+                    "--modes", "5,", "--seed", "1",
+                ]
+            )
+            == 2
+        )
+        assert "invalid --modes" in capsys.readouterr().err
+
     def test_batch_requires_input(self, capsys):
         assert main(["batch"]) == 2
         assert "batch file or --demo" in capsys.readouterr().err

@@ -49,6 +49,37 @@ class TestReadmeQuickstart:
         assert best is not None and best.power > 0
 
 
+class TestReadmeRegistrySection:
+    def test_batch_and_power_policy_usage(self):
+        # README "Batch solving and caching" + "Solver-policy registry".
+        import numpy as np
+
+        from repro.batch import (
+            BatchInstance,
+            ResultCache,
+            available_solvers,
+            random_batch,
+            solve_batch,
+        )
+        from repro.power import PowerModel
+
+        batch = random_batch(8, duplicate_rate=0.5, rng=np.random.default_rng(0))
+        cache = ResultCache(max_entries=4096)
+        results = solve_batch(batch, solver="dp", workers=1, cache=cache)
+        assert len(results) == 8
+        assert "duplicates_folded" in cache.stats.as_dict()
+
+        for name in ("min_power", "power_frontier", "greedy_power"):
+            assert name in available_solvers()
+        pm = PowerModel.paper_experiment3()
+        power_batch = [
+            BatchInstance(i.tree, i.capacity, i.preexisting, power_model=pm)
+            for i in batch
+        ]
+        powered = solve_batch(power_batch, solver="min_power")
+        assert all(r.power > 0 for r in powered)
+
+
 class TestPackageDocstringExample:
     def test_runs_as_documented(self):
         import repro

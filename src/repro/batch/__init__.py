@@ -31,7 +31,7 @@ from repro.batch.canonical import (
     instance_digest,
     relabel_tree,
 )
-from repro.batch.executor import solve_batch
+from repro.batch.executor import instance_key, solve_batch, solve_one
 from repro.batch.instance import (
     BatchInstance,
     batch_from_json,
@@ -59,9 +59,11 @@ __all__ = [
     "get_policy",
     "instance_digest",
     "instance_from_dict",
+    "instance_key",
     "instance_to_dict",
     "random_batch",
     "register_policy",
     "relabel_tree",
     "solve_batch",
+    "solve_one",
 ]

@@ -17,11 +17,23 @@ With ``max_disk_entries`` set, the disk tier is size-bounded: when a
 store pushes it past the budget (plus ~1.5% amortisation slack), the
 least-recently-used digests are evicted and only the shards that lost
 entries are rewritten in place.  Rewrites re-read the shard first and
-carry over current-version lines appended by concurrent writers (a
-small unlocked read→replace window remains — per-shard advisory
-locking is a ROADMAP item).  Recency is approximate across restarts
-(load order seeds it), exact within a process.  A legacy single-file
-``batch-cache.jsonl`` store is migrated into shards on first load.
+carry over current-version lines appended by concurrent writers.
+Recency is approximate across restarts (load order seeds it), exact
+within a process.  A legacy single-file ``batch-cache.jsonl`` store is
+migrated into shards on first load.
+
+Concurrency: every shard append/rewrite/load holds an advisory
+per-shard file lock (``flock`` on a ``.lock`` sidecar, so a rewrite's
+``os.replace`` cannot orphan a lock held on the replaced inode), which
+serialises cross-process writers — two processes appending the same
+digest prefix can no longer interleave partial lines or lose appends in
+the read→replace window.  Cross-process *duplicates* (both solved the
+same digest before seeing each other's line) are still possible by
+design; shards whose load reveals duplicated digests are compacted on
+the spot.  On platforms without ``fcntl`` the locks degrade to no-ops.
+In-process, the cache is thread-safe: one reentrant lock guards both
+tiers, so an event loop can serve hits while a worker thread stores
+results (the serving frontend, :mod:`repro.serve`, relies on this).
 
 Records must be plain JSON-able dicts; the cache never pickles.  Lookups
 may pass an expected record ``schema``: a cached record whose ``schema``
@@ -34,9 +46,16 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
+
+try:  # pragma: no cover - always present on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - Windows fallback: no-op locks
+    fcntl = None  # type: ignore[assignment]
 
 from repro._version import __version__
 from repro.exceptions import ConfigurationError
@@ -47,6 +66,27 @@ __all__ = ["ResultCache"]
 _CACHE_BASENAME = "batch-cache"
 #: Pre-sharding store file, migrated into shards at load time.
 _LEGACY_FILENAME = "batch-cache.jsonl"
+
+
+@contextmanager
+def _shard_lock(path: Path) -> Iterator[None]:
+    """Advisory cross-process lock for one store file.
+
+    Locks a ``<name>.lock`` sidecar rather than the file itself: rewrites
+    swap the shard's inode via :func:`os.replace`, and a lock held on the
+    old inode would no longer exclude anyone.  The sidecar is tiny and
+    permanent; stale sidecars are harmless.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX
+        yield
+        return
+    lock_path = path.parent / (path.name + ".lock")
+    with open(lock_path, "a", encoding="utf-8") as fh:
+        fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+        try:
+            yield
+        finally:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
 
 
 class ResultCache:
@@ -92,19 +132,25 @@ class ResultCache:
         self._lru: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._disk: OrderedDict[str, dict[str, Any]] = OrderedDict()
         self._dir: Path | None = None
+        # One reentrant lock for both tiers: lookups may run on an event
+        # loop thread while the serving drain thread stores results.
+        self._mutex = threading.RLock()
         if cache_dir is not None:
             self._dir = Path(cache_dir)
             self._dir.mkdir(parents=True, exist_ok=True)
-            self._load_disk()
+            with self._mutex:
+                self._load_disk()
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._lru)
+        with self._mutex:
+            return len(self._lru)
 
     def __contains__(self, digest: str) -> bool:
-        return digest in self._lru or digest in self._disk
+        with self._mutex:
+            return digest in self._lru or digest in self._disk
 
     def get(
         self,
@@ -122,31 +168,32 @@ class ResultCache:
         (counted in ``schema_discards``) instead of being returned.
         """
         stats = stats if stats is not None else self.stats
-        record = self._lru.get(digest)
-        if record is not None:
-            if schema is not None and record.get("schema") != schema:
-                stats.schema_discards += 1
-                stats.record_miss()
-                return None
-            self._lru.move_to_end(digest)
-            if digest in self._disk:
-                # Memory-tier hits still count as disk usage, so the
-                # size-bounded disk tier evicts genuinely cold digests.
+        with self._mutex:
+            record = self._lru.get(digest)
+            if record is not None:
+                if schema is not None and record.get("schema") != schema:
+                    stats.schema_discards += 1
+                    stats.record_miss()
+                    return None
+                self._lru.move_to_end(digest)
+                if digest in self._disk:
+                    # Memory-tier hits still count as disk usage, so the
+                    # size-bounded disk tier evicts genuinely cold digests.
+                    self._disk.move_to_end(digest)
+                stats.record_hit()
+                return record
+            record = self._disk.get(digest)
+            if record is not None:
+                if schema is not None and record.get("schema") != schema:
+                    stats.schema_discards += 1
+                    stats.record_miss()
+                    return None
                 self._disk.move_to_end(digest)
-            stats.record_hit()
-            return record
-        record = self._disk.get(digest)
-        if record is not None:
-            if schema is not None and record.get("schema") != schema:
-                stats.schema_discards += 1
-                stats.record_miss()
-                return None
-            self._disk.move_to_end(digest)
-            stats.record_hit(disk=True)
-            self._insert(digest, record, stats)
-            return record
-        stats.record_miss()
-        return None
+                stats.record_hit(disk=True)
+                self._insert(digest, record, stats)
+                return record
+            stats.record_miss()
+            return None
 
     def put(
         self,
@@ -164,17 +211,41 @@ class ResultCache:
         instead of re-solving the same digest forever.
         """
         stats = stats if stats is not None else self.stats
-        self._insert(digest, record, stats)
-        stats.stores += 1
-        if self._dir is not None and self._disk.get(digest) != record:
-            self._disk[digest] = record
-            self._disk.move_to_end(digest)
-            line = json.dumps(
-                {"version": __version__, "digest": digest, "record": record},
-                separators=(",", ":"),
-            )
-            with open(self._shard_path(digest), "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+        line: str | None = None
+        with self._mutex:
+            self._insert(digest, record, stats)
+            stats.stores += 1
+            if self._dir is not None and self._disk.get(digest) != record:
+                self._disk[digest] = record
+                self._disk.move_to_end(digest)
+                line = json.dumps(
+                    {"version": __version__, "digest": digest, "record": record},
+                    separators=(",", ":"),
+                )
+                path = self._shard_path(digest)
+        if line is not None:
+            # Append outside the in-process mutex: waiting on another
+            # process's shard lock must not stall concurrent readers
+            # (the serving event loop does lookups under the mutex).
+            # Two threads racing a put of the *same* digest may land
+            # their lines in either order; since same-digest records can
+            # differ only across schema migrations, a load that keeps
+            # the older line self-heals via the schema gate on the next
+            # get (miss -> re-solve -> re-put).
+            with _shard_lock(path):
+                with open(path, "a", encoding="utf-8") as fh:
+                    fh.write(line + "\n")
+            with self._mutex:
+                if digest not in self._disk:
+                    # A concurrent budget eviction dropped this digest
+                    # while we were appending it.  Restore the disk-view
+                    # entry: it is the most recently stored record and
+                    # stays servable in-memory either way.  If the racing
+                    # compaction rewrote the shard *after* our append, the
+                    # line itself may be gone — persistence across a
+                    # restart is best-effort in this narrow race, never
+                    # correctness (a reload just re-solves on miss).
+                    self._disk[digest] = record
             self._enforce_disk_budget(stats)
 
     # ------------------------------------------------------------------
@@ -198,37 +269,47 @@ class ResultCache:
             stats.evictions += 1
 
     def _enforce_disk_budget(self, stats: BatchCacheStats) -> None:
+        """Evict cold digests past the budget; may be called lock-free.
+
+        The bookkeeping (LRU pops) runs under :attr:`_mutex`; the shard
+        rewrites happen after it is released, so a slow cross-process
+        file lock never stalls concurrent in-memory lookups.
+        """
         if self.max_disk_entries is None:
             return
-        if len(self._disk) <= self.max_disk_entries:
-            return
-        # Evict slightly below the budget (~1.5% slack) so a store at
-        # steady state triggers one compaction per batch of puts rather
-        # than a survivor scan + shard rewrite on every single put.
-        target = self.max_disk_entries - self.max_disk_entries // 64
-        dropped: set[str] = set()
-        while len(self._disk) > target:
-            evicted, _ = self._disk.popitem(last=False)
-            dropped.add(evicted)
-            stats.disk_evictions += 1
+        with self._mutex:
+            if len(self._disk) <= self.max_disk_entries:
+                return
+            # Evict slightly below the budget (~1.5% slack) so a store at
+            # steady state triggers one compaction per batch of puts rather
+            # than a survivor scan + shard rewrite on every single put.
+            target = self.max_disk_entries - self.max_disk_entries // 64
+            dropped: set[str] = set()
+            while len(self._disk) > target:
+                evicted, _ = self._disk.popitem(last=False)
+                dropped.add(evicted)
+                stats.disk_evictions += 1
         self._compact_shards({d[:2] for d in dropped}, dropped)
 
     def _compact_shards(self, prefixes: set[str], dropped: set[str]) -> None:
         """Rewrite the shards of ``prefixes``, dropping ``dropped`` digests.
 
-        Surviving entries are bucketed by prefix in one pass over the
-        disk view, so a compaction event costs O(total entries + lines
-        rewritten) rather than one full scan per touched shard.
+        Surviving entries are bucketed by prefix in one pass over a
+        mutex-guarded snapshot of the disk view, so a compaction event
+        costs O(total entries + lines rewritten) rather than one full
+        scan per touched shard — and the file I/O (including waiting on
+        other processes' shard locks) runs outside the mutex.
         """
         if not prefixes:
             return
         buckets: dict[str, list[tuple[str, dict[str, Any]]]] = {
             p: [] for p in prefixes
         }
-        for digest, record in self._disk.items():
-            bucket = buckets.get(digest[:2])
-            if bucket is not None:
-                bucket.append((digest, record))
+        with self._mutex:
+            for digest, record in self._disk.items():
+                bucket = buckets.get(digest[:2])
+                if bucket is not None:
+                    bucket.append((digest, record))
         for prefix in prefixes:
             self._rewrite_shard(prefix, buckets[prefix], dropped)
 
@@ -240,44 +321,52 @@ class ResultCache:
     ) -> None:
         """Rewrite one shard from ``survivors``, merging concurrent appends.
 
-        The shard is re-read immediately before the rewrite: any
-        current-version line another process appended since we loaded
-        (a digest we neither hold nor just evicted) is carried over, so
-        compaction does not silently discard concurrent writers' work.
-        A small unlocked read→replace window remains; per-shard advisory
-        locking is a ROADMAP item.
+        Runs under the shard's advisory file lock, which closes the
+        read→replace window: the re-read sees every line concurrent
+        writers appended (they hold the same lock to append), any
+        current-version digest we neither hold nor just evicted is
+        carried over, and no append can land between the read and the
+        :func:`os.replace`.
         """
         assert self._dir is not None
         path = self._dir / f"{_CACHE_BASENAME}.{prefix}.jsonl"
         merged = dict(survivors)
-        if path.exists():
-            on_disk, _ = self._read_lines(path)
-            for digest, record in on_disk.items():
-                if digest not in merged and digest not in dropped:
-                    merged[digest] = record
-        if not merged:
-            path.unlink(missing_ok=True)
-            return
-        tmp = path.with_suffix(".jsonl.tmp")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for digest, record in merged.items():
-                fh.write(
-                    json.dumps(
-                        {
-                            "version": __version__,
-                            "digest": digest,
-                            "record": record,
-                        },
-                        separators=(",", ":"),
+        with _shard_lock(path):
+            if path.exists():
+                on_disk, _ = self._read_lines(path)
+                for digest, record in on_disk.items():
+                    if digest not in merged and digest not in dropped:
+                        merged[digest] = record
+            if not merged:
+                path.unlink(missing_ok=True)
+                return
+            tmp = path.with_suffix(".jsonl.tmp")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for digest, record in merged.items():
+                    fh.write(
+                        json.dumps(
+                            {
+                                "version": __version__,
+                                "digest": digest,
+                                "record": record,
+                            },
+                            separators=(",", ":"),
+                        )
+                        + "\n"
                     )
-                    + "\n"
-                )
-        os.replace(tmp, path)
+            os.replace(tmp, path)
 
     def _read_lines(self, path: Path) -> tuple[dict[str, dict[str, Any]], bool]:
-        """Parse one store file; returns (entries, saw_stale_or_corrupt)."""
+        """Parse one store file; returns (entries, needs_compaction).
+
+        ``needs_compaction`` is set for stale-version or corrupt lines
+        *and* for digests appearing more than once — two processes that
+        both solved a digest before seeing each other's append leave
+        duplicated lines (correct, later line wins, but wasted bytes);
+        the load pass schedules such shards for a dedupe rewrite.
+        """
         entries: dict[str, dict[str, Any]] = {}
-        stale_or_corrupt = False
+        needs_compaction = False
         with open(path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -289,13 +378,15 @@ class ResultCache:
                     record = entry["record"]
                     version = entry["version"]
                 except (json.JSONDecodeError, KeyError, TypeError):
-                    stale_or_corrupt = True
+                    needs_compaction = True
                     continue
                 if version != __version__:
-                    stale_or_corrupt = True
+                    needs_compaction = True
                     continue
+                if digest in entries:
+                    needs_compaction = True
                 entries[digest] = record
-        return entries, stale_or_corrupt
+        return entries, needs_compaction
 
     def _shard_files(self) -> Iterable[Path]:
         assert self._dir is not None
@@ -311,7 +402,8 @@ class ResultCache:
         assert self._dir is not None
         needs_rewrite: set[str] = set()
         for path in self._shard_files():
-            entries, dirty = self._read_lines(path)
+            with _shard_lock(path):
+                entries, dirty = self._read_lines(path)
             # Shard names are digest prefixes; a two-char suffix like the
             # migrated legacy shards' is always digest[:2].
             prefix = path.name[len(_CACHE_BASENAME) + 1 : -len(".jsonl")]

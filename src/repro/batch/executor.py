@@ -29,16 +29,17 @@ names — adding a solver is a registry entry, not an executor fork.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor
 from typing import Any, Sequence
 
 from repro.batch.cache import ResultCache
+from repro.batch.canonical import Canonical
 from repro.batch.instance import BatchInstance
 from repro.batch.registry import get_policy
 from repro.exceptions import ConfigurationError
 from repro.perf.stats import BatchCacheStats
 
-__all__ = ["solve_batch"]
+__all__ = ["instance_key", "solve_batch", "solve_one"]
 
 
 def _solve_canonical(payload: dict[str, Any]) -> dict[str, Any]:
@@ -63,6 +64,37 @@ def _chunk(items: list, n_chunks: int) -> list[list]:
     return chunks
 
 
+def instance_key(
+    instance: BatchInstance, *, solver: str = "dp"
+) -> tuple[Canonical, str]:
+    """Canonical form + per-policy content digest of one instance.
+
+    Public wrapper around :meth:`repro.batch.registry.SolverPolicy
+    .instance_key` (the same digest the serving tier keys request
+    coalescing on) for callers that hold a solver *name* rather than a
+    policy object — e.g. to predict cache keys or pre-group traffic
+    before it reaches :func:`solve_batch`.
+    """
+    return get_policy(solver).instance_key(instance)
+
+
+def solve_one(
+    instance: BatchInstance,
+    *,
+    solver: str = "dp",
+    cache: ResultCache | None = None,
+    stats: BatchCacheStats | None = None,
+) -> Any:
+    """Solve a single instance through the batch pipeline.
+
+    A batch of one: the full canonicalise → cache → verified fan-out
+    machinery runs, so repeated calls against a shared ``cache`` behave
+    like serving traffic.  For concurrent callers prefer the coalescing
+    awaitable :meth:`repro.serve.BatchServer.submit`.
+    """
+    return solve_batch([instance], solver=solver, cache=cache, stats=stats)[0]
+
+
 def solve_batch(
     instances: Sequence[BatchInstance],
     *,
@@ -70,6 +102,8 @@ def solve_batch(
     workers: int = 1,
     cache: ResultCache | None = None,
     stats: BatchCacheStats | None = None,
+    pool: Executor | None = None,
+    records_out: dict[str, dict[str, Any]] | None = None,
 ) -> list[Any]:
     """Solve many instances with canonical dedupe, caching and parallelism.
 
@@ -90,6 +124,16 @@ def solve_batch(
     stats:
         Optional counter collector.  Defaults to ``cache.stats`` so cache
         lookups and dedupe folds land in one place.
+    pool:
+        Optional long-lived :class:`~concurrent.futures.Executor` to run
+        miss chunks on instead of spawning a fresh process pool per call
+        — the serving tier passes one shared pool so every micro-batch
+        reuses warm workers.  ``workers`` still controls the chunking.
+    records_out:
+        Optional dict the executor fills with ``digest -> cache record``
+        for every digest this call resolved (from cache or solved).  The
+        serving tier uses it to complete coalesced waiters, which fan the
+        shared canonical record out through their *own* relabelling.
 
     Returns
     -------
@@ -144,17 +188,25 @@ def solve_batch(
 
     if misses:
         payloads = [p for _, p in misses]
-        if workers == 1 or len(payloads) == 1:
+        if pool is not None:
+            chunks = _chunk(payloads, workers)
+            solved = [r for part in pool.map(_solve_chunk, chunks) for r in part]
+        elif workers == 1 or len(payloads) == 1:
             solved = _solve_chunk(payloads)
         else:
             chunks = _chunk(payloads, workers)
-            with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-                solved = [r for part in pool.map(_solve_chunk, chunks) for r in part]
+            with ProcessPoolExecutor(max_workers=len(chunks)) as own_pool:
+                solved = [
+                    r for part in own_pool.map(_solve_chunk, chunks) for r in part
+                ]
         stats.unique_solved += len(payloads)
         for (digest, _), record in zip(misses, solved):
             records[digest] = record
             if cache is not None:
                 cache.put(digest, record, stats=stats)
+
+    if records_out is not None:
+        records_out.update(records)
 
     # Fan out: map canonical solutions through each instance's inverse
     # relabelling, re-verify on the original tree and re-price.

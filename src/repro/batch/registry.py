@@ -175,6 +175,17 @@ class SolverPolicy:
         """CLI table row for one fanned-out result (see :attr:`columns`)."""
         raise NotImplementedError
 
+    def result_to_wire(self, result: Any) -> dict[str, Any]:
+        """JSON-able wire form of one fanned-out result.
+
+        The serving tier (:mod:`repro.serve`) ships this dict to remote
+        clients.  It must be deterministic for a given result — sorted
+        collections, no volatile fields — so responses for coalesced
+        duplicates byte-match a direct :func:`~repro.batch.solve_batch`
+        answer serialised the same way.
+        """
+        raise NotImplementedError
+
 
 # ---------------------------------------------------------------------------
 # registry
@@ -289,6 +300,15 @@ class _MinCostPolicy(SolverPolicy):
             f"{result.cost:.3f}",
         )
 
+    def result_to_wire(self, result: PlacementResult) -> dict[str, Any]:
+        return {
+            "replicas": sorted(int(v) for v in result.replicas),
+            "cost": result.cost,
+            "reused": result.n_reused,
+            "created": result.n_created,
+            "deleted": result.n_deleted,
+        }
+
 
 class DpPolicy(_MinCostPolicy):
     """MinCost-WithPre (the paper's Theorem 1 dynamic program)."""
@@ -337,6 +357,11 @@ def _map_modes(
 ) -> dict[int, int]:
     """Record ``[[canonical node, mode], ...]`` → original-id placement."""
     return {int(canonical.from_canonical[int(v)]): int(m) for v, m in modes}
+
+
+def _wire_modes(server_modes: Any) -> list[list[int]]:
+    """Deterministic ``[[node, mode], ...]`` wire form of a placement."""
+    return [[int(v), int(m)] for v, m in sorted(server_modes.items())]
 
 
 class _PowerPolicy(SolverPolicy):
@@ -459,6 +484,13 @@ class MinPowerPolicy(_FrontierPolicy):
             modes,
         )
 
+    def result_to_wire(self, result: ModalPlacementResult) -> dict[str, Any]:
+        return {
+            "power": result.power,
+            "cost": result.cost,
+            "modes": _wire_modes(result.server_modes),
+        }
+
 
 class PowerFrontierPolicy(_FrontierPolicy):
     """The full cost/power Pareto frontier (Experiment 3's engine)."""
@@ -485,6 +517,9 @@ class PowerFrontierPolicy(_FrontierPolicy):
             f"{frontier.min_cost():.3f}",
             f"{frontier.points[-1].power:.3f}",
         )
+
+    def result_to_wire(self, frontier: PowerFrontier) -> dict[str, Any]:
+        return {"points": frontier.to_records()}
 
 
 class GreedyPowerPolicy(_PowerPolicy):
@@ -566,6 +601,19 @@ class GreedyPowerPolicy(_PowerPolicy):
             f"{best.power:.3f}",
             f"{best.cost:.3f}",
         )
+
+    def result_to_wire(self, result: GreedyPowerCandidates) -> dict[str, Any]:
+        return {
+            "candidates": [
+                {
+                    "cost": cand.cost,
+                    "power": cand.power,
+                    "modes": _wire_modes(cand.server_modes),
+                    "sweep_w": cand.extra.get("sweep_capacity"),
+                }
+                for cand in result.candidates
+            ]
+        }
 
 
 for _policy in (

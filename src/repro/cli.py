@@ -9,6 +9,9 @@ Subcommands
 ``batch``
     Solve many instances at once with canonical dedupe, result caching
     and an optional process pool (see :mod:`repro.batch`).
+``serve`` / ``client``
+    Long-lived coalescing batch server over JSON-lines TCP, and the
+    matching pipelined client (see :mod:`repro.serve`).
 ``power``
     Print the exact cost/power frontier (and optionally the placement for
     one bound).
@@ -22,7 +25,10 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
+import json
+import signal
 import sys
 from typing import Sequence
 
@@ -142,6 +148,69 @@ def build_parser() -> argparse.ArgumentParser:
     )
     b.add_argument("--alpha", type=float, default=3.0)
     b.add_argument("--static", type=float, default=12.5)
+    b.add_argument(
+        "--bound", type=str, default=None, metavar="B1,B2,...",
+        help="with --solver power_frontier: answer MinPower-BoundedCost "
+        "for each cost bound per instance from its one cached frontier "
+        "record (Experiment-3-style sweep)",
+    )
+
+    v = sub.add_parser(
+        "serve",
+        help="run the long-lived coalescing batch server (JSON lines / TCP)",
+    )
+    v.add_argument("--host", type=str, default="127.0.0.1")
+    v.add_argument(
+        "--port", type=int, default=8571,
+        help="TCP port (0 binds an ephemeral port; the choice is printed)",
+    )
+    v.add_argument("--workers", type=int, default=1, help="process-pool size")
+    v.add_argument(
+        "--max-batch", type=int, default=32,
+        help="instances per micro-batch drained through solve_batch",
+    )
+    v.add_argument(
+        "--max-delay-ms", type=float, default=2.0,
+        help="linger (ms) letting a burst accumulate into one micro-batch",
+    )
+    v.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="directory for the persistent result store (sharded JSONL)",
+    )
+    v.add_argument("--lru-size", type=int, default=4096)
+    v.add_argument("--disk-size", type=int, default=None, metavar="N")
+
+    c = sub.add_parser(
+        "client",
+        help="send a batch to a running server and print the responses",
+    )
+    c.add_argument(
+        "file", nargs="?", default=None,
+        help="batch JSON path ('-' for stdin); omit with --demo or when "
+        "only --stats/--shutdown is wanted",
+    )
+    c.add_argument("--host", type=str, default="127.0.0.1")
+    c.add_argument("--port", type=int, default=8571)
+    c.add_argument("--demo", type=int, default=None, metavar="N")
+    c.add_argument("--duplicate-rate", type=float, default=0.5)
+    c.add_argument("--nodes", type=int, default=60)
+    c.add_argument("--seed", type=int, default=None)
+    c.add_argument(
+        "--solver", choices=available_solvers(), default="dp",
+        help="solver policy to request",
+    )
+    c.add_argument("--priority", type=int, default=0)
+    c.add_argument("--modes", type=str, default="5,10")
+    c.add_argument("--alpha", type=float, default=3.0)
+    c.add_argument("--static", type=float, default=12.5)
+    c.add_argument(
+        "--stats", action="store_true",
+        help="print the server's serving stats as JSON afterwards",
+    )
+    c.add_argument(
+        "--shutdown", action="store_true",
+        help="ask the server to drain and stop afterwards",
+    )
 
     p = sub.add_parser("power", help="print the cost/power frontier of a tree")
     p.add_argument("tree", type=str)
@@ -213,6 +282,123 @@ def _parse_pre_modes(spec: str) -> dict[int, int]:
         node, _, mode = part.partition(":")
         out[int(node)] = int(mode) if mode else 0
     return out
+
+
+def _parse_bounds(spec: str) -> list[float]:
+    try:
+        return [float(b) for b in spec.split(",")]
+    except ValueError:
+        raise ConfigurationError(
+            f"invalid --bound value {spec!r}: expected comma-separated "
+            "cost bounds, e.g. '40,60,80'"
+        ) from None
+
+
+def _with_default_power(instances, policy, args):
+    """Fill in the CLI-configured power model where instances lack one.
+
+    Modal costs then derive from each instance's Equation-2 prices (see
+    :meth:`repro.batch.instance.BatchInstance.effective_modal_cost`).
+    """
+    if not policy.needs_power:
+        return instances
+    default_pm = PowerModel(
+        _parse_mode_set(args.modes),
+        static_power=args.static,
+        alpha=args.alpha,
+    )
+    return [
+        i if i.power_model is not None
+        else dataclasses.replace(i, power_model=default_pm)
+        for i in instances
+    ]
+
+
+async def _run_server(args: argparse.Namespace) -> int:
+    from repro.serve import BatchServer
+
+    cache = ResultCache(
+        args.lru_size,
+        cache_dir=args.cache_dir,
+        max_disk_entries=args.disk_size,
+    )
+    server = BatchServer(
+        cache=cache,
+        workers=args.workers,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+    )
+    async with server:
+        host, port = await server.listen(args.host, args.port)
+        print(f"serving on {host}:{port}", flush=True)
+        loop = asyncio.get_running_loop()
+        stop_tasks: list[asyncio.Task] = []
+
+        def _request_stop() -> None:
+            stop_tasks.append(loop.create_task(server.stop()))
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, _request_stop)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                pass
+        await server.serve_forever()
+    print("server stopped", flush=True)
+    return 0
+
+
+async def _run_client(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient
+
+    if args.demo is not None and args.file is not None:
+        print(
+            "error: --demo and a batch file are mutually exclusive",
+            file=sys.stderr,
+        )
+        return 2
+    instances = []
+    if args.demo is not None:
+        instances = random_batch(
+            args.demo,
+            duplicate_rate=args.duplicate_rate,
+            n_nodes=args.nodes,
+            rng=np.random.default_rng(args.seed),
+        )
+    elif args.file is not None:
+        instances = batch_from_json(_read_text(args.file))
+    elif not (args.stats or args.shutdown):
+        print(
+            "error: provide a batch file, --demo N, --stats or --shutdown",
+            file=sys.stderr,
+        )
+        return 2
+    instances = _with_default_power(instances, get_policy(args.solver), args)
+    client = await ServeClient.connect(args.host, args.port)
+    try:
+        if instances:
+            responses = await client.solve_many(
+                instances, solver=args.solver, priority=args.priority
+            )
+            rows = [
+                (i, str(r["digest"])[:12], r["served"])
+                for i, r in enumerate(responses)
+            ]
+            print(format_table(("#", "digest", "served"), rows))
+            served = [r["served"] for r in responses]
+            print(
+                f"instances={len(responses)} "
+                f"solved={served.count('solve')} "
+                f"coalesced={served.count('coalesced')} "
+                f"cache={served.count('cache')}"
+            )
+        if args.stats:
+            print(json.dumps(await client.stats(), indent=2))
+        if args.shutdown:
+            await client.shutdown_server()
+            print("server shutdown requested")
+    finally:
+        await client.close()
+    return 0
 
 
 def _progress(done: int, total: int) -> None:
@@ -301,20 +487,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             print("error: provide a batch file or --demo N", file=sys.stderr)
             return 2
         policy = get_policy(args.solver)
-        if policy.needs_power:
-            # Instances without an explicit power model are served with
-            # the CLI-configured one (modal costs derive from each
-            # instance's Equation-2 prices, see effective_modal_cost).
-            default_pm = PowerModel(
-                _parse_mode_set(args.modes),
-                static_power=args.static,
-                alpha=args.alpha,
-            )
-            instances = [
-                i if i.power_model is not None
-                else dataclasses.replace(i, power_model=default_pm)
-                for i in instances
-            ]
+        instances = _with_default_power(instances, policy, args)
+        bounds = None
+        if args.bound is not None:
+            if args.solver != "power_frontier":
+                print(
+                    "error: --bound requires --solver power_frontier",
+                    file=sys.stderr,
+                )
+                return 2
+            # Parse up front: a malformed bound must not cost a solve.
+            bounds = _parse_bounds(args.bound)
         cache = ResultCache(
             args.lru_size,
             cache_dir=args.cache_dir,
@@ -328,6 +511,20 @@ def _dispatch(args: argparse.Namespace) -> int:
             for i, r in enumerate(results)
         ]
         print(format_table(("#", "digest", *policy.columns), rows))
+        if bounds is not None:
+            # Experiment-3-style sweep: every bound is answered from the
+            # instance's single cached frontier record, no re-solving.
+            sweep_rows = []
+            for i, frontier in enumerate(results):
+                for bound in bounds:
+                    best = frontier.best_under_cost(bound)
+                    if best is None:
+                        sweep_rows.append((i, bound, "-", "-"))
+                    else:
+                        sweep_rows.append(
+                            (i, bound, f"{best.power:.3f}", f"{best.cost:.3f}")
+                        )
+            print(format_table(("#", "bound", "power", "cost"), sweep_rows))
         s = cache.stats
         print(
             f"instances={len(instances)} unique_solved={s.unique_solved} "
@@ -336,6 +533,20 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"hit_rate={s.hit_rate:.2f}"
         )
         return 0
+
+    if args.command == "serve":
+        try:
+            return asyncio.run(_run_server(args))
+        except OSError as exc:  # e.g. port already in use
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "client":
+        try:
+            return asyncio.run(_run_client(args))
+        except OSError as exc:  # e.g. connection refused, server gone
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     if args.command == "power":
         tree = _read_tree(args.tree)

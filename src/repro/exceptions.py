@@ -16,6 +16,7 @@ __all__ = [
     "ConfigurationError",
     "InfeasibleError",
     "SolverError",
+    "ServerClosedError",
 ]
 
 
@@ -58,3 +59,12 @@ class InfeasibleError(ReproError):
 
 class SolverError(ReproError):
     """Internal solver invariant violated; indicates a bug, please report."""
+
+
+class ServerClosedError(ReproError):
+    """A request reached the serving frontend after shutdown began.
+
+    In-flight work is drained before the server exits; only *new*
+    submissions observe this error (see :meth:`repro.serve.BatchServer
+    .stop`).
+    """

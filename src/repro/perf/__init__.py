@@ -10,6 +10,8 @@ from repro.perf.stats import (
     BatchCacheStats,
     CoreDPStats,
     ParetoDPStats,
+    PolicyServeStats,
+    ServeStats,
     instrument_pareto_frontier,
     instrument_replica_update,
 )
@@ -18,6 +20,8 @@ __all__ = [
     "BatchCacheStats",
     "CoreDPStats",
     "ParetoDPStats",
+    "PolicyServeStats",
+    "ServeStats",
     "instrument_pareto_frontier",
     "instrument_replica_update",
 ]

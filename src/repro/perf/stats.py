@@ -13,11 +13,16 @@ to enable in production runs.
 * :class:`BatchCacheStats` — the batch serving layer
   (:mod:`repro.batch`): cache hits/misses and dedupe fold counts, the
   quantities that determine batch throughput on duplicate-heavy traffic.
+* :class:`ServeStats` / :class:`PolicyServeStats` — the async serving
+  frontend (:mod:`repro.serve`): per-policy request / coalesced-join /
+  cache-hit counts and p50/p99 latency over a sliding window.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from collections import deque
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,6 +37,8 @@ __all__ = [
     "BatchCacheStats",
     "CoreDPStats",
     "ParetoDPStats",
+    "PolicyServeStats",
+    "ServeStats",
     "instrument_replica_update",
     "instrument_pareto_frontier",
 ]
@@ -88,6 +95,93 @@ class BatchCacheStats:
             "duplicates_folded": self.duplicates_folded,
             "schema_discards": self.schema_discards,
             "hit_rate": self.hit_rate,
+        }
+
+
+#: Latency reservoir size per policy — enough for stable p99 estimates on
+#: bursty traffic without unbounded growth in a long-lived server.
+_LATENCY_WINDOW = 4096
+
+
+@dataclass
+class PolicyServeStats:
+    """Per-policy counters of the serving frontend (:mod:`repro.serve`).
+
+    ``requests`` counts solve requests routed to the policy;
+    ``cache_hits`` the subset answered straight from the shared result
+    cache, ``coalesced_joins`` the subset that joined an identical
+    in-flight solve instead of scheduling a new one, and
+    ``solves_scheduled`` the canonical solves actually dispatched to the
+    batch backend — on duplicate-heavy traffic
+    ``requests == cache_hits + coalesced_joins + solves_scheduled`` with
+    the last term far smaller than the first.  Latencies are recorded per
+    request (seconds, arrival to fanned-out result) in a sliding window.
+    """
+
+    requests: int = 0
+    cache_hits: int = 0
+    coalesced_joins: int = 0
+    solves_scheduled: int = 0
+    errors: int = 0
+    latencies: deque = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+
+    def record_latency(self, seconds: float) -> None:
+        self.latencies.append(seconds)
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-quantile of the latency window (0.0 idle)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "requests": self.requests,
+            "cache_hits": self.cache_hits,
+            "coalesced_joins": self.coalesced_joins,
+            "solves_scheduled": self.solves_scheduled,
+            "errors": self.errors,
+            "p50_latency": self.latency_quantile(0.50),
+            "p99_latency": self.latency_quantile(0.99),
+        }
+
+
+@dataclass
+class ServeStats:
+    """Whole-server counters of the serving frontend (:mod:`repro.serve`).
+
+    Per-policy breakdowns live in :attr:`policies`
+    (:class:`PolicyServeStats`, created on first use); ``batches`` /
+    ``batch_instances`` describe the micro-batches the drain loop pushed
+    through :func:`repro.batch.solve_batch`.
+    """
+
+    connections: int = 0
+    batches: int = 0
+    batch_instances: int = 0
+    policies: dict = field(default_factory=dict)
+
+    def policy(self, name: str) -> PolicyServeStats:
+        """The (auto-created) per-policy collector for ``name``."""
+        try:
+            return self.policies[name]
+        except KeyError:
+            stats = self.policies[name] = PolicyServeStats()
+            return stats
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "connections": self.connections,
+            "batches": self.batches,
+            "batch_instances": self.batch_instances,
+            "policies": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.policies.items())
+            },
         }
 
 

@@ -1,0 +1,40 @@
+"""Async batch-serving frontend: one cache, many concurrent clients.
+
+The ROADMAP's serving milestone: a long-lived process wrapping the batch
+pipeline so that concurrent clients share one result cache and identical
+in-flight solves are *coalesced* — keyed by the solver policy's
+canonical digest, N simultaneous requests for isomorphic instances cost
+exactly one canonical solve, and every waiter fans the shared record out
+through its own relabelling.
+
+* :class:`BatchServer` — asyncio server; in-process awaitable entry
+  (:meth:`~BatchServer.submit`) plus a JSON-lines-over-TCP endpoint
+  (:meth:`~BatchServer.listen`).
+* :class:`ServeClient` — pipelined protocol client (also behind the
+  ``repro client`` CLI; the server side is ``repro serve``).
+* :mod:`repro.serve.protocol` — the wire format.
+
+Serving counters (per-policy requests / cache hits / coalesced joins /
+p50-p99 latency) live in :class:`repro.perf.stats.ServeStats`.
+"""
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    parse_solve_request,
+)
+from repro.serve.server import BatchServer
+
+__all__ = [
+    "BatchServer",
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "ServeClient",
+    "ServeError",
+    "decode_line",
+    "encode_line",
+    "parse_solve_request",
+]

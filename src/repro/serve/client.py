@@ -1,0 +1,174 @@
+"""Async client for the serving frontend (and the `repro client` CLI).
+
+:class:`ServeClient` speaks the JSON-lines protocol of
+:mod:`repro.serve.protocol` over one TCP connection.  Requests are
+pipelined: ``solve`` calls may be issued concurrently and responses are
+matched back by request id, so one client saturates the server's
+coalescing window without connection-per-request overhead.
+
+>>> client = await ServeClient.connect(host, port)   # doctest: +SKIP
+>>> response = await client.solve(instance, solver="dp")  # doctest: +SKIP
+>>> response["result"]["cost"]                       # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+from repro.batch.instance import BatchInstance, instance_to_dict
+from repro.exceptions import ReproError
+from repro.serve.protocol import MAX_LINE_BYTES, decode_line, encode_line
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(ReproError):
+    """The server answered a request with ``ok: false``."""
+
+
+class ServeClient:
+    """One pipelined protocol connection; create via :meth:`connect`."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._closed = False
+        # Serialises write+drain: concurrent drain() waiters on one
+        # transport are unsupported on Python 3.10 (single-waiter assert
+        # in FlowControlMixin), and solve_many pipelines heavily.
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop()
+        )
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "ServeClient":
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=MAX_LINE_BYTES
+        )
+        return cls(reader, writer)
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    async def solve(
+        self,
+        instance: BatchInstance,
+        *,
+        solver: str = "dp",
+        priority: int = 0,
+    ) -> dict[str, Any]:
+        """Solve one instance; returns the full ``ok: true`` response.
+
+        The response carries ``digest``, ``served`` (``"cache"`` /
+        ``"coalesced"`` / ``"solve"``) and the policy's wire ``result``.
+        Raises :class:`ServeError` on an error response.
+        """
+        return await self._request(
+            {
+                "op": "solve",
+                "solver": solver,
+                "priority": priority,
+                "instance": instance_to_dict(instance),
+            }
+        )
+
+    async def solve_many(
+        self,
+        instances: Sequence[BatchInstance],
+        *,
+        solver: str = "dp",
+        priority: int = 0,
+    ) -> list[dict[str, Any]]:
+        """Pipeline a whole batch concurrently; responses in input order."""
+        return list(
+            await asyncio.gather(
+                *(
+                    self.solve(i, solver=solver, priority=priority)
+                    for i in instances
+                )
+            )
+        )
+
+    async def stats(self) -> dict[str, Any]:
+        """Fetch the server's :class:`~repro.perf.stats.ServeStats` dict."""
+        response = await self._request({"op": "stats"})
+        return response["stats"]
+
+    async def shutdown_server(self) -> None:
+        """Ask the server to drain and stop (graceful, server-wide)."""
+        await self._request({"op": "shutdown"})
+
+    async def close(self) -> None:
+        self._closed = True
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        except Exception:
+            pass
+        # Nothing will ever resolve in-flight requests now; fail them so
+        # concurrent waiters (e.g. an aborted solve_many's stragglers)
+        # don't hang forever.
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ServeError("client connection closed"))
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    async def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        if self._closed:
+            raise ServeError("client connection is closed")
+        self._next_id += 1
+        rid = self._next_id
+        message["id"] = rid
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        try:
+            async with self._write_lock:
+                self._writer.write(encode_line(message))
+                await self._writer.drain()
+            response = await future
+        finally:
+            self._pending.pop(rid, None)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "request failed"))
+        return response
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    raise ConnectionError("server closed the connection")
+                response = decode_line(line)
+                future = self._pending.get(response.get("id"))
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(
+                        ServeError(f"connection lost: {exc}")
+                    )

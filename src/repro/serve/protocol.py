@@ -1,0 +1,98 @@
+"""Wire protocol of the serving frontend: JSON lines over a stream.
+
+One request or response per line, UTF-8 JSON, ``\\n``-terminated — the
+same framing the disk cache shards use, so every layer of the system is
+greppable.  Requests:
+
+.. code-block:: json
+
+    {"op": "solve", "id": 7, "solver": "dp", "instance": {...},
+     "priority": 0}
+    {"op": "stats", "id": 8}
+    {"op": "shutdown", "id": 9}
+
+``instance`` is one :func:`repro.batch.instance.instance_to_dict` dict
+(the schema-2 element of a batch file).  ``priority`` is optional; lower
+drains first.  Responses echo ``id``:
+
+.. code-block:: json
+
+    {"id": 7, "ok": true, "digest": "...", "served": "solve",
+     "result": {...}}
+    {"id": 8, "ok": true, "stats": {...}}
+    {"id": 7, "ok": false, "error": "..."}
+
+``served`` records how the request was answered — ``"cache"`` (shared
+result cache), ``"coalesced"`` (joined an identical in-flight solve) or
+``"solve"`` (scheduled the canonical solve itself).  ``result`` is the
+policy's :meth:`~repro.batch.registry.SolverPolicy.result_to_wire` dict;
+it is deterministic, so any two requests answered by the same canonical
+record serialise byte-identically (the property test suite pins this).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.batch.instance import BatchInstance, instance_from_dict
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "ProtocolError",
+    "decode_line",
+    "encode_line",
+    "parse_solve_request",
+]
+
+#: Upper bound on one framed message; a line this long is a protocol
+#: violation (or a hostile peer), not a big tree — batch instances of the
+#: paper's sizes serialise to a few hundred KiB at most.
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+_OPS = ("solve", "stats", "shutdown")
+
+
+class ProtocolError(ConfigurationError):
+    """A malformed or oversized protocol message."""
+
+
+def encode_line(message: dict[str, Any]) -> bytes:
+    """Frame one message as a compact JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any]:
+    """Parse one framed message; validates shape and the ``op`` field."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the {MAX_LINE_BYTES}-byte "
+            "frame limit"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"invalid JSON frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("protocol messages must be JSON objects")
+    op = message.get("op")
+    if op is not None and op not in _OPS:
+        raise ProtocolError(f"unknown op {op!r}; expected one of {_OPS}")
+    return message
+
+
+def parse_solve_request(
+    message: dict[str, Any]
+) -> tuple[BatchInstance, str, int]:
+    """Extract ``(instance, solver, priority)`` from a solve request."""
+    raw = message.get("instance")
+    if not isinstance(raw, dict):
+        raise ProtocolError("solve request has no 'instance' object")
+    solver = message.get("solver", "dp")
+    if not isinstance(solver, str):
+        raise ProtocolError("solve request 'solver' must be a string")
+    priority = message.get("priority", 0)
+    if not isinstance(priority, int) or isinstance(priority, bool):
+        raise ProtocolError("solve request 'priority' must be an integer")
+    return instance_from_dict(raw), solver, priority

@@ -1,0 +1,556 @@
+"""Async batch-serving frontend: coalescing + micro-batching over TCP.
+
+:class:`BatchServer` turns the batch pipeline (:func:`repro.batch
+.solve_batch`) into a long-lived service.  Many concurrent clients —
+remote ones over the JSON-lines protocol (:mod:`repro.serve.protocol`)
+or in-process callers via :meth:`BatchServer.submit` — share one result
+cache and one solve backend:
+
+* every request is keyed by its policy's canonical digest (the same key
+  :func:`repro.batch.instance_key` exposes publicly); a request whose
+  digest is already **in flight** joins the existing solve's future
+  instead of scheduling
+  a second one (*coalescing* — the waiters all receive the one canonical
+  record and fan it out through their own relabelling, so isomorphic
+  duplicates get correctly-labelled answers);
+* requests whose digest is **cached** are answered immediately from the
+  shared :class:`~repro.batch.cache.ResultCache`;
+* the rest land on a priority queue that a drain task empties in
+  micro-batches through :func:`~repro.batch.solve_batch` on a dedicated
+  worker thread — the dedupe / cache / verified fan-out machinery is
+  reused, not reimplemented — optionally backed by one shared
+  process pool (``workers > 1``) that stays warm across micro-batches.
+
+Client cancellation never propagates into a shared solve: waiters hold
+the in-flight future behind :func:`asyncio.shield`, and the job itself
+is owned by the drain task, not by any connection.  Shutdown
+(:meth:`BatchServer.stop`) is graceful — new submissions are refused
+with :class:`~repro.exceptions.ServerClosedError`, queued and in-flight
+work is drained to completion, responses are flushed, then sockets and
+pools are closed.
+
+Per-policy serving counters (requests, cache hits, coalesced joins,
+scheduled solves, p50/p99 latency) are collected in a
+:class:`~repro.perf.stats.ServeStats`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import time
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Any
+
+from repro.batch.cache import ResultCache
+from repro.batch.executor import solve_batch
+from repro.batch.instance import BatchInstance
+from repro.batch.registry import get_policy
+from repro.exceptions import (
+    ConfigurationError,
+    ReproError,
+    ServerClosedError,
+    SolverError,
+)
+from repro.perf.stats import ServeStats
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    parse_solve_request,
+)
+
+__all__ = ["BatchServer"]
+
+#: Queue priority of the shutdown sentinel — drains strictly after every
+#: pending job, which is what makes :meth:`BatchServer.stop` graceful.
+_SENTINEL_PRIORITY = float("inf")
+
+
+def _consume_exception(future: asyncio.Future) -> None:
+    """Mark a job future's exception as retrieved (waiters may be gone)."""
+    if not future.cancelled():
+        future.exception()
+
+
+class _Job:
+    """One scheduled canonical solve; waiters share :attr:`future`.
+
+    The future resolves to the canonical *cache record* (not a fanned-out
+    result): every waiter — scheduler and coalesced joiners alike — maps
+    the record through its own instance's inverse relabelling.
+    """
+
+    __slots__ = ("digest", "solver", "instance", "future")
+
+    def __init__(
+        self,
+        digest: str,
+        solver: str,
+        instance: BatchInstance,
+        future: asyncio.Future,
+    ) -> None:
+        self.digest = digest
+        self.solver = solver
+        self.instance = instance
+        self.future = future
+
+
+class BatchServer:
+    """Long-lived coalescing frontend over :func:`repro.batch.solve_batch`.
+
+    Parameters
+    ----------
+    cache:
+        Shared result cache; a private in-memory one is created when
+        omitted.  Pass one with a ``cache_dir`` for persistence.
+    workers:
+        Process-pool size for canonical solves.  ``1`` (default) solves
+        on the drain thread; ``> 1`` keeps one shared
+        :class:`~concurrent.futures.ProcessPoolExecutor` warm across
+        micro-batches.
+    max_batch:
+        Upper bound on instances per micro-batch.
+    max_delay:
+        Seconds the drain task lingers after picking up a job to let a
+        burst accumulate into one micro-batch.  ``0`` disables the
+        linger; immediately-available jobs are still batched together.
+    stats:
+        Optional shared :class:`~repro.perf.stats.ServeStats` collector.
+
+    Use as an async context manager, or call :meth:`start` /
+    :meth:`stop` explicitly::
+
+        async with BatchServer(workers=2) as server:
+            host, port = await server.listen("127.0.0.1", 0)
+            ...
+    """
+
+    def __init__(
+        self,
+        *,
+        cache: ResultCache | None = None,
+        workers: int = 1,
+        max_batch: int = 32,
+        max_delay: float = 0.002,
+        stats: ServeStats | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay < 0:
+            raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        self.cache = cache if cache is not None else ResultCache()
+        self.stats = stats if stats is not None else ServeStats()
+        self._workers = workers
+        self._max_batch = max_batch
+        self._max_delay = max_delay
+        self._jobs: dict[str, _Job] = {}
+        self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
+        self._seq = 0
+        self._drain_task: asyncio.Task | None = None
+        self._thread: ThreadPoolExecutor | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._request_tasks: set[asyncio.Task] = set()
+        self._stop_task: asyncio.Task | None = None
+        self._closing = False
+        self._stopped = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "BatchServer":
+        """Start the solve backend (idempotent); no sockets yet."""
+        if self._closing:
+            raise ServerClosedError("server has been stopped")
+        if self._drain_task is None:
+            self._thread = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-serve"
+            )
+            if self._workers > 1:
+                self._pool = ProcessPoolExecutor(max_workers=self._workers)
+            self._drain_task = asyncio.create_task(self._drain_loop())
+        return self
+
+    async def listen(self, host: str = "127.0.0.1", port: int = 0) -> tuple[str, int]:
+        """Open the TCP endpoint; returns the bound ``(host, port)``.
+
+        ``port=0`` binds an ephemeral port (the CLI prints the choice).
+        """
+        await self.start()
+        self._tcp_server = await asyncio.start_server(
+            self._handle_conn, host, port, limit=MAX_LINE_BYTES
+        )
+        sock_host, sock_port = self._tcp_server.sockets[0].getsockname()[:2]
+        return sock_host, sock_port
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`stop` completes (e.g. via a shutdown op)."""
+        await self._stopped.wait()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: refuse new work, drain, flush, close."""
+        if not self._closing:
+            self._closing = True
+            if self._tcp_server is not None:
+                self._tcp_server.close()
+            if self._drain_task is not None:
+                self._seq += 1
+                self._queue.put_nowait((_SENTINEL_PRIORITY, self._seq, None))
+        if self._drain_task is not None:
+            await self._drain_task
+        # Let outstanding request handlers fan out and write responses.
+        current = asyncio.current_task()
+        pending = [t for t in self._request_tasks if t is not current]
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        for writer in list(self._writers):
+            writer.close()
+        if self._tcp_server is not None:
+            await self._tcp_server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._thread is not None:
+            self._thread.shutdown(wait=True)
+            self._thread = None
+        self._stopped.set()
+
+    async def __aenter__(self) -> "BatchServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------
+    # in-process entry point
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        instance: BatchInstance,
+        *,
+        solver: str = "dp",
+        priority: int = 0,
+    ) -> Any:
+        """Awaitable single-instance solve through the serving pipeline.
+
+        Returns the same policy-defined result object a direct
+        :func:`repro.batch.solve_batch` call would (verified fan-out in
+        the instance's original labelling).  Identical concurrent
+        submissions share one canonical solve.
+        """
+        result, _, _ = await self._submit_full(
+            instance, solver=solver, priority=priority
+        )
+        return result
+
+    async def _submit_full(
+        self, instance: BatchInstance, *, solver: str, priority: int
+    ) -> tuple[Any, str, str]:
+        """Serve one request; returns ``(result, digest, served-by)``."""
+        if self._closing:
+            raise ServerClosedError(
+                "server is shutting down; request refused"
+            )
+        if self._drain_task is None:
+            raise ServerClosedError("server is not started")
+        policy = get_policy(solver)
+        pstats = self.stats.policy(solver)
+        pstats.requests += 1
+        started = time.perf_counter()
+        try:
+            policy.check_instance(instance, 0)
+            # Canonicalisation is CPU-bound (AHU codes over the whole
+            # tree) — run it off the loop like fan-out below, so large
+            # non-duplicate storms don't serialise all connections.
+            canonical, digest = await asyncio.get_running_loop().run_in_executor(
+                None, policy.instance_key, instance
+            )
+            if self._closing:
+                # stop() may have begun while we canonicalised; enqueueing
+                # after the drain sentinel would strand the job forever.
+                raise ServerClosedError(
+                    "server is shutting down; request refused"
+                )
+            record = self.cache.get(digest, schema=policy.record_schema)
+            if record is not None:
+                served = "cache"
+                pstats.cache_hits += 1
+            else:
+                job = self._jobs.get(digest)
+                if job is not None:
+                    served = "coalesced"
+                    pstats.coalesced_joins += 1
+                else:
+                    future: asyncio.Future = (
+                        asyncio.get_running_loop().create_future()
+                    )
+                    future.add_done_callback(_consume_exception)
+                    job = _Job(digest, solver, instance, future)
+                    self._jobs[digest] = job
+                    served = "solve"
+                    pstats.solves_scheduled += 1
+                    self._seq += 1
+                    self._queue.put_nowait((priority, self._seq, job))
+                record = await asyncio.shield(job.future)
+            # Fan-out re-verifies on the original tree (CPU-bound, one
+            # call per waiter) — run it off the loop so a storm of
+            # coalesced waiters doesn't serially block all connections.
+            result = await asyncio.get_running_loop().run_in_executor(
+                None, policy.fan_out, instance, canonical, record, digest
+            )
+        except asyncio.CancelledError:
+            raise
+        except Exception:
+            pstats.errors += 1
+            raise
+        pstats.record_latency(time.perf_counter() - started)
+        return result, digest, served
+
+    # ------------------------------------------------------------------
+    # drain loop (micro-batching through solve_batch)
+    # ------------------------------------------------------------------
+    def _scoop(self, jobs: list[_Job]) -> bool:
+        """Move immediately-available jobs into ``jobs``; True on sentinel."""
+        while len(jobs) < self._max_batch:
+            try:
+                priority, seq, job = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return False
+            if job is None:
+                # Keep the shutdown sentinel last: re-queue it and finish
+                # the batch in hand first.
+                self._queue.put_nowait((priority, seq, None))
+                return True
+            jobs.append(job)
+        return False
+
+    async def _drain_loop(self) -> None:
+        while True:
+            _, _, job = await self._queue.get()
+            if job is None:
+                break
+            jobs = [job]
+            saw_sentinel = self._scoop(jobs)
+            if (
+                not saw_sentinel
+                and self._max_delay > 0
+                and len(jobs) < self._max_batch
+            ):
+                await asyncio.sleep(self._max_delay)
+                self._scoop(jobs)
+            await self._run_jobs(jobs)
+
+    async def _run_jobs(self, jobs: list[_Job]) -> None:
+        by_solver: dict[str, list[_Job]] = {}
+        for job in jobs:
+            by_solver.setdefault(job.solver, []).append(job)
+        for solver, group in by_solver.items():
+            self.stats.batches += 1
+            self.stats.batch_instances += len(group)
+            try:
+                records = await self._solve_group(solver, group)
+            except Exception:
+                # One bad instance (e.g. infeasible) must not fail the
+                # whole micro-batch: re-run each job alone so every other
+                # waiter still gets its answer and only the culprit errors.
+                for job in group:
+                    try:
+                        records = await self._solve_group(solver, [job])
+                    except Exception as exc:
+                        self._complete_job(job, exc=exc)
+                    else:
+                        self._complete_job(job, records=records)
+            else:
+                for job in group:
+                    self._complete_job(job, records=records)
+
+    async def _solve_group(
+        self, solver: str, group: list[_Job]
+    ) -> dict[str, dict[str, Any]]:
+        """Run one solver group through ``solve_batch`` on the backend.
+
+        A crashed process pool (worker OOM-killed / segfaulted) is
+        rebuilt and the group retried once, so one dead worker doesn't
+        poison the long-lived server.
+        """
+        loop = asyncio.get_running_loop()
+        for attempt in (0, 1):
+            records: dict[str, dict[str, Any]] = {}
+            run = functools.partial(
+                solve_batch,
+                [job.instance for job in group],
+                solver=solver,
+                workers=self._workers,
+                cache=self.cache,
+                pool=self._pool,
+                records_out=records,
+            )
+            try:
+                assert self._thread is not None
+                await loop.run_in_executor(self._thread, run)
+            except BrokenExecutor:
+                if self._pool is not None:
+                    self._pool.shutdown(wait=False, cancel_futures=True)
+                    self._pool = ProcessPoolExecutor(max_workers=self._workers)
+                if attempt == 1:
+                    raise
+            else:
+                return records
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _complete_job(
+        self,
+        job: _Job,
+        *,
+        records: dict[str, dict[str, Any]] | None = None,
+        exc: Exception | None = None,
+    ) -> None:
+        """Release a job from the in-flight map and resolve its future."""
+        self._jobs.pop(job.digest, None)
+        if job.future.done():
+            return
+        if exc is not None:
+            job.future.set_exception(exc)
+            return
+        record = (records or {}).get(job.digest)
+        if record is None:
+            job.future.set_exception(
+                SolverError(
+                    f"solve_batch returned no record for digest "
+                    f"{job.digest[:12]}"
+                )
+            )
+        else:
+            job.future.set_result(record)
+
+    # ------------------------------------------------------------------
+    # TCP protocol
+    # ------------------------------------------------------------------
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.stats.connections += 1
+        self._writers.add(writer)
+        write_lock = asyncio.Lock()
+        conn_tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, ValueError) as exc:
+                    # ValueError: line exceeded the stream limit.
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {"id": None, "ok": False, "error": str(exc)},
+                    )
+                    break
+                if not line:
+                    break
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {"id": None, "ok": False, "error": str(exc)},
+                    )
+                    continue
+                op = message.get("op", "solve")
+                rid = message.get("id")
+                if op == "stats":
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {"id": rid, "ok": True, "stats": self.stats.as_dict()},
+                    )
+                elif op == "shutdown":
+                    await self._write(
+                        writer, write_lock, {"id": rid, "ok": True, "stopping": True}
+                    )
+                    if self._stop_task is None:
+                        self._stop_task = asyncio.get_running_loop().create_task(
+                            self.stop()
+                        )
+                else:
+                    task = asyncio.create_task(
+                        self._serve_request(message, writer, write_lock)
+                    )
+                    conn_tasks.add(task)
+                    self._request_tasks.add(task)
+                    task.add_done_callback(conn_tasks.discard)
+                    task.add_done_callback(self._request_tasks.discard)
+        finally:
+            # Client gone: responses are unwritable, so cancel what this
+            # connection still has pending.  Shared in-flight solves are
+            # shielded and keep running for other waiters.
+            for task in conn_tasks:
+                task.cancel()
+            self._writers.discard(writer)
+            writer.close()
+
+    async def _serve_request(
+        self,
+        message: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        rid = message.get("id")
+        try:
+            instance, solver, priority = parse_solve_request(message)
+            result, digest, served = await self._submit_full(
+                instance, solver=solver, priority=priority
+            )
+            response = {
+                "id": rid,
+                "ok": True,
+                "digest": digest,
+                "served": served,
+                "result": get_policy(solver).result_to_wire(result),
+            }
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            response = {"id": rid, "ok": False, "error": str(exc)}
+        except Exception as exc:  # never let one request kill the server
+            response = {
+                "id": rid,
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+        await self._write(writer, write_lock, response)
+
+    @staticmethod
+    async def _write(
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        message: dict[str, Any],
+    ) -> None:
+        try:
+            data = encode_line(message)
+        except (TypeError, ValueError):
+            # A third-party policy's result_to_wire may return something
+            # json cannot serialise; the client must still get a frame,
+            # not a silent hang.
+            data = encode_line(
+                {
+                    "id": message.get("id"),
+                    "ok": False,
+                    "error": "internal error: response not JSON-serialisable",
+                }
+            )
+        try:
+            async with write_lock:
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, RuntimeError):
+            pass  # peer disconnected mid-response; nothing to flush to

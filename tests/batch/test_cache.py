@@ -193,3 +193,102 @@ class TestDiskStore:
         reopened = ResultCache(max_entries=4, cache_dir=tmp_path)
         assert reopened.get("ab77", schema=2) == {"schema": 2, "points": []}
         assert reopened.stats.schema_discards == 0
+
+
+class TestShardSafety:
+    """Cross-process and cross-thread safety of the sharded disk tier."""
+
+    def test_duplicated_lines_deduped_and_compacted_on_load(self, tmp_path):
+        # Two processes that both solved digest 'ab11' before seeing each
+        # other's append leave two lines; a load dedupes (last one wins)
+        # and rewrites the shard to a single line.
+        from repro._version import __version__
+
+        shard = tmp_path / "batch-cache.ab.jsonl"
+        lines = [
+            {"version": __version__, "digest": "ab11", "record": rec(1)},
+            {"version": __version__, "digest": "abff", "record": rec(7)},
+            {"version": __version__, "digest": "ab11", "record": rec(2)},
+        ]
+        shard.write_text("".join(json.dumps(e) + "\n" for e in lines))
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert cache.get("ab11") == rec(2)  # later line shadows earlier
+        assert cache.get("abff") == rec(7)
+        on_disk = [
+            json.loads(line)["digest"]
+            for line in shard.read_text().splitlines()
+        ]
+        assert sorted(on_disk) == ["ab11", "abff"]  # compacted in place
+
+    def test_concurrent_process_appends_serialised_by_shard_lock(self, tmp_path):
+        # Hammer one shard from several processes; the advisory lock must
+        # keep every line intact (no interleaved partial writes).
+        import multiprocessing as mp
+
+        ctx = mp.get_context("spawn")
+        procs = [
+            ctx.Process(target=_append_worker, args=(str(tmp_path), w))
+            for w in range(3)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        assert all(p.exitcode == 0 for p in procs)
+        shard = tmp_path / "batch-cache.ab.jsonl"
+        for line in shard.read_text().splitlines():
+            entry = json.loads(line)  # raises on a torn line
+            assert entry["digest"].startswith("ab")
+        fresh = ResultCache(max_entries=64, cache_dir=tmp_path)
+        for w in range(3):
+            for i in range(20):
+                assert fresh.get(f"ab{w}{i:02d}") == rec(w * 100 + i)
+
+    def test_lock_sidecars_not_loaded_as_shards(self, tmp_path):
+        cache = ResultCache(max_entries=8, cache_dir=tmp_path)
+        cache.put("ab42", rec(1))
+        sidecars = list(tmp_path.glob("*.lock"))
+        assert sidecars  # advisory lock sidecar exists on POSIX
+        reopened = ResultCache(max_entries=8, cache_dir=tmp_path)
+        assert reopened.get("ab42") == rec(1)
+
+    def test_thread_safe_under_concurrent_get_put(self, tmp_path):
+        # The serving frontend reads from the event loop thread while the
+        # drain thread stores results; hammer both paths.
+        import threading
+
+        cache = ResultCache(max_entries=32, cache_dir=tmp_path, max_disk_entries=48)
+        errors = []
+
+        def writer(base: int) -> None:
+            try:
+                for i in range(200):
+                    cache.put(f"{(base + i) % 256:02x}{i:03d}", rec(i))
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader() -> None:
+            try:
+                for i in range(400):
+                    cache.get(f"{i % 256:02x}{i % 200:03d}")
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(0,)),
+            threading.Thread(target=writer, args=(128,)),
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+
+
+def _append_worker(cache_dir: str, worker: int) -> None:
+    """Spawn-target: append 20 records to the 'ab' shard prefix."""
+    cache = ResultCache(max_entries=64, cache_dir=cache_dir)
+    for i in range(20):
+        cache.put(f"ab{worker}{i:02d}", rec(worker * 100 + i))

@@ -1,0 +1,120 @@
+"""Wire-protocol unit tests (:mod:`repro.serve.protocol`)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchInstance, get_policy, solve_batch
+from repro.batch.instance import instance_to_dict
+from repro.power.modes import ModeSet, PowerModel
+from repro.serve import ProtocolError, decode_line, encode_line, parse_solve_request
+from repro.serve.protocol import MAX_LINE_BYTES
+from repro.tree.generators import paper_tree, random_preexisting
+
+
+def _instance(power: bool = False) -> BatchInstance:
+    rng = np.random.default_rng(42)
+    tree = paper_tree(24, rng=rng)
+    pre = random_preexisting(tree, 4, rng=rng)
+    pm = (
+        PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+        if power
+        else None
+    )
+    return BatchInstance(tree, 10, pre, power_model=pm)
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        message = {"op": "solve", "id": 3, "solver": "dp", "instance": {"x": 1}}
+        line = encode_line(message)
+        assert line.endswith(b"\n")
+        assert decode_line(line) == message
+
+    def test_compact_encoding(self):
+        assert b" " not in encode_line({"a": [1, 2], "b": {"c": 3}})
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(ProtocolError, match="invalid JSON"):
+            decode_line(b"{nope}\n")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON objects"):
+            decode_line(b"[1,2,3]\n")
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            decode_line(encode_line({"op": "explode"}))
+
+    def test_oversized_line_rejected(self):
+        line = b'{"op":"solve","pad":"' + b"x" * MAX_LINE_BYTES + b'"}\n'
+        with pytest.raises(ProtocolError, match="frame limit"):
+            decode_line(line)
+
+
+class TestSolveRequest:
+    def test_roundtrips_instance(self):
+        instance = _instance()
+        message = decode_line(
+            encode_line(
+                {
+                    "op": "solve",
+                    "id": 1,
+                    "solver": "greedy",
+                    "priority": 2,
+                    "instance": instance_to_dict(instance),
+                }
+            )
+        )
+        parsed, solver, priority = parse_solve_request(message)
+        assert solver == "greedy"
+        assert priority == 2
+        assert parsed.capacity == instance.capacity
+        assert parsed.preexisting == instance.preexisting
+        assert parsed.tree.parents == instance.tree.parents
+
+    def test_missing_instance_rejected(self):
+        with pytest.raises(ProtocolError, match="no 'instance'"):
+            parse_solve_request({"op": "solve", "id": 1})
+
+    def test_non_string_solver_rejected(self):
+        with pytest.raises(ProtocolError, match="'solver'"):
+            parse_solve_request({"instance": {}, "solver": 7})
+
+    def test_bool_priority_rejected(self):
+        with pytest.raises(ProtocolError, match="'priority'"):
+            parse_solve_request({"instance": {}, "priority": True})
+
+
+class TestResultToWire:
+    """Every policy serialises deterministically (the byte-match anchor)."""
+
+    @pytest.mark.parametrize(
+        "solver", ["dp", "greedy", "dp_nopre", "min_power", "power_frontier", "greedy_power"]
+    )
+    def test_deterministic_and_jsonable(self, solver):
+        policy = get_policy(solver)
+        instance = _instance(power=policy.needs_power)
+        first = solve_batch([instance], solver=solver)[0]
+        second = solve_batch([instance], solver=solver)[0]
+        wire_a = json.dumps(policy.result_to_wire(first), sort_keys=True)
+        wire_b = json.dumps(policy.result_to_wire(second), sort_keys=True)
+        assert wire_a == wire_b
+        assert json.loads(wire_a) == policy.result_to_wire(first)
+
+    def test_mincost_wire_fields(self):
+        instance = _instance()
+        result = solve_batch([instance], solver="dp")[0]
+        wire = get_policy("dp").result_to_wire(result)
+        assert wire["replicas"] == sorted(result.replicas)
+        assert wire["cost"] == result.cost
+        assert wire["reused"] == result.n_reused
+
+    def test_frontier_wire_matches_records(self):
+        instance = _instance(power=True)
+        frontier = solve_batch([instance], solver="power_frontier")[0]
+        wire = get_policy("power_frontier").result_to_wire(frontier)
+        assert wire["points"] == frontier.to_records()

@@ -236,3 +236,122 @@ class TestBatch:
         path.write_text("{}")
         assert main(["batch", str(path), "--demo", "3"]) == 2
         assert "mutually exclusive" in capsys.readouterr().err
+
+
+class TestBatchBoundSweep:
+    def test_bound_sweep_from_cached_frontier(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--demo", "4", "--duplicate-rate", "0.5",
+                    "--nodes", "16", "--seed", "5",
+                    "--solver", "power_frontier", "--bound", "5,40,1e9",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bound" in out
+        # One sweep row per (instance, bound) pair.
+        assert out.count("1000000000.000") == 4
+        # The sweep reads cached frontier records; no extra solves.
+        assert "unique_solved=2" in out
+
+    def test_bound_requires_frontier_solver(self, capsys):
+        assert (
+            main(["batch", "--demo", "2", "--seed", "1", "--bound", "40"]) == 2
+        )
+        assert "power_frontier" in capsys.readouterr().err
+
+    def test_malformed_bound_is_clean_error(self, capsys):
+        assert (
+            main(
+                [
+                    "batch", "--demo", "2", "--seed", "1",
+                    "--solver", "power_frontier", "--bound", "40,x",
+                ]
+            )
+            == 2
+        )
+        assert "invalid --bound" in capsys.readouterr().err
+
+
+class TestServeClientErrors:
+    def test_client_connection_refused_is_clean_error(self, capsys):
+        # An unused port: bind-and-release to find one nothing listens on.
+        import socket
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            port = s.getsockname()[1]
+        assert main(["client", "--port", str(port), "--stats"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_port_in_use_is_clean_error(self, capsys):
+        import socket
+
+        with socket.socket() as s:
+            s.bind(("127.0.0.1", 0))
+            s.listen(1)
+            port = s.getsockname()[1]
+            assert main(["serve", "--port", str(port)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeClientCLI:
+    """End-to-end over real processes: boots `repro serve`, drives it
+    with `repro client`, asserts coalescing stats and clean shutdown
+    (the same loop the serve-smoke CI job runs)."""
+
+    def test_serve_client_roundtrip(self):
+        import os
+        import subprocess
+        import sys
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        src = os.path.join(root, "src")
+        env = {
+            **os.environ,
+            "PYTHONPATH": src + os.pathsep + os.environ.get("PYTHONPATH", ""),
+        }
+        server = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = server.stdout.readline().strip()
+            assert banner.startswith("serving on ")
+            port = banner.rsplit(":", 1)[1]
+            client = subprocess.run(
+                [
+                    sys.executable, "-m", "repro", "client", "--port", port,
+                    "--demo", "12", "--duplicate-rate", "0.75",
+                    "--nodes", "20", "--seed", "3",
+                    "--stats", "--shutdown",
+                ],
+                capture_output=True,
+                text=True,
+                env=env,
+                timeout=120,
+            )
+            assert client.returncode == 0, client.stderr
+            out = client.stdout
+            assert "instances=12" in out
+            stats = json.loads(out[out.index("{") : out.rindex("}") + 1])
+            dp = stats["policies"]["dp"]
+            assert dp["requests"] == 12
+            assert dp["solves_scheduled"] < 12
+            assert (
+                dp["solves_scheduled"]
+                + dp["coalesced_joins"]
+                + dp["cache_hits"]
+                == 12
+            )
+            server.wait(timeout=30)
+            assert "server stopped" in server.stdout.read()
+        finally:
+            if server.poll() is None:  # pragma: no cover - cleanup path
+                server.kill()

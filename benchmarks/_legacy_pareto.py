@@ -1,0 +1,146 @@
+"""Frozen copy of the pre-rewrite Pareto-DP kernel (measurement baseline).
+
+This is the object-label, materialise-then-prune kernel that shipped
+before the array-based dominance-aware rewrite of
+:mod:`repro.power.dp_power_pareto` — one ``_Label`` object per partial
+solution, the full ``|acc| × |options|`` cross product allocated before
+pruning, and a fresh sort per flow bucket per merge.  It exists solely so
+``bench_pareto_kernel.py`` can measure the rewrite's speedup against the
+real predecessor on the same process and hardware; it is not part of the
+library and returns bare ``(cost, power)`` pairs only.
+
+Do not "improve" this file: its value is being a faithful baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.costs import ModalCostModel
+from repro.exceptions import InfeasibleError
+from repro.power.modes import PowerModel
+from repro.tree.model import Tree
+
+_EPS = 1e-9
+
+
+class _Label:
+    __slots__ = ("flow", "g", "p", "back")
+
+    def __init__(self, flow: int, g: float, p: float, back: tuple | None):
+        self.flow = flow
+        self.g = g
+        self.p = p
+        self.back = back
+
+
+def _prune(labels: list[_Label]) -> list[_Label]:
+    if len(labels) <= 1:
+        return labels
+    labels.sort(key=lambda L: (L.g, L.p))
+    kept: list[_Label] = []
+    best_p = float("inf")
+    for lab in labels:
+        if lab.p < best_p - _EPS:
+            kept.append(lab)
+            best_p = lab.p
+    return kept
+
+
+def legacy_power_frontier_pairs(
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
+    preexisting_modes: Mapping[int, int] | None = None,
+) -> list[tuple[float, float]]:
+    """The old kernel, verbatim modulo returning pairs instead of points."""
+    modes = power_model.modes
+    pre = dict(preexisting_modes or {})
+    w_max = modes.max_capacity
+
+    def place_price(node: int, flow: int) -> tuple[float, float, int]:
+        m = modes.mode_of(flow)
+        if node in pre:
+            old = pre[node]
+            dg = 1.0 + cost_model.changed[old][m] - cost_model.delete[old]
+        else:
+            dg = 1.0 + cost_model.create[m]
+        return dg, power_model.mode_power(m), m
+
+    tables: list[dict[int, list[_Label]] | None] = [None] * tree.n_nodes
+
+    for v in tree.post_order():
+        j = int(v)
+        load = tree.client_load(j)
+        if load > w_max:
+            raise InfeasibleError(
+                f"direct client load {load} at node {j} exceeds W={w_max}",
+                node=j,
+            )
+        acc: dict[int, list[_Label]] = {load: [_Label(load, 0.0, 0.0, None)]}
+        for child in tree.children(j):
+            child_table = tables[child]
+            assert child_table is not None
+            tables[child] = None
+            options: dict[int, list[_Label]] = {}
+            for f, labs in child_table.items():
+                dg, dp, m = place_price(child, f)
+                for lab in labs:
+                    options.setdefault(f, []).append(
+                        _Label(f, lab.g, lab.p, ("pass", lab))
+                    )
+                    options.setdefault(0, []).append(
+                        _Label(0, lab.g + dg, lab.p + dp, ("place", lab, child, m))
+                    )
+            for f in options:
+                options[f] = _prune(options[f])
+            merged: dict[int, list[_Label]] = {}
+            for f1, labs1 in acc.items():
+                for f2, labs2 in options.items():
+                    f = f1 + f2
+                    if f > w_max:
+                        continue
+                    bucket = merged.setdefault(f, [])
+                    for l1 in labs1:
+                        for l2 in labs2:
+                            bucket.append(
+                                _Label(f, l1.g + l2.g, l1.p + l2.p, ("merge", l1, l2))
+                            )
+            for f in merged:
+                merged[f] = _prune(merged[f])
+            acc = merged
+        tables[j] = acc
+
+    root = tree.root
+    root_table = tables[root]
+    assert root_table is not None
+    delete_constant = sum(cost_model.delete[old] for old in pre.values())
+
+    candidates: list[tuple[float, float]] = []
+    for f, labs in root_table.items():
+        for lab in labs:
+            if f == 0:
+                candidates.append(
+                    (round(lab.g + delete_constant, 9), round(lab.p, 9))
+                )
+                if root in pre:
+                    dg, dp, _ = place_price(root, 0)
+                    candidates.append(
+                        (round(lab.g + dg + delete_constant, 9), round(lab.p + dp, 9))
+                    )
+            else:
+                dg, dp, _ = place_price(root, f)
+                candidates.append(
+                    (round(lab.g + dg + delete_constant, 9), round(lab.p + dp, 9))
+                )
+    if not candidates:
+        raise InfeasibleError("no valid replica placement exists")
+
+    candidates.sort()
+    frontier: list[tuple[float, float]] = []
+    best_power = float("inf")
+    for cost, power in candidates:
+        if power < best_power - _EPS:
+            frontier.append((cost, power))
+            best_power = power
+    return frontier

@@ -22,6 +22,8 @@ from repro.tree.generators import paper_tree, random_preexisting, random_preexis
 
 PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
 CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+PM3 = PowerModel(ModeSet((3, 6, 12)), static_power=5.0, alpha=2.0)
+CM3 = ModalCostModel.uniform(3, create=0.1, delete=0.01, changed=0.001)
 MINCOUNT = UniformCostModel(1e-4, 1e-5)
 
 
@@ -64,6 +66,29 @@ def test_micro_dp_withpre_n100_e25(benchmark, fat100, fat100_pre):
 
 def test_micro_power_frontier_n50_e5(benchmark, power50, power50_pre):
     frontier = benchmark(power_frontier, power50, PM, CM, power50_pre)
+    assert len(frontier) > 0
+
+
+@pytest.fixture(scope="module")
+def power100_three_mode():
+    return paper_tree(100, request_range=(1, 6), rng=np.random.default_rng(46))
+
+
+@pytest.fixture(scope="module")
+def power100_pre(power100_three_mode):
+    return random_preexisting_modes(
+        power100_three_mode, 10, 3, rng=np.random.default_rng(47), mode=1
+    )
+
+
+def test_micro_power_frontier_three_mode_n100(
+    benchmark, power100_three_mode, power100_pre
+):
+    # Wider mode set -> wider fronts: exercises the dominance-aware merge
+    # where label work (not traversal skeleton) dominates the runtime.
+    frontier = benchmark(
+        power_frontier, power100_three_mode, PM3, CM3, power100_pre
+    )
     assert len(frontier) > 0
 
 

@@ -57,8 +57,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "Canonical",
+    "SubtreeCodes",
     "canonicalize",
     "instance_digest",
+    "labelled_subtree_codes",
     "relabel_tree",
 ]
 
@@ -182,6 +184,97 @@ def canonicalize(
         to_canonical=tuple(to_canon),
         from_canonical=tuple(order),
     )
+
+
+@dataclass(frozen=True)
+class SubtreeCodes:
+    """Per-node labelled AHU subtree codes of one tree.
+
+    Produced by :func:`labelled_subtree_codes`.  Both attributes are
+    intern ids: equal values identify isomorphic annotated subtrees
+    *within the call that produced them* (ids are assigned in discovery
+    order, so they are not comparable across calls or trees — use
+    :func:`canonicalize` / :func:`instance_digest` for cross-instance
+    identity).
+
+    Attributes
+    ----------
+    codes:
+        ``codes[v]`` interns ``(client load sum at v, pre-marker of v,
+        sorted child codes)`` — the full labelled code of ``subtree_v``.
+    table_keys:
+        ``table_keys[v]`` interns ``(client load sum at v, sorted child
+        codes)`` — the code of ``v``'s marker-0 twin, i.e. the same code
+        with the node's *own* pre-marker excluded.  This is the
+        power-DP *table signature*: the per-flow
+        label table of ``subtree_v`` (:mod:`repro.power.dp_power_pareto`)
+        depends on every load and pre-existing mode strictly inside the
+        subtree and on ``v``'s own load, but not on whether ``v`` itself
+        is pre-existing (placement on ``v`` is decided at its parent), so
+        equal ``table_keys`` means the computed tables are equal and can
+        be shared within one solve.
+    """
+
+    codes: tuple[int, ...]
+    table_keys: tuple[int, ...]
+
+
+def labelled_subtree_codes(
+    tree: Tree, preexisting: Iterable[int] | Mapping[int, int] = ()
+) -> SubtreeCodes:
+    """Intern the labelled AHU code of every node's subtree.
+
+    The annotation per node is its aggregated direct client load plus
+    the pre-existing-server marker (``0`` plain, ``1 + old_mode`` for
+    pre-existing servers) — the same marker convention as
+    :func:`canonicalize`, but with the client request *sum* instead of
+    the multiset: the dynamic programs only ever consume the per-node
+    aggregate, so subtrees whose workloads differ only in how one load
+    splits across clients still share a code (strictly more sharing
+    than the instance-level canonical form allows).
+
+    Interning keeps this near-linear like :func:`canonicalize`: a
+    node's key embeds its children's *codes* (not their expansions), so
+    identical keys are discovered with one dictionary lookup.  Unlike
+    :func:`canonicalize` no level-by-level ordering is needed — equal
+    keys imply equal heights by construction, and within-tree equality
+    is all the intern ids promise.
+    """
+    if isinstance(preexisting, Mapping):
+        pre_modes = {int(v): int(m) for v, m in preexisting.items()}
+    else:
+        pre_modes = {int(v): 0 for v in preexisting}
+    check_preexisting(tree, pre_modes)
+    n = tree.n_nodes
+    codes = [0] * n
+    keys = [0] * n
+    intern: dict[tuple, int] = {}
+    loads = tree.client_loads.tolist()
+    children = tree.children
+    # A node's table_key is the code its marker-0 twin would carry, so one
+    # intern table serves both: for plain nodes code == table_key (one
+    # lookup), for pre-existing nodes the twin key is interned separately
+    # (a twin id never being a real node's code is harmless — only id
+    # equality is promised).
+    for vi in tree.post_order().tolist():
+        kids_nodes = children(vi)
+        kids = tuple(sorted(codes[c] for c in kids_nodes)) if kids_nodes else ()
+        load = loads[vi]
+        marker = pre_modes.get(vi, -1) + 1
+        full_key = (load, marker, kids)
+        c = intern.get(full_key)
+        if c is None:
+            c = intern[full_key] = len(intern)
+        codes[vi] = c
+        if marker:
+            twin_key = (load, 0, kids)
+            k = intern.get(twin_key)
+            if k is None:
+                k = intern[twin_key] = len(intern)
+            keys[vi] = k
+        else:
+            keys[vi] = c
+    return SubtreeCodes(codes=tuple(codes), table_keys=tuple(keys))
 
 
 def instance_digest(

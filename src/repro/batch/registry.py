@@ -58,6 +58,7 @@ from repro.core.dp_withpre import replica_update
 from repro.core.greedy import greedy_placement
 from repro.core.solution import PlacementResult
 from repro.exceptions import ConfigurationError, SolverError
+from repro.perf.stats import ParetoDPStats
 from repro.power.dp_power_pareto import PowerFrontier, power_frontier
 from repro.power.greedy_power import (
     GreedyPowerCandidates,
@@ -416,8 +417,17 @@ class _FrontierPolicy(_PowerPolicy):
 
     def solve(self, payload: dict[str, Any]) -> dict[str, Any]:
         tree, pre_modes, pm, mcm = self._payload_instance(payload)
-        frontier = power_frontier(tree, pm, mcm, pre_modes)
-        return {"schema": self.record_schema, "points": frontier.to_records()}
+        stats = ParetoDPStats()
+        frontier = power_frontier(tree, pm, mcm, pre_modes, stats=stats)
+        # Kernel counters ride along in the record (deterministic for a
+        # canonical instance, so records stay byte-stable): the batch CLI
+        # (--stats) and the serving tier's ``perf`` op aggregate them
+        # without re-running solves.
+        return {
+            "schema": self.record_schema,
+            "points": frontier.to_records(),
+            "dp_stats": stats.as_dict(),
+        }
 
     def _rebuild_frontier(
         self,

@@ -154,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "for each cost bound per instance from its one cached frontier "
         "record (Experiment-3-style sweep)",
     )
+    b.add_argument(
+        "--stats", action="store_true",
+        help="print aggregated Pareto-DP kernel counters (labels created/"
+        "generated/rejected, memo hits) from the solved records as JSON",
+    )
 
     v = sub.add_parser(
         "serve",
@@ -206,6 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--stats", action="store_true",
         help="print the server's serving stats as JSON afterwards",
+    )
+    c.add_argument(
+        "--perf", action="store_true",
+        help="print serving stats plus aggregated Pareto-DP kernel "
+        "counters (labels created/generated/rejected, memo hits) as JSON",
     )
     c.add_argument(
         "--shutdown", action="store_true",
@@ -366,9 +376,10 @@ async def _run_client(args: argparse.Namespace) -> int:
         )
     elif args.file is not None:
         instances = batch_from_json(_read_text(args.file))
-    elif not (args.stats or args.shutdown):
+    elif not (args.stats or args.perf or args.shutdown):
         print(
-            "error: provide a batch file, --demo N, --stats or --shutdown",
+            "error: provide a batch file, --demo N, --stats, --perf or "
+            "--shutdown",
             file=sys.stderr,
         )
         return 2
@@ -393,6 +404,8 @@ async def _run_client(args: argparse.Namespace) -> int:
             )
         if args.stats:
             print(json.dumps(await client.stats(), indent=2))
+        if args.perf:
+            print(json.dumps(await client.perf(), indent=2))
         if args.shutdown:
             await client.shutdown_server()
             print("server shutdown requested")
@@ -503,8 +516,13 @@ def _dispatch(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             max_disk_entries=args.disk_size,
         )
+        records_out: dict | None = {} if args.stats else None
         results = solve_batch(
-            instances, solver=args.solver, workers=args.workers, cache=cache
+            instances,
+            solver=args.solver,
+            workers=args.workers,
+            cache=cache,
+            records_out=records_out,
         )
         rows = [
             (i, str(r.extra["digest"])[:12], *policy.row(r))
@@ -532,6 +550,29 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"(disk={s.disk_hits}) misses={s.misses} "
             f"hit_rate={s.hit_rate:.2f}"
         )
+        if records_out is not None:
+            from repro.perf.stats import ParetoDPStats
+
+            kernel = ParetoDPStats()
+            covered = 0
+            for record in records_out.values():
+                counters = record.get("dp_stats")
+                if counters:
+                    kernel.absorb(counters)
+                    covered += 1
+            # Each digest appears once in records_out, so records are
+            # never double-absorbed; records from older cache schemas
+            # simply lack the counters and are reported as uncovered.
+            print(
+                json.dumps(
+                    {
+                        "kernel_records": covered,
+                        "records_without_stats": len(records_out) - covered,
+                        **kernel.as_dict(),
+                    },
+                    indent=2,
+                )
+            )
         return 0
 
     if args.command == "serve":

@@ -215,11 +215,28 @@ class CoreDPStats:
 
 @dataclass
 class ParetoDPStats:
-    """Label statistics of one power-frontier run."""
+    """Label statistics of one (or many aggregated) power-frontier runs.
+
+    ``labels_created`` counts the full ``|acc| × |options|`` candidate
+    cross product the dominance argument is pruning (the labels the old
+    materialise-then-prune kernel used to allocate); ``labels_generated``
+    is the subset the dominance-aware merge actually materialised
+    (everything in between was skipped as provably dominated without ever
+    being built), and ``merge_rejected`` the generated candidates that a
+    better label then beat at pop time.  ``memo_hits`` / ``memo_misses``
+    count subtree-table lookups by labelled AHU code, and
+    ``memo_labels_shared`` the labels answered from a shared table
+    instead of being recomputed.
+    """
 
     merges: int = 0
-    labels_created: int = 0  #: candidate labels before pruning
+    labels_created: int = 0  #: candidate cross-product size before dominance
+    labels_generated: int = 0  #: candidates the dominance-aware merge built
     labels_kept: int = 0  #: labels surviving Pareto pruning
+    merge_rejected: int = 0  #: generated candidates dominated at merge time
+    memo_hits: int = 0  #: subtree tables answered from the AHU memo
+    memo_misses: int = 0  #: subtree tables computed (then memoized)
+    memo_labels_shared: int = 0  #: labels served from a memoized table
     max_front_size: int = 0  #: largest (g, p) front for a single flow value
     max_flow_keys: int = 0  #: most distinct flow values at one node
 
@@ -229,12 +246,6 @@ class ParetoDPStats:
             self.labels_kept += len(labs)
             self.max_front_size = max(self.max_front_size, len(labs))
 
-    def record_created(self, count: int) -> None:
-        self.labels_created += count
-
-    def record_merge(self) -> None:
-        self.merges += 1
-
     @property
     def prune_ratio(self) -> float:
         """Fraction of candidate labels discarded by dominance pruning."""
@@ -242,14 +253,65 @@ class ParetoDPStats:
             return 0.0
         return 1.0 - self.labels_kept / self.labels_created
 
+    @property
+    def generation_ratio(self) -> float:
+        """Fraction of the candidate space the merge actually built.
+
+        Low values mean the dominance-aware skip rejected most of the
+        cross product without materialising it.
+        """
+        if self.labels_created == 0:
+            return 0.0
+        return self.labels_generated / self.labels_created
+
+    @property
+    def memo_hit_rate(self) -> float:
+        """Fraction of subtree-table lookups answered from the memo."""
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
+
+    _SUM_FIELDS = (
+        "merges",
+        "labels_created",
+        "labels_generated",
+        "labels_kept",
+        "merge_rejected",
+        "memo_hits",
+        "memo_misses",
+        "memo_labels_shared",
+    )
+    _MAX_FIELDS = ("max_front_size", "max_flow_keys")
+
+    def absorb(self, counters: Mapping[str, float]) -> "ParetoDPStats":
+        """Fold another run's ``as_dict`` counters into this collector.
+
+        Used by the batch CLI and the serving tier to aggregate the
+        per-record kernel statistics solver policies attach to cache
+        records; unknown/derived keys are ignored, missing keys count 0.
+        """
+        for name in self._SUM_FIELDS:
+            setattr(self, name, getattr(self, name) + int(counters.get(name, 0)))
+        for name in self._MAX_FIELDS:
+            setattr(
+                self, name, max(getattr(self, name), int(counters.get(name, 0)))
+            )
+        return self
+
     def as_dict(self) -> dict[str, float | int]:
         return {
             "merges": self.merges,
             "labels_created": self.labels_created,
+            "labels_generated": self.labels_generated,
             "labels_kept": self.labels_kept,
+            "merge_rejected": self.merge_rejected,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_labels_shared": self.memo_labels_shared,
             "max_front_size": self.max_front_size,
             "max_flow_keys": self.max_flow_keys,
             "prune_ratio": self.prune_ratio,
+            "generation_ratio": self.generation_ratio,
+            "memo_hit_rate": self.memo_hit_rate,
         }
 
 

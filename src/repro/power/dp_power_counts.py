@@ -35,6 +35,7 @@ from typing import Mapping
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import ConfigurationError, InfeasibleError
+from repro.power.dp_power_pareto import pareto_min_sweep
 from repro.power.modes import PowerModel
 from repro.tree.model import Tree
 
@@ -182,10 +183,6 @@ def power_frontier_counts(
         candidates.extend(complete(s) for s in variants)
 
     candidates.sort()
-    frontier: list[tuple[float, float]] = []
-    best_power = float("inf")
-    for cost, power in candidates:
-        if power < best_power - 1e-9:
-            frontier.append((cost, power))
-            best_power = power
-    return frontier
+    # One shared sweep with the Pareto engine: identical explicit
+    # tie-breaking, hence byte-identical frontiers by construction.
+    return pareto_min_sweep(candidates)

@@ -31,12 +31,79 @@ can appear in an optimal solution and the loop is redundant (see DESIGN.md).
 
 The solver returns the **entire cost/power frontier**, so a single run
 answers every cost-bound query of Experiment 3 (Figures 8–11).
+
+Kernel
+------
+A label is one flat row tuple ``(g, p, back)``; a (node, flow) front is a
+plain list of rows maintaining two invariants:
+
+1. rows are sorted with ``g`` strictly increasing and ``p`` strictly
+   decreasing, each step by more than ``_EPS`` (sorted *and* Pareto);
+2. ``back`` is the label's provenance, referencing other rows directly —
+   ``None`` (base, no placements), ``("m", a, b)`` (merge of two rows),
+   ``("x", a, b, node, mode)`` (merge where a replica on ``node`` absorbs
+   row ``b``'s flow at ``mode``), or ``("s", rep, iso)`` (memo alias, see
+   below).  There is no separate label store: unreachable labels are
+   garbage-collected with their tables, and sorts never compare ``back``
+   (all candidate sorts key on ``(g, p)`` via :func:`operator.itemgetter`,
+   so tie-breaking is deterministic by build order, never by reference).
+
+The merge of a child into the accumulator never materialises the full
+``|acc| × |options|`` cross product blindly.  The child's ``pass`` /
+``place`` options are virtual (no label is allocated for an option; an
+accepted merge row records the child row plus the placement decision
+directly), and the bucket-pair work is tiered:
+
+* **identity** — a child whose only completion is the empty flow-0 label at
+  a non-negative placement price contributes nothing: the whole merge is
+  skipped (``acc`` unchanged).  Empty leaves/subtrees — half the nodes of
+  the paper's generators — cost one dict probe.
+* **alias** — a label with ``p == 0.0`` provably carries *no placements*
+  (every placement adds ``P_static + (W/s)^α > 0`` power), so merging with
+  it is the identity on the other operand: the merged row *is* the other
+  row, reused verbatim — for whole pass buckets, the row list itself is
+  shared.  This collapses first-child merges and pass-only chains (high
+  trees) to O(1) per bucket.  (The proof needs every mode power to be
+  strictly positive; should ``(W/s)^α`` underflow to 0.0 with zero static
+  power, the kernel detects it and disables aliasing for that solve.)
+* **shifted copy** — when one operand front is a singleton the product
+  inherits the other front's sortedness: the merged front is emitted by
+  one comprehension, no sort, no sweep.
+* **sort + sweep** — genuinely combinatorial buckets up to
+  ``_BRUTE_LIMIT`` candidates materialise and sort the product (a C sort
+  beats per-candidate discipline at this size), then apply the ``_EPS``
+  dominance sweep.
+* **stream merge** — larger products pop candidates from per-row sorted
+  streams through a heap in global ``(g, p)`` order; after each pop a
+  bisect on the stream's ``p`` column jumps directly to the next candidate
+  that could still be accepted under the running best, so dominated
+  candidates in between are *never generated at all*.
+
+On top of the merge, the kernel memoizes tables by *labelled AHU subtree
+code* (:func:`repro.batch.canonical.labelled_subtree_codes`): the table of
+a subtree depends only on its shape, its per-node client-load sums and the
+pre-existing modes strictly inside it (plus the root's own load), so two
+nodes with equal ``table_keys`` share one computed table.  The second
+occurrence is answered without visiting the subtree at all — its labels
+are thin ``("s", rep, iso)`` aliases carrying the isomorphism that maps
+the representative subtree's node ids onto the local ones, composed during
+placement reconstruction.
+
+Tie-breaking is explicit and shared with the count-vector oracle
+(:func:`pareto_min_sweep`): candidates are processed in ascending exact
+``(primary, secondary)`` order and one is kept iff its secondary value
+improves the best seen by more than ``_EPS`` — so of two labels whose ``p``
+tie within ``_EPS``, the one with strictly smaller ``g`` (or equal ``g``
+and smaller ``p``) survives, deterministically, in every kernel.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Mapping, Sequence
+from heapq import heapify, heappop, heappush
+from operator import itemgetter
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.stats import ParetoDPStats
@@ -50,6 +117,7 @@ from repro.tree.model import Tree
 __all__ = [
     "PowerFrontier",
     "FrontierPoint",
+    "pareto_min_sweep",
     "power_frontier",
     "min_power",
     "min_power_bounded_cost",
@@ -57,54 +125,185 @@ __all__ = [
 
 _EPS = 1e-9
 
+#: Sort key for candidate rows: compare (g, p) only — never the provenance
+#: references that follow — so ties resolve by build order (stable sort),
+#: deterministically.
+_GP = itemgetter(0, 1)
 
-class _Label:
-    """A non-dominated partial solution for one subtree.
+#: Cross products up to this size are merged by sort+sweep (a C-speed sort
+#: beats per-candidate heap discipline while everything fits in cache);
+#: larger ones go through the stream-merging heap whose dominance skips
+#: make the work output-sensitive instead of product-sensitive.  Both
+#: paths accept exactly the same (g, p) set (see ``pareto_min_sweep``);
+#: the split only trades constant factors.
+_BRUTE_LIMIT = 1024
 
-    ``back`` encodes provenance for reconstruction:
+#: The shared base label: no flow absorbed yet beyond the node's own
+#: clients, no placements, no provenance.  Immutable, hence one instance
+#: serves every node of every solve.
+_BASE = (0.0, 0.0, None)
+_BASE_FRONT = [_BASE]
 
-    * ``None`` — base label (clients of the node itself);
-    * ``("merge", acc_label, option_label)`` — child merged in;
-    * ``("pass", child_label)`` — child kept replica-free;
-    * ``("place", child_label, node, mode)`` — replica placed on the child.
+
+def pareto_min_sweep(candidates: Iterable[tuple]) -> list[tuple]:
+    """Sweep ``(primary, secondary, ...)`` tuples sorted ascending.
+
+    The one shared tie-breaking rule of the power solvers: a candidate is
+    kept iff its ``secondary`` (index 1) improves the best seen so far by
+    more than ``_EPS``.  Together with exact lexicographic pre-sorting
+    this makes the kept set deterministic: among candidates whose
+    secondary values tie within ``_EPS``, the first in sort order — the
+    strictly cheaper ``primary``, or equal ``primary`` and smaller
+    ``secondary`` — survives.  Used for the root frontier here and in
+    :mod:`repro.power.dp_power_counts`, so both kernels emit identical
+    frontiers by construction.
     """
-
-    __slots__ = ("flow", "g", "p", "back")
-
-    def __init__(self, flow: int, g: float, p: float, back: tuple | None):
-        self.flow = flow
-        self.g = g
-        self.p = p
-        self.back = back
-
-
-def _prune(labels: list[_Label]) -> list[_Label]:
-    """Pareto-prune labels sharing a flow value: keep minimal (g, p)."""
-    if len(labels) <= 1:
-        return labels
-    labels.sort(key=lambda L: (L.g, L.p))
-    kept: list[_Label] = []
-    best_p = float("inf")
-    for lab in labels:
-        if lab.p < best_p - _EPS:
-            kept.append(lab)
-            best_p = lab.p
+    kept: list[tuple] = []
+    best = float("inf")
+    for cand in candidates:
+        s = cand[1]
+        if s < best - _EPS:
+            kept.append(cand)
+            best = s
     return kept
+
+
+def _subtree_iso(
+    tree: Tree, codes: Sequence[int], rep: int, dst: int
+) -> dict[int, int]:
+    """Isomorphism (node map) between two equal-code subtrees.
+
+    Children with equal labelled codes root isomorphic annotated
+    subtrees, so pairing the two child lists sorted by code yields a
+    load- and pre-mode-preserving bijection regardless of how ties are
+    ordered.
+    """
+    mapping: dict[int, int] = {}
+    stack = [(rep, dst)]
+    get = codes.__getitem__
+    while stack:
+        a, b = stack.pop()
+        mapping[a] = b
+        ka = tree.children(a)
+        if ka:
+            kb = tree.children(b)
+            if len(ka) == 1:
+                stack.append((ka[0], kb[0]))
+            else:
+                stack.extend(
+                    zip(sorted(ka, key=get), sorted(kb, key=get))
+                )
+    return mapping
+
+
+def _merge_slow(
+    prs: list[tuple], total: int, child: int
+) -> tuple[list[tuple], int, int]:
+    """Dominance-aware merge of the genuinely combinatorial buckets.
+
+    ``prs`` holds ``(acc_front, option_front, has_modes)`` operand pairs
+    whose products all land on one output flow; fronts satisfy the row
+    invariants and ``total`` is the cross-product size.  Option fronts
+    are 3-tuple rows for pure pass buckets (``has_modes`` false) or
+    ``(g, p, row, mode)`` 4-tuples for the flow-0 bucket (mode ``-1`` =
+    pass).  Returns ``(merged_front, generated, rejected)``.  The
+    identity/alias/shifted fast paths live inline in
+    :func:`power_frontier`.
+    """
+    out: list[tuple] = []
+    best = float("inf")
+
+    if total <= _BRUTE_LIMIT:
+        cands: list[tuple] = []
+        for front_a, front_b, has_modes in prs:
+            if has_modes:
+                for arow in front_a:
+                    g0 = arow[0]
+                    p0 = arow[1]
+                    cands += [
+                        (g0 + g1, p0 + p1, arow, r1, m1)
+                        for g1, p1, r1, m1 in front_b
+                    ]
+            else:
+                for arow in front_a:
+                    g0 = arow[0]
+                    p0 = arow[1]
+                    cands += [
+                        (g0 + brow[0], p0 + brow[1], arow, brow, -1)
+                        for brow in front_b
+                    ]
+        cands.sort(key=_GP)
+        for g, p, r0, r1, m in cands:
+            if p < best - _EPS:
+                best = p
+                out.append(
+                    (g, p, ("m", r0, r1) if m < 0 else ("x", r0, r1, child, m))
+                )
+        return out, total, total - len(out)
+
+    # Stream merge: one sorted candidate stream per accumulator row, a
+    # heap across streams, and a bisect skip past candidates the current
+    # best already dominates (they are never generated).
+    heap: list[tuple] = []
+    seq = 0
+    for front_a, front_b, has_modes in prs:
+        if not front_b:
+            continue
+        if has_modes:
+            col_g = [r[0] for r in front_b]
+            col_p = [r[1] for r in front_b]
+            col_r = [r[2] for r in front_b]
+            col_m = [r[3] for r in front_b]
+        else:
+            col_g = [r[0] for r in front_b]
+            col_p = [r[1] for r in front_b]
+            col_r = list(front_b)
+            col_m = None
+        neg_p = [-x for x in col_p]
+        cols = (col_g, col_p, col_r, col_m, neg_p)
+        gb0 = col_g[0]
+        pb0 = col_p[0]
+        for arow in front_a:
+            g0 = arow[0]
+            p0 = arow[1]
+            heap.append((g0 + gb0, p0 + pb0, seq, g0, p0, arow, 0, cols))
+            seq += 1
+    heapify(heap)
+    generated = len(heap)
+    while heap:
+        g, p, s, g0, p0, r0, bv, cols = heappop(heap)
+        col_g, col_p, col_r, col_m, neg_p = cols
+        if p < best - _EPS:
+            best = p
+            m = -1 if col_m is None else col_m[bv]
+            out.append(
+                (g, p, ("m", r0, col_r[bv]) if m < 0
+                 else ("x", r0, col_r[bv], child, m))
+            )
+        # Next candidate of this stream that could still be accepted:
+        # first bv' > bv with p0 + P[bv'] < best - _EPS.
+        nxt = bisect_right(neg_p, p0 - best + _EPS, bv + 1)
+        if nxt < len(col_g):
+            heappush(
+                heap, (g0 + col_g[nxt], p0 + col_p[nxt], s, g0, p0, r0, nxt, cols)
+            )
+            generated += 1
+    return out, generated, generated - len(out)
 
 
 @dataclass(frozen=True)
 class FrontierPoint:
     """One non-dominated ``(cost, power)`` outcome at the root.
 
-    Points carry either DP provenance (``_label`` + ``_root_mode``, the
-    solver path) or an explicit ``_placement`` (the record path used when
-    a frontier is rebuilt from a cached record via
-    :meth:`PowerFrontier.from_records`).
+    Points carry either DP provenance (``_label``, a kernel row whose
+    ``back`` chain encodes the placement, + ``_root_mode``) or an explicit
+    ``_placement`` (the record path used when a frontier is rebuilt from a
+    cached record via :meth:`PowerFrontier.from_records`).
     """
 
     cost: float
     power: float
-    _label: _Label | None = None
+    _label: tuple | None = None
     _root_mode: int | None = None
     _placement: tuple[tuple[int, int], ...] | None = None
 
@@ -113,26 +312,32 @@ class FrontierPoint:
 
         The DP path excludes the root (see :meth:`PowerFrontier
         ._materialise`); the record path returns the full placement.
+        Memo aliases are resolved by composing the subtree isomorphisms
+        accumulated along the walk (innermost applied first).
         """
         if self._placement is not None:
             return {int(v): int(m) for v, m in self._placement}
         assert self._label is not None
         out: dict[int, int] = {}
-        stack = [self._label]
+        stack: list[tuple[tuple, tuple]] = [(self._label, ())]
         while stack:
-            lab = stack.pop()
-            back = lab.back
+            row, maps = stack.pop()
+            back = row[2]
             if back is None:
                 continue
             tag = back[0]
-            if tag == "merge":
-                stack.append(back[1])
-                stack.append(back[2])
-            elif tag == "pass":
-                stack.append(back[1])
-            else:  # "place"
-                out[back[2]] = back[3]
-                stack.append(back[1])
+            if tag == "m":
+                stack.append((back[1], maps))
+                stack.append((back[2], maps))
+            elif tag == "x":
+                node = back[3]
+                for iso in maps:
+                    node = iso[node]
+                out[node] = back[4]
+                stack.append((back[1], maps))
+                stack.append((back[2], maps))
+            else:  # "s": memo alias — enter the representative's id space
+                stack.append((back[1], (back[2],) + maps))
         return out
 
 
@@ -145,6 +350,10 @@ class PowerFrontier:
     * :meth:`best_under_cost` — MinPower-BoundedCost for any bound;
     * :meth:`min_power` — the unconstrained MinPower optimum;
     * :meth:`pairs` — raw series for plots (Figures 8–11).
+
+    Bound queries are O(log n) bisects over the sorted point columns —
+    frontiers from bound sweeps (``repro batch --bound``) and long-lived
+    serve processes answer many queries per solve, so the scan matters.
     """
 
     def __init__(
@@ -165,6 +374,10 @@ class PowerFrontier:
         self._pre = dict(preexisting_modes)
         self._root = root_node
         self.extra: dict[str, object] = dict(extra or {})
+        # Sorted columns for the bisect queries (costs ascending, powers
+        # descending along the frontier — negate the latter for bisect).
+        self._costs = [pt.cost for pt in self.points]
+        self._neg_powers = [-pt.power for pt in self.points]
 
     def __len__(self) -> int:
         return len(self.points)
@@ -209,7 +422,9 @@ class PowerFrontier:
         re-verifies each placement against the tree (validity, load
         determined modes) and re-prices it against the given models —
         a corrupted or mis-mapped record raises :class:`SolverError`
-        instead of being served.
+        instead of being served.  The frontier ordering invariant
+        (costs strictly ascending, powers strictly descending) is also
+        checked: the bisect-based bound queries rely on it.
         """
         points = [
             FrontierPoint(
@@ -234,6 +449,12 @@ class PowerFrontier:
             extra=extra,
         )
         if verify:
+            for prev, nxt in zip(frontier.points, frontier.points[1:]):
+                if nxt.cost <= prev.cost or nxt.power >= prev.power:
+                    raise SolverError(
+                        "frontier record is not strictly cost-ascending / "
+                        f"power-descending at ({nxt.cost}, {nxt.power})"
+                    )
             for pt in frontier.points:
                 frontier._materialise(pt)
         return frontier
@@ -249,18 +470,14 @@ class PowerFrontier:
     def best_under_cost(self, cost_bound: float) -> ModalPlacementResult | None:
         """Minimal-power solution with ``cost <= cost_bound`` (or ``None``).
 
-        Power is non-increasing in cost along the frontier, so the answer is
-        the *last* frontier point within the bound.
+        Power is non-increasing in cost along the frontier, so the answer
+        is the *last* frontier point within the bound — found by bisect
+        over the cost column.
         """
-        chosen: FrontierPoint | None = None
-        for pt in self.points:
-            if pt.cost <= cost_bound + _EPS:
-                chosen = pt
-            else:
-                break
-        if chosen is None:
+        idx = bisect_right(self._costs, cost_bound + _EPS) - 1
+        if idx < 0:
             return None
-        return self._materialise(chosen)
+        return self._materialise(self.points[idx])
 
     def min_power(self) -> ModalPlacementResult:
         """Unconstrained MinPower optimum (the paper's mono-criterion goal)."""
@@ -273,12 +490,13 @@ class PowerFrontier:
         problem with the roles of the objectives swapped (a power *cap*
         with a cost objective, e.g. a rack power budget).  Cost is
         non-increasing in allowed power along the frontier, so the answer
-        is the first frontier point within the bound.
+        is the first frontier point within the bound — a bisect over the
+        (negated) power column.
         """
-        for pt in self.points:
-            if pt.power <= power_bound + _EPS:
-                return self._materialise(pt)
-        return None
+        idx = bisect_left(self._neg_powers, -(power_bound + _EPS))
+        if idx >= len(self.points):
+            return None
+        return self._materialise(self.points[idx])
 
     def _materialise(self, pt: FrontierPoint) -> ModalPlacementResult:
         placement = pt.placement()
@@ -315,6 +533,7 @@ def power_frontier(
     preexisting_modes: Mapping[int, int] | None = None,
     *,
     stats: "ParetoDPStats | None" = None,
+    memoize: bool = True,
 ) -> PowerFrontier:
     """Compute the exact cost/power frontier for an instance.
 
@@ -332,6 +551,10 @@ def power_frontier(
     stats:
         Optional :class:`repro.perf.ParetoDPStats` collector; accumulates
         label-count statistics with negligible overhead.
+    memoize:
+        Share tables between subtrees with equal labelled AHU codes (see
+        the module docstring).  On by default; disable for ablation —
+        the frontier is identical either way.
 
     Raises
     ------
@@ -339,121 +562,407 @@ def power_frontier(
         When no valid placement exists.
     """
     modes = power_model.modes
-    if cost_model.n_modes != modes.n_modes:
+    n_modes = modes.n_modes
+    if cost_model.n_modes != n_modes:
         raise ConfigurationError(
             f"cost model covers {cost_model.n_modes} modes but the mode set "
-            f"has {modes.n_modes}"
+            f"has {n_modes}"
         )
     pre = dict(preexisting_modes or {})
     for v, old in pre.items():
         if not (0 <= v < tree.n_nodes):
             raise ConfigurationError(f"pre-existing server {v} is not a tree node")
-        if not (0 <= old < modes.n_modes):
+        if not (0 <= old < n_modes):
             raise ConfigurationError(
                 f"pre-existing server {v} has invalid mode {old}"
             )
     w_max = modes.max_capacity
+    caps = modes.capacities
 
-    # Placement price of a replica on `node` absorbing flow -> (dg, dp, mode)
-    def place_price(node: int, flow: int) -> tuple[float, float, int]:
-        m = modes.mode_of(flow)
-        if node in pre:
-            old = pre[node]
-            dg = 1.0 + cost_model.changed[old][m] - cost_model.delete[old]
-        else:
-            dg = 1.0 + cost_model.create[m]
-        return dg, power_model.mode_power(m), m
+    # Placement price tables: a replica at mode m adds mode_power[m] power
+    # and 1 + create[m] cost on a fresh node, or 1 + changed[o][m] -
+    # delete[o] on a pre-existing one (reuse credited against the deletion
+    # charge re-added at the root).  mode_of(flow) is bisect_left(caps, f).
+    mode_power = [power_model.mode_power(m) for m in range(n_modes)]
+    create_dg = [1.0 + cost_model.create[m] for m in range(n_modes)]
+    reuse_dg = {
+        old: [
+            1.0 + cost_model.changed[old][m] - cost_model.delete[old]
+            for m in range(n_modes)
+        ]
+        for old in set(pre.values())
+    }
 
-    tables: list[dict[int, list[_Label]] | None] = [None] * tree.n_nodes
+    # The alias fast paths rest on "p == 0.0 implies no placements",
+    # which is only sound while every mode's power is strictly positive:
+    # extreme alpha/capacity_scale combinations can underflow
+    # ``(W/s)^alpha`` to exactly 0.0 with zero static power.  In that
+    # (degenerate) regime the sentinel is unmatchable (-1.0: label powers
+    # are never negative), which disables aliasing and routes everything
+    # through the always-correct shifted/sort paths.
+    alias_p = 0.0 if all(mp > 0.0 for mp in mode_power) else -1.0
 
-    for v in tree.post_order():
-        j = int(v)
-        load = tree.client_load(j)
-        if load > w_max:
-            raise InfeasibleError(
-                f"direct client load {load} at node {j} exceeds W={w_max}",
-                node=j,
-            )
-        acc: dict[int, list[_Label]] = {load: [_Label(load, 0.0, 0.0, None)]}
-        for child in tree.children(j):
+    codes: Sequence[int] = ()
+    table_keys: Sequence[int] = ()
+    memo: dict[int, tuple[int, dict]] = {}
+    recurring: set[int] = set()
+    if memoize:
+        from collections import Counter
+
+        from repro.batch.canonical import labelled_subtree_codes
+
+        sub = labelled_subtree_codes(tree, pre)
+        codes, table_keys = sub.codes, sub.table_keys
+        # Retain computed tables only for table keys that can actually
+        # recur — on trees without repeated structure the memo would
+        # otherwise pin every internal node's fronts until the solve
+        # ends, instead of freeing them as the DFS unwinds.
+        key_counts = Counter(
+            table_keys[v] for v in range(tree.n_nodes) if tree.children(v)
+        )
+        recurring = {key for key, count in key_counts.items() if count > 1}
+
+    merges = 0
+    labels_created = 0
+    labels_generated = 0
+    merge_rejected_n = 0
+    memo_hits = 0
+    memo_misses = 0
+    memo_shared = 0
+
+    children = tree.children
+    loads = tree.client_loads.tolist()
+    tables: list[dict[int, list] | None] = [None] * tree.n_nodes
+
+    # Explicit DFS (not post_order): a memo hit at a subtree root answers
+    # the whole subtree without ever visiting its interior.
+    stack: list[int] = [tree.root]
+    while stack:
+        j = stack.pop()
+        if j >= 0:
+            kids = children(j)
+            if memoize and kids:
+                hit = memo.get(table_keys[j])
+                if hit is not None:
+                    rep, rep_table = hit
+                    iso = _subtree_iso(tree, codes, rep, j)
+                    table: dict[int, list] = {
+                        f: [
+                            (row[0], row[1], ("s", row, iso)) for row in front
+                        ]
+                        for f, front in rep_table.items()
+                    }
+                    memo_hits += 1
+                    if stats is not None:
+                        memo_shared += sum(len(b) for b in table.values())
+                    tables[j] = table
+                    continue
+                memo_misses += 1
+            load = loads[j]
+            if load > w_max:
+                raise InfeasibleError(
+                    f"direct client load {load} at node {j} exceeds W={w_max}",
+                    node=j,
+                )
+            if not kids:
+                tables[j] = {load: _BASE_FRONT}
+                continue
+            stack.append(~j)
+            stack.extend(kids)
+            continue
+
+        # Post-visit: all children computed; fold them into this node.
+        j = ~j
+        load = loads[j]
+        acc: dict[int, list] = {load: _BASE_FRONT}
+        acc_is_base = True
+        for child in children(j):
             child_table = tables[child]
             assert child_table is not None
             tables[child] = None
-            # Child options: pass the flow up, or absorb it with a replica
-            # on the child (mode determined by the absorbed flow).
-            options: dict[int, list[_Label]] = {}
-            for f, labs in child_table.items():
-                dg, dp, m = place_price(child, f)
-                for lab in labs:
-                    options.setdefault(f, []).append(
-                        _Label(f, lab.g, lab.p, ("pass", lab))
+            dg_by_mode = reuse_dg[pre[child]] if child in pre else create_dg
+
+            # Identity: a child whose only completion is "nothing below,
+            # nothing passed up" (single flow-0 front, one placement-free
+            # label) at a non-negative placement price can only contribute
+            # the empty pass option — no bucket changes.
+            if len(child_table) == 1:
+                zf = child_table.get(0)
+                if (
+                    zf is not None
+                    and len(zf) == 1
+                    and zf[0][1] == alias_p
+                    and dg_by_mode[0] >= 0.0
+                ):
+                    merges += 1
+                    if stats is not None:
+                        labels_created += sum(len(b) for b in acc.values())
+                        stats.record_table(acc)
+                    continue
+
+            if acc_is_base:
+                # First effective merge: the accumulator is still the bare
+                # base label (no placements), so merging is the identity on
+                # the child's pass fronts — alias the row lists wholesale,
+                # shifted to flow + load; only the placed pool (flow
+                # ``load``) needs a sweep.
+                acc_is_base = False
+                merged: dict[int, list] = {}
+                pool: list[tuple] = []
+                for f, front in child_table.items():
+                    m = bisect_left(caps, f)
+                    dg = dg_by_mode[m]
+                    dp = mode_power[m]
+                    pool += [
+                        (row[0] + dg, row[1] + dp, row, m) for row in front
+                    ]
+                    if f:
+                        ff = f + load
+                        if ff <= w_max:
+                            merged[ff] = front
+                    else:
+                        pool += [(row[0], row[1], row, -1) for row in front]
+                if stats is not None:
+                    labels_created += len(pool) + sum(
+                        len(b) for b in merged.values()
                     )
-                    options.setdefault(0, []).append(
-                        _Label(0, lab.g + dg, lab.p + dp, ("place", lab, child, m))
-                    )
-            for f in options:
-                options[f] = _prune(options[f])
-            merged: dict[int, list[_Label]] = {}
-            for f1, labs1 in acc.items():
-                for f2, labs2 in options.items():
+                if pool:
+                    if len(pool) > 1:
+                        pool.sort(key=_GP)
+                    front = []
+                    best = float("inf")
+                    for g, p, r, m in pool:
+                        if p < best - _EPS:
+                            best = p
+                            if m < 0:
+                                front.append(r)
+                            else:
+                                front.append((g, p, ("x", _BASE, r, child, m)))
+                                labels_generated += 1
+                    merged[load] = front
+                merges += 1
+                if stats is not None:
+                    stats.record_table(merged)
+                acc = merged
+                continue
+
+            # General merge.  Child options per flow: pass the front
+            # through unchanged, or place a replica on the child absorbing
+            # the flow (all placed options land on flow 0, Pareto-merged
+            # with the passed flow-0 front).  Options are virtual — no
+            # labels are allocated for them.
+            options: dict[int, list] = {}
+            zero_pool: list[tuple] = []
+            for f, front in child_table.items():
+                m = bisect_left(caps, f)
+                dg = dg_by_mode[m]
+                dp = mode_power[m]
+                zero_pool += [
+                    (row[0] + dg, row[1] + dp, row, m) for row in front
+                ]
+                if f:
+                    options[f] = front
+                else:
+                    zero_pool += [(row[0], row[1], row, -1) for row in front]
+            if zero_pool:
+                if len(zero_pool) > 1:
+                    zero_pool.sort(key=_GP)
+                    zfront: list[tuple] = []
+                    best = float("inf")
+                    for cand in zero_pool:
+                        p = cand[1]
+                        if p < best - _EPS:
+                            best = p
+                            zfront.append(cand)
+                    options[0] = zfront
+                else:
+                    options[0] = zero_pool
+
+            out_pairs: dict[int, list] = {}
+            for f1, front_a in acc.items():
+                for f2, front_b in options.items():
                     f = f1 + f2
-                    if f > w_max:
+                    if f <= w_max:
+                        prs = out_pairs.get(f)
+                        if prs is None:
+                            out_pairs[f] = [(front_a, front_b, f2 == 0)]
+                        else:
+                            prs.append((front_a, front_b, f2 == 0))
+            merged = {}
+            for f, prs in out_pairs.items():
+                if len(prs) == 1:
+                    front_a, front_b, has_modes = prs[0]
+                    la = len(front_a)
+                    lb = len(front_b)
+                    labels_created += la * lb
+                    if la == 1:
+                        # Singleton accumulator: the product inherits the
+                        # option front's order — shifted copy, no sweep.
+                        arow = front_a[0]
+                        g0 = arow[0]
+                        p0 = arow[1]
+                        if p0 == alias_p:
+                            # Placement-free accumulator label: merging is
+                            # the identity on the options — alias pass rows,
+                            # allocate only for placed entries.
+                            if has_modes:
+                                front = []
+                                for g, p, r, m in front_b:
+                                    if m < 0:
+                                        front.append(r)
+                                    else:
+                                        front.append(
+                                            (g, p, ("x", arow, r, child, m))
+                                        )
+                                        labels_generated += 1
+                                merged[f] = front
+                            else:
+                                merged[f] = front_b
+                        else:
+                            labels_generated += lb
+                            if has_modes:
+                                merged[f] = [
+                                    (
+                                        g0 + g,
+                                        p0 + p,
+                                        ("m", arow, r) if m < 0
+                                        else ("x", arow, r, child, m),
+                                    )
+                                    for g, p, r, m in front_b
+                                ]
+                            else:
+                                merged[f] = [
+                                    (
+                                        g0 + brow[0],
+                                        p0 + brow[1],
+                                        ("m", arow, brow),
+                                    )
+                                    for brow in front_b
+                                ]
                         continue
-                    bucket = merged.setdefault(f, [])
-                    for l1 in labs1:
-                        for l2 in labs2:
-                            bucket.append(
-                                _Label(f, l1.g + l2.g, l1.p + l2.p, ("merge", l1, l2))
-                            )
-            if stats is not None:
-                stats.record_merge()
-                stats.record_created(sum(len(b) for b in merged.values()))
-            for f in merged:
-                merged[f] = _prune(merged[f])
+                    if lb == 1:
+                        # Singleton option: symmetric shifted copy along
+                        # the accumulator front.
+                        if has_modes:
+                            g1, p1, r1, m1 = front_b[0]
+                        else:
+                            r1 = front_b[0]
+                            g1 = r1[0]
+                            p1 = r1[1]
+                            m1 = -1
+                        if p1 == alias_p and m1 < 0:
+                            # Pure pass of a placement-free child label:
+                            # reuse the accumulator front verbatim.
+                            merged[f] = front_a
+                        else:
+                            labels_generated += la
+                            if m1 < 0:
+                                merged[f] = [
+                                    (
+                                        arow[0] + g1,
+                                        arow[1] + p1,
+                                        ("m", arow, r1),
+                                    )
+                                    for arow in front_a
+                                ]
+                            else:
+                                merged[f] = [
+                                    (
+                                        arow[0] + g1,
+                                        arow[1] + p1,
+                                        ("x", arow, r1, child, m1),
+                                    )
+                                    for arow in front_a
+                                ]
+                        continue
+                    total = la * lb
+                else:
+                    total = 0
+                    for front_a, front_b, _ in prs:
+                        total += len(front_a) * len(front_b)
+                    labels_created += total
+                    if total == 0:
+                        continue
+                front, generated, rejected = _merge_slow(prs, total, child)
+                if front:
+                    merged[f] = front
+                labels_generated += generated
+                merge_rejected_n += rejected
+            merges += 1
             if stats is not None:
                 stats.record_table(merged)
             acc = merged
         tables[j] = acc
+        if memoize and table_keys[j] in recurring:
+            memo[table_keys[j]] = (j, acc)
 
     root = tree.root
     root_table = tables[root]
     assert root_table is not None
     delete_constant = sum(cost_model.delete[old] for old in pre.values())
+    root_dg = reuse_dg[pre[root]] if root in pre else create_dg
 
     # Costs/powers are rounded to 9 decimals so that mathematically equal
     # sums accumulated in different orders collapse to one frontier point
-    # (keeps frontiers comparable across solvers).
-    def point(g: float, p: float, lab: _Label, mode: int | None) -> FrontierPoint:
-        return FrontierPoint(round(g, 9), round(p, 9), lab, mode)
-
-    candidates: list[FrontierPoint] = []
-    for f, labs in root_table.items():
-        for lab in labs:
-            if f == 0:
-                candidates.append(point(lab.g + delete_constant, lab.p, lab, None))
-                if root in pre:
-                    # Idle reused root (only ever optimal when deletion is
-                    # dearer than keeping a lowest-mode server).
-                    dg, dp, m = place_price(root, 0)
-                    candidates.append(
-                        point(lab.g + dg + delete_constant, lab.p + dp, lab, m)
-                    )
-            else:
-                dg, dp, m = place_price(root, f)
-                candidates.append(
-                    point(lab.g + dg + delete_constant, lab.p + dp, lab, m)
+    # (keeps frontiers comparable across solvers).  Root mode -1 encodes
+    # "no replica on the root".
+    candidates: list[tuple] = []
+    for f, front in root_table.items():
+        if f == 0:
+            candidates += [
+                (
+                    round(row[0] + delete_constant, 9),
+                    round(row[1], 9),
+                    row,
+                    -1,
                 )
+                for row in front
+            ]
+            if root in pre:
+                # Idle reused root (only ever optimal when deletion is
+                # dearer than keeping a lowest-mode server).
+                dg = root_dg[0]
+                dp = mode_power[0]
+                candidates += [
+                    (
+                        round(row[0] + dg + delete_constant, 9),
+                        round(row[1] + dp, 9),
+                        row,
+                        0,
+                    )
+                    for row in front
+                ]
+        else:
+            m = bisect_left(caps, f)
+            dg = root_dg[m]
+            dp = mode_power[m]
+            candidates += [
+                (
+                    round(row[0] + dg + delete_constant, 9),
+                    round(row[1] + dp, 9),
+                    row,
+                    m,
+                )
+                for row in front
+            ]
     if not candidates:
         raise InfeasibleError("no valid replica placement exists")
 
-    candidates.sort(key=lambda pt: (pt.cost, pt.power))
-    frontier: list[FrontierPoint] = []
-    best_power = float("inf")
-    for pt in candidates:
-        if pt.power < best_power - _EPS:
-            frontier.append(pt)
-            best_power = pt.power
-    return PowerFrontier(tree, frontier, power_model, cost_model, pre, root)
+    candidates.sort(key=_GP)
+    points = [
+        FrontierPoint(cost, power, row, None if m < 0 else m)
+        for cost, power, row, m in pareto_min_sweep(candidates)
+    ]
+
+    if stats is not None:
+        stats.merges += merges
+        stats.labels_created += labels_created
+        stats.labels_generated += labels_generated
+        stats.merge_rejected += merge_rejected_n
+        stats.memo_hits += memo_hits
+        stats.memo_misses += memo_misses
+        stats.memo_labels_shared += memo_shared
+    return PowerFrontier(tree, points, power_model, cost_model, pre, root)
 
 
 def min_power(

@@ -106,6 +106,17 @@ class ServeClient:
         response = await self._request({"op": "stats"})
         return response["stats"]
 
+    async def perf(self) -> dict[str, Any]:
+        """Fetch serving counters plus aggregated kernel statistics.
+
+        The ``kernel`` section carries per-solver Pareto-DP counters
+        (:class:`~repro.perf.stats.ParetoDPStats`) absorbed from the
+        canonical solve records — labels created / generated / rejected
+        at merge and AHU-memo hits — each canonical digest counted once.
+        """
+        response = await self._request({"op": "perf"})
+        return response["perf"]
+
     async def shutdown_server(self) -> None:
         """Ask the server to drain and stop (graceful, server-wide)."""
         await self._request({"op": "shutdown"})

@@ -9,7 +9,8 @@ greppable.  Requests:
     {"op": "solve", "id": 7, "solver": "dp", "instance": {...},
      "priority": 0}
     {"op": "stats", "id": 8}
-    {"op": "shutdown", "id": 9}
+    {"op": "perf", "id": 9}
+    {"op": "shutdown", "id": 10}
 
 ``instance`` is one :func:`repro.batch.instance.instance_to_dict` dict
 (the schema-2 element of a batch file).  ``priority`` is optional; lower
@@ -20,6 +21,7 @@ drains first.  Responses echo ``id``:
     {"id": 7, "ok": true, "digest": "...", "served": "solve",
      "result": {...}}
     {"id": 8, "ok": true, "stats": {...}}
+    {"id": 9, "ok": true, "perf": {"serve": {...}, "kernel": {...}}}
     {"id": 7, "ok": false, "error": "..."}
 
 ``served`` records how the request was answered — ``"cache"`` (shared
@@ -51,7 +53,7 @@ __all__ = [
 #: paper's sizes serialise to a few hundred KiB at most.
 MAX_LINE_BYTES = 32 * 1024 * 1024
 
-_OPS = ("solve", "stats", "shutdown")
+_OPS = ("solve", "stats", "perf", "shutdown")
 
 
 class ProtocolError(ConfigurationError):

@@ -56,7 +56,7 @@ from repro.exceptions import (
     ServerClosedError,
     SolverError,
 )
-from repro.perf.stats import ServeStats
+from repro.perf.stats import ParetoDPStats, ServeStats
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -70,6 +70,14 @@ __all__ = ["BatchServer"]
 #: Queue priority of the shutdown sentinel — drains strictly after every
 #: pending job, which is what makes :meth:`BatchServer.stop` graceful.
 _SENTINEL_PRIORITY = float("inf")
+
+#: Generation size of the kernel-stats dedupe set: when the current
+#: generation fills up it becomes the previous one and a fresh set
+#: starts, bounding memory on long-lived servers at ~2x this many
+#: ``(solver, digest)`` entries.  A digest evicted from both generations
+#: may be double-absorbed if it reappears — an acceptable drift for
+#: monitoring counters, unlike unbounded growth.
+_KERNEL_SEEN_GENERATION = 65536
 
 
 def _consume_exception(future: asyncio.Future) -> None:
@@ -163,6 +171,15 @@ class BatchServer:
         self._stop_task: asyncio.Task | None = None
         self._closing = False
         self._stopped = asyncio.Event()
+        # Kernel counters aggregated from solve records (the power
+        # policies attach ``dp_stats``); keyed by solver, each canonical
+        # digest absorbed once *per solver* — policies sharing a digest
+        # name (min_power / power_frontier) each get their own
+        # attribution no matter which one warmed the cache.  The dedupe
+        # set is two-generation bounded (see _KERNEL_SEEN_GENERATION).
+        self._kernel_stats: dict[str, ParetoDPStats] = {}
+        self._kernel_seen: set[tuple[str, str]] = set()
+        self._kernel_seen_prev: set[tuple[str, str]] = set()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -284,6 +301,7 @@ class BatchServer:
             if record is not None:
                 served = "cache"
                 pstats.cache_hits += 1
+                self._absorb_kernel_stats(solver, {digest: record})
             else:
                 job = self._jobs.get(digest)
                 if job is not None:
@@ -349,6 +367,49 @@ class BatchServer:
                 self._scoop(jobs)
             await self._run_jobs(jobs)
 
+    def _absorb_kernel_stats(
+        self, solver: str, records: dict[str, dict[str, Any]]
+    ) -> None:
+        """Fold per-record kernel counters into the per-solver aggregate.
+
+        Records are keyed by canonical digest and each (solver, digest)
+        pair is counted once (within the bounded dedupe window), so
+        repeated cache hits and coalesced fan-outs never inflate the
+        counters.
+        """
+        for digest, record in records.items():
+            counters = record.get("dp_stats")
+            if not counters:
+                continue
+            key = (solver, digest)
+            if key in self._kernel_seen or key in self._kernel_seen_prev:
+                continue
+            if len(self._kernel_seen) >= _KERNEL_SEEN_GENERATION:
+                self._kernel_seen_prev = self._kernel_seen
+                self._kernel_seen = set()
+            self._kernel_seen.add(key)
+            try:
+                collector = self._kernel_stats[solver]
+            except KeyError:
+                collector = self._kernel_stats[solver] = ParetoDPStats()
+            collector.absorb(counters)
+
+    def perf_snapshot(self) -> dict[str, Any]:
+        """Serving counters plus aggregated solver-kernel counters.
+
+        The payload behind the protocol's ``perf`` op: everything
+        ``stats`` returns, plus per-solver Pareto-DP kernel statistics
+        (labels created / generated / rejected at merge, memo hits)
+        accumulated from the canonical solves this server performed.
+        """
+        return {
+            "serve": self.stats.as_dict(),
+            "kernel": {
+                solver: collector.as_dict()
+                for solver, collector in sorted(self._kernel_stats.items())
+            },
+        }
+
     async def _run_jobs(self, jobs: list[_Job]) -> None:
         by_solver: dict[str, list[_Job]] = {}
         for job in jobs:
@@ -368,8 +429,10 @@ class BatchServer:
                     except Exception as exc:
                         self._complete_job(job, exc=exc)
                     else:
+                        self._absorb_kernel_stats(solver, records)
                         self._complete_job(job, records=records)
             else:
+                self._absorb_kernel_stats(solver, records)
                 for job in group:
                     self._complete_job(job, records=records)
 
@@ -472,6 +535,12 @@ class BatchServer:
                         writer,
                         write_lock,
                         {"id": rid, "ok": True, "stats": self.stats.as_dict()},
+                    )
+                elif op == "perf":
+                    await self._write(
+                        writer,
+                        write_lock,
+                        {"id": rid, "ok": True, "perf": self.perf_snapshot()},
                     )
                 elif op == "shutdown":
                     await self._write(

@@ -9,6 +9,7 @@ from hypothesis import given, settings
 from repro.batch.canonical import (
     canonicalize,
     instance_digest,
+    labelled_subtree_codes,
     relabel_tree,
 )
 from repro.core.costs import UniformCostModel
@@ -181,3 +182,69 @@ class TestRelabelTree:
         tree = paper_tree(4, rng=rng)
         with pytest.raises(ValueError):
             relabel_tree(tree, [0, 0, 1, 2])
+
+
+class TestLabelledSubtreeCodes:
+    """Per-node labelled AHU codes (the power-DP memoization signatures)."""
+
+    def test_identical_sibling_subtrees_share_codes(self):
+        # Root with two identical 2-leaf hubs and one different hub.
+        parents = [None, 0, 0, 0, 1, 1, 2, 2, 3, 3]
+        clients = [(4, 2), (5, 3), (6, 2), (7, 3), (8, 2), (9, 4)]
+        tree = Tree(parents, clients)
+        sub = labelled_subtree_codes(tree)
+        assert sub.codes[1] == sub.codes[2]
+        assert sub.table_keys[1] == sub.table_keys[2]
+        assert sub.codes[1] != sub.codes[3]
+
+    def test_load_sum_annotation(self):
+        # One 4-request client vs two 2-request clients: same code (the
+        # DP consumes per-node sums), unlike canonicalize's multisets.
+        t1 = Tree([None, 0], [(1, 4)])
+        t2 = Tree([None, 0], [(1, 2), (1, 2)])
+        assert (
+            labelled_subtree_codes(t1).codes[1]
+            == labelled_subtree_codes(t2).codes[1]
+        )
+
+    def test_pre_mode_distinguishes_codes_not_table_keys(self):
+        parents = [None, 0, 0]
+        tree = Tree(parents, [(1, 3), (2, 3)])
+        sub = labelled_subtree_codes(tree, {1: 1})
+        # Node 1's own marker is excluded from its table key ...
+        assert sub.table_keys[1] == sub.table_keys[2]
+        # ... but included in its code (the parent prices reuse).
+        assert sub.codes[1] != sub.codes[2]
+
+    def test_pre_mode_inside_subtree_separates_table_keys(self):
+        parents = [None, 0, 0, 1, 2]
+        tree = Tree(parents, [(3, 2), (4, 2)])
+        sub = labelled_subtree_codes(tree, {3: 0})
+        assert sub.table_keys[1] != sub.table_keys[2]
+
+    def test_load_changes_codes(self):
+        parents = [None, 0, 0]
+        t = Tree(parents, [(1, 3), (2, 4)])
+        sub = labelled_subtree_codes(t)
+        assert sub.codes[1] != sub.codes[2]
+        assert sub.table_keys[1] != sub.table_keys[2]
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=10, max_requests=4))
+    def test_codes_are_relabelling_equivariant(self, tree):
+        # Relabelling the tree permutes the codes with it: equal-code
+        # node pairs map to equal-code node pairs.
+        rng = np.random.default_rng(7)
+        perm = rng.permutation(tree.n_nodes).tolist()
+        relabelled, _ = relabel_tree(tree, perm)
+        a = labelled_subtree_codes(tree)
+        b = labelled_subtree_codes(relabelled)
+        n = tree.n_nodes
+        for u in range(n):
+            for v in range(n):
+                assert (a.codes[u] == a.codes[v]) == (
+                    b.codes[perm[u]] == b.codes[perm[v]]
+                )
+                assert (a.table_keys[u] == a.table_keys[v]) == (
+                    b.table_keys[perm[u]] == b.table_keys[perm[v]]
+                )

@@ -1,0 +1,359 @@
+"""Equivalence suite pinning the array/row Pareto kernel (PR 5).
+
+The rewritten dominance-aware kernel must be *observationally identical*
+to its predecessors: same (cost, power) frontier as the paper-faithful
+count-vector DP on arbitrary instances, identical with and without AHU
+subtree memoization, reconstructable placements that survive the
+``from_records(verify=True)`` re-pricing path (the PR-4 cache contract),
+and bisect-based bound queries that agree with the linear scans they
+replaced.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.costs import ModalCostModel
+from repro.exceptions import InfeasibleError
+from repro.perf.stats import ParetoDPStats
+from repro.power.dp_power_counts import power_frontier_counts
+from repro.power.dp_power_pareto import power_frontier
+from repro.power.modes import ModeSet, PowerModel
+from repro.tree.model import Client, Tree
+
+from tests.conftest import small_trees
+
+PM = PowerModel(ModeSet((5, 10)), static_power=12.5, alpha=3.0)
+CM = ModalCostModel.uniform(2, create=0.1, delete=0.01, changed=0.001)
+PM3 = PowerModel(ModeSet((3, 6, 12)), static_power=2.0, alpha=2.0)
+CM3 = ModalCostModel.uniform(3, create=0.2, delete=0.05, changed=0.01)
+
+
+def both_kernels(tree, pm, cm, pre):
+    """Frontier with memoization on and off; must be byte-identical."""
+    with_memo = power_frontier(tree, pm, cm, pre, memoize=True)
+    without = power_frontier(tree, pm, cm, pre, memoize=False)
+    assert with_memo.pairs() == without.pairs()
+    return with_memo
+
+
+def assert_roundtrip(frontier, tree, pm, cm, pre):
+    """to_records -> from_records(verify=True) re-verifies every point."""
+    rebuilt = type(frontier).from_records(
+        tree, frontier.to_records(), pm, cm, pre, verify=True
+    )
+    assert rebuilt.pairs() == frontier.pairs()
+
+
+class TestKernelEqualsCountsOracle:
+    @settings(max_examples=60, deadline=None)
+    @given(small_trees(max_nodes=9, max_requests=6), st.data())
+    def test_random_trees_with_pre_modes(self, tree, data):
+        pre_nodes = data.draw(
+            st.lists(
+                st.integers(0, tree.n_nodes - 1), max_size=4, unique=True
+            )
+        )
+        pre = {v: data.draw(st.integers(0, 1)) for v in pre_nodes}
+        try:
+            frontier = both_kernels(tree, PM, CM, pre)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                power_frontier_counts(tree, PM, CM, pre)
+            return
+        assert frontier.pairs() == power_frontier_counts(tree, PM, CM, pre)
+        assert_roundtrip(frontier, tree, PM, CM, pre)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_trees(max_nodes=8, max_requests=6))
+    def test_three_modes(self, tree):
+        try:
+            frontier = both_kernels(tree, PM3, CM3, {})
+        except InfeasibleError:
+            return
+        assert frontier.pairs() == power_frontier_counts(tree, PM3, CM3)
+        assert_roundtrip(frontier, tree, PM3, CM3, {})
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_trees(max_nodes=8, max_requests=5))
+    def test_negative_reuse_credit(self, tree):
+        # delete > 1 + changed makes reuse prices negative, defeating the
+        # identity fast path's non-negative-price condition — the branch
+        # the count oracle must still agree with.
+        dear = ModalCostModel.uniform(2, create=0.0, delete=5.0, changed=0.0)
+        pre = {v: 0 for v in range(0, tree.n_nodes, 2)}
+        frontier = both_kernels(tree, PM, dear, pre)
+        assert frontier.pairs() == power_frontier_counts(tree, PM, dear, pre)
+        assert_roundtrip(frontier, tree, PM, dear, pre)
+
+
+class TestDegenerateInstances:
+    def test_single_node(self):
+        t = Tree([None], [Client(0, 4)])
+        frontier = both_kernels(t, PM, CM, {})
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM)
+        assert_roundtrip(frontier, t, PM, CM, {})
+
+    def test_single_node_no_clients(self):
+        t = Tree([None])
+        frontier = both_kernels(t, PM, CM, {})
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM)
+
+    def test_all_nodes_preexisting(self):
+        t = Tree(
+            [None, 0, 0, 1, 1],
+            [Client(1, 3), Client(3, 2), Client(4, 5)],
+        )
+        pre = {v: v % 2 for v in range(t.n_nodes)}
+        frontier = both_kernels(t, PM, CM, pre)
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM, pre)
+        assert_roundtrip(frontier, t, PM, CM, pre)
+
+    def test_load_exactly_w_max(self):
+        # One client saturating the top mode: feasible, but only just —
+        # every subtree flow sits at the w_max boundary the merge prunes
+        # against.
+        t = Tree([None, 0], [Client(1, 10)])
+        frontier = both_kernels(t, PM, CM, {})
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM)
+
+    def test_load_above_w_max_infeasible_same_error(self):
+        t = Tree([None, 0], [Client(1, 11)])
+        for memoize in (True, False):
+            with pytest.raises(InfeasibleError):
+                power_frontier(t, PM, CM, memoize=memoize)
+
+    def test_every_node_saturated(self):
+        # Every node carries exactly w_max of direct load: feasible only
+        # by placing a replica on every node.
+        t = Tree([None, 0, 0], [Client(1, 10), Client(2, 10), Client(0, 10)])
+        frontier = both_kernels(t, PM, CM, {})
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM)
+        best = frontier.min_power()
+        assert set(best.server_modes) == {0, 1, 2}
+
+    def test_deep_chain(self):
+        n = 60
+        t = Tree(
+            [None] + list(range(n - 1)),
+            [Client(v, 1) for v in range(0, n, 7)],
+        )
+        frontier = both_kernels(t, PM, CM, {n - 1: 1})
+        assert_roundtrip(frontier, t, PM, CM, {n - 1: 1})
+
+
+class TestMemoization:
+    def _star_of_stars(self):
+        # Root with 4 identical 4-leaf stars: maximal repeated structure.
+        parents: list[int | None] = [None]
+        clients = []
+        for _ in range(4):
+            hub = len(parents)
+            parents.append(0)
+            for _ in range(4):
+                leaf = len(parents)
+                parents.append(hub)
+                clients.append(Client(leaf, 2))
+        return Tree(parents, clients)
+
+    def test_identical_subtrees_share_tables(self):
+        t = self._star_of_stars()
+        stats = ParetoDPStats()
+        frontier = power_frontier(t, PM, CM, stats=stats)
+        assert stats.memo_hits >= 3  # hubs 2..4 answered from hub 1's table
+        assert stats.memo_labels_shared > 0
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM)
+        # Placements reconstructed through memo aliases must re-verify.
+        assert_roundtrip(frontier, t, PM, CM, {})
+
+    def test_memo_respects_pre_modes(self):
+        # Same shape, but one hub's subtree contains a pre-existing server:
+        # its table must NOT be shared with the plain hubs.
+        t = self._star_of_stars()
+        pre = {2: 1}  # a leaf of the first hub
+        stats = ParetoDPStats()
+        frontier = power_frontier(t, PM, CM, pre, stats=stats)
+        plain = power_frontier(t, PM, CM, pre, memoize=False)
+        assert frontier.pairs() == plain.pairs()
+        assert frontier.pairs() == power_frontier_counts(t, PM, CM, pre)
+        assert_roundtrip(frontier, t, PM, CM, pre)
+
+    def test_load_split_across_clients_still_shares(self):
+        # The memo keys on per-node load *sums*: one 4-request client and
+        # two 2-request clients are the same subtree to the DP.  Hubs 1
+        # and 2 root one-leaf subtrees whose leaf loads split differently.
+        parents = [None, 0, 0, 1, 2]
+        t1 = Tree(parents, [Client(3, 4), Client(4, 4)])
+        t2 = Tree(parents, [Client(3, 4), Client(4, 2), Client(4, 2)])
+        s2 = ParetoDPStats()
+        f2 = power_frontier(t2, PM, CM, stats=s2)
+        f1 = power_frontier(t1, PM, CM)
+        assert f1.pairs() == f2.pairs()
+        assert s2.memo_hits >= 1  # hub 2 shares hub 1's table
+
+    def test_memo_only_retains_recurring_tables(self):
+        # On a structure-free caterpillar no table key recurs; the memo
+        # must not pin every node's fronts for the whole solve (the
+        # tables should be freeable as the DFS unwinds).
+        parents: list[int | None] = [None]
+        clients = []
+        for k in range(10):
+            spine = len(parents)
+            parents.append(spine - 1 if k else 0)
+            leaf = len(parents)
+            parents.append(spine)
+            clients.append(Client(leaf, (k % 5) + 1))
+        t = Tree(parents, clients)
+        stats = ParetoDPStats()
+        frontier = power_frontier(t, PM, CM, stats=stats)
+        assert stats.memo_hits == 0
+        assert frontier.pairs() == power_frontier(
+            t, PM, CM, memoize=False
+        ).pairs()
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=12, max_requests=3, client_prob=0.5))
+    def test_memo_never_changes_the_frontier(self, tree):
+        # Low request diversity makes collisions (hence memo hits) likely;
+        # the frontier must not care.
+        try:
+            both_kernels(tree, PM, CM, {})
+        except InfeasibleError:
+            pass
+
+
+class TestZeroModePowerUnderflow:
+    """The alias-soundness guard: ``p == 0.0`` does not imply "no
+    placements" when every mode power underflows to exactly 0.0."""
+
+    PM0 = PowerModel(
+        ModeSet((5, 10)), static_power=0.0, alpha=2500.0, capacity_scale=100.0
+    )
+
+    def test_underflowed_powers_are_exactly_zero(self):
+        assert [self.PM0.mode_power(m) for m in (0, 1)] == [0.0, 0.0]
+
+    def test_frontier_matches_counts_oracle(self):
+        t = Tree(
+            [None, 0, 0, 1, 2],
+            [Client(3, 6), Client(4, 6), Client(0, 6)],
+        )
+        frontier = both_kernels(t, self.PM0, CM, {})
+        assert frontier.pairs() == power_frontier_counts(t, self.PM0, CM)
+        # Every point must re-verify (a dropped placement cost would
+        # fail the from_records re-pricing).
+        assert_roundtrip(frontier, t, self.PM0, CM, {})
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_trees(max_nodes=8, max_requests=6))
+    def test_underflow_hypothesis(self, tree):
+        try:
+            frontier = both_kernels(tree, self.PM0, CM, {})
+        except InfeasibleError:
+            return
+        assert frontier.pairs() == power_frontier_counts(tree, self.PM0, CM)
+
+
+class TestBisectQueries:
+    def _long_frontier(self):
+        # A caterpillar with increasing loads yields many frontier points.
+        parents: list[int | None] = [None]
+        clients = []
+        for k in range(12):
+            spine = len(parents)
+            parents.append(spine - 1 if k else 0)
+            leaf = len(parents)
+            parents.append(spine)
+            clients.append(Client(leaf, (k % 5) + 1))
+        return Tree(parents, clients)
+
+    def test_queries_match_linear_reference(self):
+        t = self._long_frontier()
+        frontier = power_frontier(t, PM, CM)
+        pairs = frontier.pairs()
+        assert len(pairs) >= 4
+        eps = 1e-9
+        bounds = [pairs[0][0] - 1.0]
+        for cost, power in pairs:
+            bounds += [cost - 1e-3, cost, cost + 1e-3]
+        for bound in bounds:
+            got = frontier.best_under_cost(bound)
+            want = None
+            for cost, power in pairs:
+                if cost <= bound + eps:
+                    want = (cost, power)
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert (got.cost, got.power) == pytest.approx(want)
+        power_bounds = [pairs[-1][1] - 1.0]
+        for cost, power in pairs:
+            power_bounds += [power - 1e-3, power, power + 1e-3]
+        for bound in power_bounds:
+            got = frontier.best_under_power(bound)
+            want = None
+            for cost, power in pairs:
+                if power <= bound + eps:
+                    want = (cost, power)
+                    break
+            if want is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert (got.cost, got.power) == pytest.approx(want)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=9, max_requests=6), st.floats(0.0, 40.0))
+    def test_bound_queries_hypothesis(self, tree, bound):
+        try:
+            frontier = power_frontier(tree, PM, CM)
+        except InfeasibleError:
+            return
+        pairs = frontier.pairs()
+        got = frontier.best_under_cost(bound)
+        want = [c for c, _ in pairs if c <= bound + 1e-9]
+        if not want:
+            assert got is None
+        else:
+            assert got is not None and got.cost == pytest.approx(want[-1])
+
+    def test_shuffled_record_rejected(self):
+        from repro.exceptions import SolverError
+        from repro.power.dp_power_pareto import PowerFrontier
+
+        t = self._long_frontier()
+        frontier = power_frontier(t, PM, CM)
+        records = frontier.to_records()
+        assert len(records) >= 3
+        records[0], records[-1] = records[-1], records[0]
+        with pytest.raises(SolverError, match="cost-ascending"):
+            PowerFrontier.from_records(t, records, PM, CM, {}, verify=True)
+
+
+class TestStatsCoherence:
+    def test_counter_relations(self):
+        t = Tree(
+            [None, 0, 0, 1, 1, 2, 2],
+            [Client(v, (v % 4) + 1) for v in range(7)],
+        )
+        stats = ParetoDPStats()
+        power_frontier(t, PM, CM, {3: 1}, stats=stats)
+        assert stats.labels_created >= stats.labels_generated
+        assert stats.merge_rejected >= 0
+        assert stats.labels_generated >= stats.merge_rejected
+        assert stats.memo_hits + stats.memo_misses >= 1
+        assert 0.0 <= stats.prune_ratio <= 1.0
+        assert 0.0 <= stats.generation_ratio <= 1.0
+
+    def test_absorb_aggregates(self):
+        t = Tree([None, 0], [Client(1, 3)])
+        a = ParetoDPStats()
+        power_frontier(t, PM, CM, stats=a)
+        total = ParetoDPStats()
+        total.absorb(a.as_dict()).absorb(a.as_dict())
+        assert total.labels_created == 2 * a.labels_created
+        assert total.merges == 2 * a.merges
+        assert total.max_flow_keys == a.max_flow_keys

@@ -382,3 +382,52 @@ class TestShutdown:
 
         server = asyncio.run(run())
         assert server.stats.policy("dp").requests == 1
+
+
+class TestPerfOp:
+    def test_perf_reports_kernel_counters_once_per_digest(self):
+        """The ``perf`` op exposes Pareto-DP kernel counters aggregated
+        from the canonical solve records, with cache hits and coalesced
+        duplicates never inflating them."""
+        instance = _instance(seed=23, n_nodes=25, power=True)
+
+        async def run():
+            async with BatchServer(max_delay=0.01) as server:
+                host, port = await server.listen()
+                client = await ServeClient.connect(host, port)
+                try:
+                    await client.solve_many([instance] * 6, solver="min_power")
+                    first = await client.perf()
+                    # Re-requesting the same digest is a cache hit; the
+                    # kernel aggregate must not double-count it.
+                    await client.solve(instance, solver="min_power")
+                    second = await client.perf()
+                finally:
+                    await client.close()
+                return first, second
+
+        first, second = asyncio.run(run())
+        kernel = first["kernel"]["min_power"]
+        assert kernel["merges"] > 0
+        assert kernel["labels_created"] >= kernel["labels_generated"] > 0
+        assert kernel["memo_hits"] + kernel["memo_misses"] > 0
+        assert second["kernel"]["min_power"] == kernel
+        assert second["serve"]["policies"]["min_power"]["requests"] == 7
+
+    def test_perf_empty_without_power_traffic(self):
+        instance = _instance(seed=29, n_nodes=20)
+
+        async def run():
+            async with BatchServer(max_delay=0.01) as server:
+                host, port = await server.listen()
+                client = await ServeClient.connect(host, port)
+                try:
+                    await client.solve(instance, solver="dp")
+                    return await client.perf()
+                finally:
+                    await client.close()
+
+        perf = asyncio.run(run())
+        # MinCost records carry no kernel counters; serving stats do.
+        assert perf["kernel"] == {}
+        assert perf["serve"]["policies"]["dp"]["requests"] == 1

@@ -61,9 +61,15 @@ class TestParetoDPStats:
         tree = paper_tree(40, request_range=(1, 5), rng=rng)
         pre = random_preexisting_modes(tree, 5, 2, rng=rng, mode=1)
         frontier, stats = instrument_pareto_frontier(tree, PM, CM, pre)
-        assert stats.merges == 39
+        # One merge per (parent, child) edge of every *visited* subtree;
+        # AHU-memoized subtrees are answered without merging.
+        assert 0 < stats.merges <= 39
+        assert stats.merges + stats.memo_hits >= 1
         assert stats.labels_created >= stats.labels_kept > 0
+        assert stats.labels_created >= stats.labels_generated
+        assert stats.merge_rejected >= 0
         assert 0.0 <= stats.prune_ratio < 1.0
+        assert 0.0 <= stats.generation_ratio <= 1.0
         assert stats.max_flow_keys <= PM.modes.max_capacity + 1
         assert len(frontier) > 0
 
@@ -79,4 +85,32 @@ class TestParetoDPStats:
         assert stats.prune_ratio > 0.1  # dominance removes a real fraction
 
     def test_empty_prune_ratio(self):
-        assert ParetoDPStats().prune_ratio == 0.0
+        stats = ParetoDPStats()
+        assert stats.prune_ratio == 0.0
+        assert stats.generation_ratio == 0.0
+        assert stats.memo_hit_rate == 0.0
+
+    def test_memo_counters_on_repetitive_tree(self):
+        from repro.tree.model import Client, Tree
+
+        parents: list[int | None] = [None]
+        clients = []
+        for _ in range(3):
+            hub = len(parents)
+            parents.append(0)
+            for _ in range(3):
+                leaf = len(parents)
+                parents.append(hub)
+                clients.append(Client(leaf, 2))
+        tree = Tree(parents, clients)
+        _, stats = instrument_pareto_frontier(tree, PM, CM)
+        assert stats.memo_hits >= 2
+        assert stats.memo_labels_shared > 0
+        assert stats.memo_hit_rate > 0.0
+
+    def test_as_dict_roundtrips_through_absorb(self, rng):
+        tree = paper_tree(25, request_range=(1, 5), rng=rng)
+        _, stats = instrument_pareto_frontier(tree, PM, CM)
+        agg = ParetoDPStats().absorb(stats.as_dict())
+        for key, value in stats.as_dict().items():
+            assert agg.as_dict()[key] == value

@@ -14,7 +14,7 @@ Do not "improve" this file: its value is being a faithful baseline.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import InfeasibleError

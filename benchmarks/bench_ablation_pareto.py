@@ -37,7 +37,7 @@ def _run_both():
         t_cnt = time.perf_counter() - t0
         agree = len(par) == len(cnt) and all(
             abs(a[0] - b[0]) < 1e-6 and abs(a[1] - b[1]) < 1e-6
-            for a, b in zip(par, cnt)
+            for a, b in zip(par, cnt, strict=True)
         )
         rows.append((n, t_par, t_cnt, t_cnt / max(t_par, 1e-9), agree))
     return rows

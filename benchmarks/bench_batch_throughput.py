@@ -80,7 +80,7 @@ def test_batch_throughput_vs_naive(emit):
         cache = last_cache[0]
 
         # The batch path must be *exact*: same optimal cost per instance.
-        for a, b in zip(batched, naive):
+        for a, b in zip(batched, naive, strict=True):
             assert a.cost == pytest.approx(b.cost)
             assert a.n_replicas == b.n_replicas
         stats = cache.stats

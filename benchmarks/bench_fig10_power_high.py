@@ -19,7 +19,7 @@ def test_fig10_power_high_trees(benchmark, emit):
         run_experiment3, args=(CONFIG,), rounds=1, iterations=1
     )
 
-    for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+    for dp, gr in zip(result.dp_inverse, result.gr_inverse, strict=True):
         assert dp.mean >= gr.mean - 1e-9
     assert result.dp_inverse[-1].mean == 1.0
     assert result.peak_gr_overhead() > 1.25

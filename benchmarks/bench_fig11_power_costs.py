@@ -20,13 +20,13 @@ def test_fig11_power_expensive_costs(benchmark, emit):
         run_experiment3, args=(CONFIG,), rounds=1, iterations=1
     )
 
-    for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+    for dp, gr in zip(result.dp_inverse, result.gr_inverse, strict=True):
         assert dp.mean >= gr.mean - 1e-9
     # The reuse advantage must show up as a success-rate gap at tight
     # bounds: DP finds solutions on strictly more trees than GR somewhere.
     assert any(
         dp_ok > gr_ok + 1e-9
-        for dp_ok, gr_ok in zip(result.dp_success, result.gr_success)
+        for dp_ok, gr_ok in zip(result.dp_success, result.gr_success, strict=True)
     )
 
     chart = line_plot(
@@ -40,10 +40,10 @@ def test_fig11_power_expensive_costs(benchmark, emit):
         result.rows(),
     )
     first_dp = next(
-        (b for b, ok in zip(result.bounds, result.dp_success) if ok > 0), None
+        (b for b, ok in zip(result.bounds, result.dp_success, strict=True) if ok > 0), None
     )
     first_gr = next(
-        (b for b, ok in zip(result.bounds, result.gr_success) if ok > 0), None
+        (b for b, ok in zip(result.bounds, result.gr_success, strict=True) if ok > 0), None
     )
     emit(
         "fig11_power_costs",

@@ -23,7 +23,7 @@ def test_fig4_reuse_fat_trees(benchmark, emit):
     # Paper shape: identical replica counts, DP reuse dominates GR, gap
     # vanishes at the extremes E=0 and E=N.
     assert result.count_mismatches == 0
-    for dp, gr in zip(result.dp_reuse, result.gr_reuse):
+    for dp, gr in zip(result.dp_reuse, result.gr_reuse, strict=True):
         assert dp.mean >= gr.mean - 1e-9
     assert result.gap[0].mean == 0.0
     assert result.gap[-1].mean == 0.0

@@ -21,7 +21,7 @@ def test_fig6_reuse_high_trees(benchmark, emit):
     )
 
     assert result.count_mismatches == 0
-    for dp, gr in zip(result.dp_reuse, result.gr_reuse):
+    for dp, gr in zip(result.dp_reuse, result.gr_reuse, strict=True):
         assert dp.mean >= gr.mean - 1e-9
     assert result.mean_gap > 0.5
 

@@ -23,7 +23,7 @@ def test_fig8_power_fat_trees(benchmark, emit):
 
     # Paper shape: DP dominates GR everywhere; both reach the optimum at
     # loose bounds; mid-range GR burns >20% more power on average.
-    for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+    for dp, gr in zip(result.dp_inverse, result.gr_inverse, strict=True):
         assert dp.mean >= gr.mean - 1e-9
     assert result.dp_inverse[-1].mean == 1.0
     assert result.peak_gr_overhead() > 1.2

@@ -19,12 +19,12 @@ def test_fig9_power_no_preexisting(benchmark, emit):
         run_experiment3, args=(CONFIG,), rounds=1, iterations=1
     )
 
-    for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+    for dp, gr in zip(result.dp_inverse, result.gr_inverse, strict=True):
         assert dp.mean >= gr.mean - 1e-9
     # Paper: "DP finds a solution if and only if GR finds a solution" when
     # E = 0 — success rates must match at every bound (they diverge in
     # Figures 8/11 where reuse lets DP fit under tighter bounds).
-    for dp_ok, gr_ok in zip(result.dp_success, result.gr_success):
+    for dp_ok, gr_ok in zip(result.dp_success, result.gr_success, strict=True):
         assert dp_ok == gr_ok
     # "no significant difference for other costs": both curves reach the
     # unconstrained optimum at loose bounds.

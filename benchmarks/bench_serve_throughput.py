@@ -80,7 +80,7 @@ def test_serve_throughput_vs_naive_loop(emit):
         # the direct batch pipeline, and match the naive DP on cost (the
         # canonical solve may pick a different equal-cost optimum).
         direct = solve_batch(storm, solver="dp")
-        for a, b, c in zip(served, direct, naive):
+        for a, b, c in zip(served, direct, naive, strict=True):
             assert json.dumps(policy.result_to_wire(a), sort_keys=True) == (
                 json.dumps(policy.result_to_wire(b), sort_keys=True)
             )

@@ -9,7 +9,7 @@ is required — output goes straight into ``bench_output.txt``.
 
 from __future__ import annotations
 
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["line_plot", "bar_plot"]
 

@@ -10,7 +10,7 @@ reuse does (or does not) cost in proximity compared to GR.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.solution import assign_clients
 from repro.tree.model import Tree
@@ -56,7 +56,7 @@ def locality_report(tree: Tree, replicas: Iterable[int]) -> LocalityReport:
     histogram: dict[int, int] = {}
     served = 0
     unserved = 0
-    for client, server in zip(tree.clients, assignment):
+    for client, server in zip(tree.clients, assignment, strict=True):
         if server is None:
             unserved += client.requests
             continue

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 __all__ = ["format_table", "to_csv"]
 
@@ -33,11 +33,11 @@ def format_table(
             widths[i] = max(widths[i], len(cell))
     sep = "-+-".join("-" * w for w in widths)
     out = [
-        " | ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True)),
         sep,
     ]
     for row in str_rows:
-        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        out.append(" | ".join(c.rjust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(out)
 
 

@@ -7,7 +7,7 @@ box-drawing tree.
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.tree.model import Tree
 

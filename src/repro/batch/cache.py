@@ -48,9 +48,10 @@ import json
 import os
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Iterable, Iterator
+from typing import Any
 
 try:  # pragma: no cover - always present on POSIX
     import fcntl
@@ -66,6 +67,16 @@ __all__ = ["ResultCache"]
 _CACHE_BASENAME = "batch-cache"
 #: Pre-sharding store file, migrated into shards at load time.
 _LEGACY_FILENAME = "batch-cache.jsonl"
+
+#: Version of the on-disk cache line envelope produced by
+#: :func:`_envelope`.  Bump it whenever the envelope shape changes so
+#: the schema-drift lint rule can pair the surface with a version.
+CACHE_SCHEMA = 1
+
+
+def _envelope(digest: str, record: dict[str, Any]) -> dict[str, Any]:
+    """The JSON object written as one cache line on disk."""
+    return {"version": __version__, "digest": digest, "record": record}
 
 
 @contextmanager
@@ -219,8 +230,7 @@ class ResultCache:
                 self._disk[digest] = record
                 self._disk.move_to_end(digest)
                 line = json.dumps(
-                    {"version": __version__, "digest": digest, "record": record},
-                    separators=(",", ":"),
+                    _envelope(digest, record), separators=(",", ":")
                 )
                 path = self._shard_path(digest)
         if line is not None:
@@ -232,9 +242,8 @@ class ResultCache:
             # differ only across schema migrations, a load that keeps
             # the older line self-heals via the schema gate on the next
             # get (miss -> re-solve -> re-put).
-            with _shard_lock(path):
-                with open(path, "a", encoding="utf-8") as fh:
-                    fh.write(line + "\n")
+            with _shard_lock(path), open(path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
             with self._mutex:
                 if digest not in self._disk:
                     # A concurrent budget eviction dropped this digest

@@ -45,7 +45,8 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.costs import UniformCostModel
 from repro.tree.model import Tree
@@ -114,10 +115,11 @@ def canonicalize(
     shape) or a ``{node: old_mode}`` mapping (the power shape); a plain
     set canonicalises exactly like the all-modes-0 mapping.
     """
-    if isinstance(preexisting, Mapping):
-        pre_modes = {int(v): int(m) for v, m in preexisting.items()}
-    else:
-        pre_modes = {int(v): 0 for v in preexisting}
+    pre_modes = (
+        {int(v): int(m) for v, m in preexisting.items()}
+        if isinstance(preexisting, Mapping)
+        else {int(v): 0 for v in preexisting}
+    )
     check_preexisting(tree, pre_modes)
     n = tree.n_nodes
 
@@ -240,10 +242,11 @@ def labelled_subtree_codes(
     keys imply equal heights by construction, and within-tree equality
     is all the intern ids promise.
     """
-    if isinstance(preexisting, Mapping):
-        pre_modes = {int(v): int(m) for v, m in preexisting.items()}
-    else:
-        pre_modes = {int(v): 0 for v in preexisting}
+    pre_modes = (
+        {int(v): int(m) for v, m in preexisting.items()}
+        if isinstance(preexisting, Mapping)
+        else {int(v): 0 for v in preexisting}
+    )
     check_preexisting(tree, pre_modes)
     n = tree.n_nodes
     codes = [0] * n
@@ -283,8 +286,8 @@ def instance_digest(
     cost_model: UniformCostModel | None,
     solver: str,
     *,
-    power_model: "PowerModel | None" = None,
-    modal_cost_model: "ModalCostModel | None" = None,
+    power_model: PowerModel | None = None,
+    modal_cost_model: ModalCostModel | None = None,
     include_pre_modes: bool = False,
 ) -> str:
     """Content-addressed SHA-256 digest of a canonical solver instance.
@@ -320,7 +323,7 @@ def instance_digest(
     if include_pre_modes:
         payload["pre_modes"] = [list(p) for p in canonical.preexisting_modes]
     blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def relabel_tree(

@@ -30,7 +30,8 @@ names — adding a solver is a registry entry, not an executor fork.
 from __future__ import annotations
 
 from concurrent.futures import Executor, ProcessPoolExecutor
-from typing import Any, Sequence
+from collections.abc import Sequence
+from typing import Any
 
 from repro.batch.cache import ResultCache
 from repro.batch.canonical import Canonical
@@ -200,7 +201,7 @@ def solve_batch(
                     r for part in own_pool.map(_solve_chunk, chunks) for r in part
                 ]
         stats.unique_solved += len(payloads)
-        for (digest, _), record in zip(misses, solved):
+        for (digest, _), record in zip(misses, solved, strict=True):
             records[digest] = record
             if cache is not None:
                 cache.put(digest, record, stats=stats)
@@ -212,5 +213,5 @@ def solve_batch(
     # relabelling, re-verify on the original tree and re-price.
     return [
         policy.fan_out(instance, canonical, records[digest], digest)
-        for instance, canonical, digest in zip(instances, canonicals, digests)
+        for instance, canonical, digest in zip(instances, canonicals, digests, strict=True)
     ]

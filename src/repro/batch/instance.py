@@ -34,7 +34,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 import numpy as np
 
@@ -93,10 +94,11 @@ class BatchInstance:
             self, "preexisting", frozenset(int(v) for v in self.preexisting)
         )
         if self.preexisting_modes is not None:
-            if isinstance(self.preexisting_modes, Mapping):
-                items = self.preexisting_modes.items()
-            else:
-                items = tuple(self.preexisting_modes)  # type: ignore[assignment]
+            items = (
+                self.preexisting_modes.items()
+                if isinstance(self.preexisting_modes, Mapping)
+                else tuple(self.preexisting_modes)  # type: ignore[assignment]
+            )
             modes = tuple(sorted((int(v), int(m)) for v, m in items))
             object.__setattr__(self, "preexisting_modes", modes)
             keys = frozenset(v for v, _ in modes)

@@ -125,10 +125,11 @@ class SolverPolicy:
 
     def instance_key(self, instance: BatchInstance) -> tuple[Canonical, str]:
         """Canonical form + digest covering only what this policy consumes."""
-        if "preexisting" in self.digest_fields:
-            canonical = canonicalize(instance.tree, instance.pre_modes())
-        else:
-            canonical = canonicalize(instance.tree)
+        canonical = (
+            canonicalize(instance.tree, instance.pre_modes())
+            if "preexisting" in self.digest_fields
+            else canonicalize(instance.tree)
+        )
         return canonical, self.digest(canonical, instance)
 
     def digest(self, canonical: Canonical, instance: BatchInstance) -> str:
@@ -393,7 +394,7 @@ class _PowerPolicy(SolverPolicy):
         }
 
     @staticmethod
-    def _payload_instance(payload: dict[str, Any]):
+    def _payload_instance(payload: dict[str, Any]) -> BatchInstance:
         tree = Tree(
             [None if p is None else int(p) for p in payload["parents"]],
             [(int(n), int(r)) for n, r in payload["clients"]],

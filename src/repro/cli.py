@@ -26,11 +26,13 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import dataclasses
 import json
 import signal
 import sys
-from typing import Sequence
+from pathlib import Path
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -48,6 +50,7 @@ from repro.core.costs import ModalCostModel, UniformCostModel
 from repro.core.dp_withpre import replica_update
 from repro.core.greedy import greedy_placement
 from repro.exceptions import ConfigurationError, ReproError
+from repro.lint import runner as lint_runner
 from repro.experiments import (
     Exp1Config,
     Exp2Config,
@@ -65,6 +68,7 @@ from repro.experiments import (
 from repro.power.dp_power_pareto import power_frontier
 from repro.power.modes import ModeSet, PowerModel
 from repro.tree.generators import paper_tree, random_preexisting
+from repro.tree.model import Tree
 from repro.tree.serialize import tree_from_json, tree_to_json
 
 __all__ = ["main", "build_parser"]
@@ -256,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
             e.add_argument("--expensive-costs", action="store_true")
 
     sub.add_parser("scaling", help="time the solvers at the paper's sizes")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the project-specific static analysis (repro.lint)",
+    )
+    lint_runner.add_arguments(lint)
     return parser
 
 
@@ -266,7 +276,7 @@ def _read_text(path: str) -> str:
         return fh.read()
 
 
-def _read_tree(path: str):
+def _read_tree(path: str) -> Tree:
     return tree_from_json(_read_text(path))
 
 
@@ -348,10 +358,8 @@ async def _run_server(args: argparse.Namespace) -> int:
             stop_tasks.append(loop.create_task(server.stop()))
 
         for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
                 loop.add_signal_handler(sig, _request_stop)
-            except NotImplementedError:  # pragma: no cover - non-POSIX
-                pass
         await server.serve_forever()
     print("server stopped", flush=True)
     return 0
@@ -430,17 +438,21 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "lint":
+        return lint_runner.run_from_args(args)
+
     if args.command == "generate":
-        if args.preset is not None:
-            tree = make_preset(args.preset, rng=np.random.default_rng(args.seed))
-        else:
-            tree = paper_tree(
+        tree = (
+            make_preset(args.preset, rng=np.random.default_rng(args.seed))
+            if args.preset is not None
+            else paper_tree(
                 n_nodes=args.nodes,
                 children_range=tuple(args.children),
                 client_prob=args.client_prob,
                 request_range=tuple(args.requests),
                 rng=np.random.default_rng(args.seed),
             )
+        )
         text = tree_to_json(tree, indent=2)
         if args.output == "-":
             print(text)
@@ -451,20 +463,22 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "solve":
         tree = _read_tree(args.tree)
-        if args.random_preexisting is not None:
-            pre = random_preexisting(
+        pre = (
+            random_preexisting(
                 tree, args.random_preexisting, rng=np.random.default_rng(args.seed)
             )
-        else:
-            pre = frozenset(
+            if args.random_preexisting is not None
+            else frozenset(
                 int(v) for v in filter(None, args.preexisting.split(","))
             )
-        if args.algorithm == "dp":
-            res = replica_update(
+        )
+        res = (
+            replica_update(
                 tree, args.capacity, pre, UniformCostModel(args.create, args.delete)
             )
-        else:
-            res = greedy_placement(tree, args.capacity, preexisting=pre)
+            if args.algorithm == "dp"
+            else greedy_placement(tree, args.capacity, preexisting=pre)
+        )
         print(f"replicas ({res.n_replicas}): {sorted(res.replicas)}")
         print(
             f"reused={res.n_reused} created={res.n_created} "
@@ -616,10 +630,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             config = Exp1Config(n_trees=args.trees, seed=args.seed)
         if args.high_trees:
             config = config.high_trees()
-        if args.workers > 1:
-            result = run_experiment1_parallel(config, n_workers=args.workers)
-        else:
-            result = run_experiment1(config, progress=_progress)
+        result = (
+            run_experiment1_parallel(config, n_workers=args.workers)
+            if args.workers > 1
+            else run_experiment1(config, progress=_progress)
+        )
         print(
             line_plot(
                 result.series(),
@@ -635,7 +650,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"count mismatches={result.count_mismatches}"
         )
         if args.csv:
-            open(args.csv, "w", encoding="utf-8").write(to_csv(headers, result.rows()))
+            Path(args.csv).write_text(to_csv(headers, result.rows()), encoding="utf-8")
         return 0
 
     if args.command == "exp2":
@@ -644,10 +659,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             config = Exp2Config(n_trees=args.trees, seed=args.seed)
         if args.high_trees:
             config = config.high_trees()
-        if args.workers > 1:
-            result = run_experiment2_parallel(config, n_workers=args.workers)
-        else:
-            result = run_experiment2(config, progress=_progress)
+        result = (
+            run_experiment2_parallel(config, n_workers=args.workers)
+            if args.workers > 1
+            else run_experiment2(config, progress=_progress)
+        )
         fig = "7" if args.high_trees else "5"
         print(
             line_plot(
@@ -666,7 +682,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
         if args.csv:
             headers = ("step", "DP_cumulative", "GR_cumulative")
-            open(args.csv, "w", encoding="utf-8").write(to_csv(headers, result.rows()))
+            Path(args.csv).write_text(to_csv(headers, result.rows()), encoding="utf-8")
         return 0
 
     if args.command == "exp3":
@@ -680,10 +696,11 @@ def _dispatch(args: argparse.Namespace) -> int:
             config, fig = config.no_preexisting(), "9"
         if args.expensive_costs:
             config, fig = config.expensive_costs(), "11"
-        if args.workers > 1:
-            result = run_experiment3_parallel(config, n_workers=args.workers)
-        else:
-            result = run_experiment3(config, progress=_progress)
+        result = (
+            run_experiment3_parallel(config, n_workers=args.workers)
+            if args.workers > 1
+            else run_experiment3(config, progress=_progress)
+        )
         print(
             line_plot(
                 result.series(),
@@ -696,7 +713,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         print(format_table(headers, result.rows()))
         print(f"peak GR-over-DP power ratio: {result.peak_gr_overhead():.3f}")
         if args.csv:
-            open(args.csv, "w", encoding="utf-8").write(to_csv(headers, result.rows()))
+            Path(args.csv).write_text(to_csv(headers, result.rows()), encoding="utf-8")
         return 0
 
     if args.command == "scaling":

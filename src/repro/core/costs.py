@@ -19,7 +19,7 @@ placement-based evaluation (used by validators and baselines).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 from repro.exceptions import ConfigurationError
 
@@ -127,7 +127,7 @@ class ModalCostModel:
         create: float = 0.1,
         delete: float = 0.01,
         changed: float = 0.001,
-    ) -> "ModalCostModel":
+    ) -> ModalCostModel:
         """All-identical per-mode costs (the simplification noted in §2.2).
 
         Experiment 3 uses ``create=0.1, delete=0.01, changed=0.001``;
@@ -155,14 +155,15 @@ class ModalCostModel:
         m = self.n_modes
         if len(new_by_mode) != m or len(deleted_by_mode) != m:
             raise ConfigurationError("count vectors must have one entry per mode")
-        if isinstance(reused_by_change, Mapping):
-            e_items = list(reused_by_change.items())
-        else:
-            e_items = [
+        e_items = (
+            list(reused_by_change.items())
+            if isinstance(reused_by_change, Mapping)
+            else [
                 ((i, j), int(reused_by_change[i][j]))
                 for i in range(m)
                 for j in range(m)
             ]
+        )
         r_total = sum(int(x) for x in new_by_mode) + sum(c for _, c in e_items)
         cost = float(r_total)
         for i in range(m):

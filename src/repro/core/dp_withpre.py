@@ -40,7 +40,8 @@ Worst-case complexity matches Theorem 1: O(N · (N-E+1)² · (E+1)²) ⊆ O(N⁵
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable, Protocol
+from collections.abc import Iterable
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -151,7 +152,7 @@ def replica_update(
     preexisting: Iterable[int] = (),
     cost_model: CostLike | None = None,
     *,
-    stats: "CoreDPStats | None" = None,
+    stats: CoreDPStats | None = None,
 ) -> PlacementResult:
     """Solve MinCost-WithPre optimally (paper Algorithm 4, ``replica-update``).
 

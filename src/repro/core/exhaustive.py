@@ -9,7 +9,7 @@ guarded against accidental use on large trees.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, Iterator
+from collections.abc import Iterable, Iterator
 
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.core.costs import UniformCostModel

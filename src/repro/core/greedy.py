@@ -24,7 +24,8 @@ maximal-flow candidates).
 
 from __future__ import annotations
 
-from typing import Iterable, Literal
+from collections.abc import Iterable
+from typing import Literal
 
 import numpy as np
 

@@ -11,7 +11,7 @@ computes server loads, client assignments and validity checks (Equation 1:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 import numpy as np
 
@@ -176,7 +176,7 @@ class PlacementResult:
         preexisting: Iterable[int] = (),
         cost: float | None = None,
         extra: Mapping[str, object] | None = None,
-    ) -> "PlacementResult":
+    ) -> PlacementResult:
         """Build a result from a raw replica set, verifying validity."""
         rset = frozenset(int(v) for v in replicas)
         eset = frozenset(int(v) for v in preexisting)

@@ -53,7 +53,7 @@ class RedrawRequests:
         lo, hi = self.request_range
         draws = rng.integers(lo, hi + 1, size=tree.n_clients)
         return tree.with_clients(
-            c.with_requests(int(r)) for c, r in zip(tree.clients, draws)
+            c.with_requests(int(r)) for c, r in zip(tree.clients, draws, strict=True)
         )
 
 
@@ -80,7 +80,7 @@ class RandomWalkRequests:
     def evolve(self, tree: Tree, rng: np.random.Generator) -> Tree:
         deltas = rng.integers(-self.step, self.step + 1, size=tree.n_clients)
         new_clients = []
-        for c, d in zip(tree.clients, deltas):
+        for c, d in zip(tree.clients, deltas, strict=True):
             r = int(np.clip(c.requests + int(d), self.minimum, self.maximum))
             new_clients.append(c.with_requests(r))
         return tree.with_clients(new_clients)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.costs import ModalCostModel, UniformCostModel
 from repro.exceptions import ConfigurationError

@@ -19,7 +19,8 @@ paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Protocol
+from collections.abc import Iterable, Mapping
+from typing import Protocol
 
 import numpy as np
 
@@ -113,7 +114,7 @@ class SessionResult:
         """Per-step ``reused(a) - reused(b)`` (Figure 5/7 right panel)."""
         return [
             ra.n_reused - rb.n_reused
-            for ra, rb in zip(self.tracks[a], self.tracks[b])
+            for ra, rb in zip(self.tracks[a], self.tracks[b], strict=True)
         ]
 
 

@@ -17,7 +17,7 @@ the measured curves.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -56,7 +56,7 @@ class Exp1Config:
                 f"e_values must lie in [0, {self.n_nodes}], got {self.e_values}"
             )
 
-    def high_trees(self) -> "Exp1Config":
+    def high_trees(self) -> Exp1Config:
         """The Figure 6 variant (2–4 children per node)."""
         return replace(self, children_range=(2, 4))
 
@@ -77,8 +77,8 @@ class Exp1Result:
     def series(self) -> dict[str, list[tuple[float, float]]]:
         """Plot-ready mean curves keyed like the paper's legend."""
         return {
-            "DP": [(e, s.mean) for e, s in zip(self.e_values, self.dp_reuse)],
-            "GR": [(e, s.mean) for e, s in zip(self.e_values, self.gr_reuse)],
+            "DP": [(e, s.mean) for e, s in zip(self.e_values, self.dp_reuse, strict=True)],
+            "GR": [(e, s.mean) for e, s in zip(self.e_values, self.gr_reuse, strict=True)],
         }
 
     def rows(self) -> list[tuple[int, float, float, float]]:
@@ -86,13 +86,13 @@ class Exp1Result:
         return [
             (e, d.mean, g.mean, gap.mean)
             for e, d, g, gap in zip(
-                self.e_values, self.dp_reuse, self.gr_reuse, self.gap
+                self.e_values, self.dp_reuse, self.gr_reuse, self.gap, strict=True
             )
         ]
 
 
 def run_experiment1(
-    config: Exp1Config = Exp1Config(),
+    config: Exp1Config | None = None,
     *,
     progress: Callable[[int, int], None] | None = None,
 ) -> Exp1Result:
@@ -101,6 +101,8 @@ def run_experiment1(
     ``progress(done, total)`` is invoked after each tree when provided
     (the CLI uses it; benches keep it None).
     """
+    if config is None:
+        config = Exp1Config()
     rng = np.random.default_rng(config.seed)
     cost_model = UniformCostModel(config.create, config.delete)
     dp_samples: list[list[int]] = [[] for _ in config.e_values]

@@ -17,7 +17,7 @@ Paper scale: 200 fat trees (Figure 5) / high trees (Figure 7).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -52,7 +52,7 @@ class Exp2Config:
         if self.n_steps < 1:
             raise ConfigurationError(f"n_steps must be >= 1, got {self.n_steps}")
 
-    def high_trees(self) -> "Exp2Config":
+    def high_trees(self) -> Exp2Config:
         """The Figure 7 variant (2–4 children per node)."""
         return replace(self, children_range=(2, 4))
 
@@ -70,23 +70,25 @@ class Exp2Result:
 
     def series(self) -> dict[str, list[tuple[float, float]]]:
         return {
-            "DP": [(s, st.mean) for s, st in zip(self.steps, self.dp_cumulative)],
-            "GR": [(s, st.mean) for s, st in zip(self.steps, self.gr_cumulative)],
+            "DP": [(s, st.mean) for s, st in zip(self.steps, self.dp_cumulative, strict=True)],
+            "GR": [(s, st.mean) for s, st in zip(self.steps, self.gr_cumulative, strict=True)],
         }
 
     def rows(self) -> list[tuple[int, float, float]]:
         return [
             (s, d.mean, g.mean)
-            for s, d, g in zip(self.steps, self.dp_cumulative, self.gr_cumulative)
+            for s, d, g in zip(self.steps, self.dp_cumulative, self.gr_cumulative, strict=True)
         ]
 
 
 def run_experiment2(
-    config: Exp2Config = Exp2Config(),
+    config: Exp2Config | None = None,
     *,
     progress: Callable[[int, int], None] | None = None,
 ) -> Exp2Result:
     """Run Experiment 2 and aggregate cumulative-reuse curves + gap histogram."""
+    if config is None:
+        config = Exp2Config()
     rng = np.random.default_rng(config.seed)
     evolution = RedrawRequests(config.request_range)
     strategies = {
@@ -115,11 +117,11 @@ def run_experiment2(
             strategies,
             rng=rng,
         )
-        for rec_dp, rec_gr in zip(session.tracks["DP"], session.tracks["GR"]):
+        for rec_dp, rec_gr in zip(session.tracks["DP"], session.tracks["GR"], strict=True):
             if rec_dp.n_replicas != rec_gr.n_replicas:
                 mismatches += 1
         for step, (c_dp, c_gr) in enumerate(
-            zip(session.cumulative_reuse("DP"), session.cumulative_reuse("GR"))
+            zip(session.cumulative_reuse("DP"), session.cumulative_reuse("GR"), strict=True)
         ):
             dp_cum[step].append(c_dp)
             gr_cum[step].append(c_gr)

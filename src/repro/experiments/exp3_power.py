@@ -24,7 +24,7 @@ with bounds 10..35, Figure 11 prices ``create = delete = 1``,
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -90,11 +90,11 @@ class Exp3Config:
             changed=self.changed,
         )
 
-    def no_preexisting(self) -> "Exp3Config":
+    def no_preexisting(self) -> Exp3Config:
         """The Figure 9 variant (no pre-existing replicas)."""
         return replace(self, n_preexisting=0)
 
-    def high_trees(self) -> "Exp3Config":
+    def high_trees(self) -> Exp3Config:
         """The Figure 10 variant (high trees, shifted bound range)."""
         return replace(
             self,
@@ -102,7 +102,7 @@ class Exp3Config:
             cost_bounds=tuple(float(b) for b in range(10, 36)),
         )
 
-    def expensive_costs(self) -> "Exp3Config":
+    def expensive_costs(self) -> Exp3Config:
         """The Figure 11 variant (create=delete=1, changed=0.1)."""
         return replace(
             self,
@@ -131,8 +131,8 @@ class Exp3Result:
 
     def series(self) -> dict[str, list[tuple[float, float]]]:
         return {
-            "DP": [(b, s.mean) for b, s in zip(self.bounds, self.dp_inverse)],
-            "GR": [(b, s.mean) for b, s in zip(self.bounds, self.gr_inverse)],
+            "DP": [(b, s.mean) for b, s in zip(self.bounds, self.dp_inverse, strict=True)],
+            "GR": [(b, s.mean) for b, s in zip(self.bounds, self.gr_inverse, strict=True)],
         }
 
     def rows(self) -> list[tuple[float, float, float, float, float, float]]:
@@ -145,7 +145,7 @@ class Exp3Result:
                 self.gr_inverse,
                 self.dp_success,
                 self.gr_success,
-                self.gr_over_dp,
+                self.gr_over_dp, strict=True,
             )
         ]
 
@@ -156,12 +156,14 @@ class Exp3Result:
 
 
 def run_experiment3(
-    config: Exp3Config = Exp3Config(),
+    config: Exp3Config | None = None,
     *,
     progress: Callable[[int, int], None] | None = None,
 ) -> Exp3Result:
     """Run Experiment 3: one frontier + one GR sweep per tree, then sweep
     the cost bounds over both."""
+    if config is None:
+        config = Exp3Config()
     rng = np.random.default_rng(config.seed)
     power_model = config.power_model()
     cost_model = config.cost_model()

@@ -19,7 +19,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import replace
-from typing import Callable, Sequence, TypeVar
+from collections.abc import Callable, Sequence
+from typing import TypeVar
 
 from repro.analysis.stats import merge_series
 from repro.exceptions import ConfigurationError
@@ -73,9 +74,11 @@ def _run_chunks(runner: Callable, chunks: Sequence, n_workers: int) -> list:
 
 
 def run_experiment1_parallel(
-    config: Exp1Config = Exp1Config(), *, n_workers: int | None = None
+    config: Exp1Config | None = None, *, n_workers: int | None = None
 ) -> Exp1Result:
     """Experiment 1 across a process pool; see module docstring."""
+    if config is None:
+        config = Exp1Config()
     workers = _default_workers(n_workers)
     parts = _run_chunks(run_experiment1, split_config(config, workers), workers)
     all_gap_means = [
@@ -104,9 +107,11 @@ def run_experiment1_parallel(
 
 
 def run_experiment2_parallel(
-    config: Exp2Config = Exp2Config(), *, n_workers: int | None = None
+    config: Exp2Config | None = None, *, n_workers: int | None = None
 ) -> Exp2Result:
     """Experiment 2 across a process pool; see module docstring."""
+    if config is None:
+        config = Exp2Config()
     workers = _default_workers(n_workers)
     parts = _run_chunks(run_experiment2, split_config(config, workers), workers)
     total_trees = sum(p.config.n_trees for p in parts)
@@ -133,9 +138,11 @@ def run_experiment2_parallel(
 
 
 def run_experiment3_parallel(
-    config: Exp3Config = Exp3Config(), *, n_workers: int | None = None
+    config: Exp3Config | None = None, *, n_workers: int | None = None
 ) -> Exp3Result:
     """Experiment 3 across a process pool; see module docstring."""
+    if config is None:
+        config = Exp3Config()
     workers = _default_workers(n_workers)
     parts = _run_chunks(run_experiment3, split_config(config, workers), workers)
     total_trees = sum(p.config.n_trees for p in parts)

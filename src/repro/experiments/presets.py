@@ -8,7 +8,7 @@ instead of repeating generator parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

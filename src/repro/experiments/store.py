@@ -55,10 +55,11 @@ def _encode(value: Any) -> Any:
 
 def result_to_json(result: Exp1Result | Exp2Result | Exp3Result) -> str:
     """Serialise an experiment result (config included) to JSON text."""
-    for kind, (_, result_cls) in _KINDS.items():
-        if isinstance(result, result_cls):
-            break
-    else:
+    kind = next(
+        (k for k, (_, cls) in _KINDS.items() if isinstance(result, cls)),
+        None,
+    )
+    if kind is None:
         raise ConfigurationError(
             f"unsupported result type {type(result).__name__}"
         )

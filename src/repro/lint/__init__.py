@@ -1,0 +1,47 @@
+"""Project-specific static analysis (``repro lint``).
+
+A small AST-based linter encoding this repository's semantic
+invariants — the contracts ruff and mypy cannot see:
+
+================  ====================================================
+rule id           invariant
+================  ====================================================
+determinism       digest/serialise modules never consume clocks,
+                  randomness, unsorted set iteration or unsorted
+                  ``json.dumps``
+async-blocking    ``async def`` bodies in :mod:`repro.serve` never
+                  sleep, do sync I/O or invoke solvers inline
+float-eq          dominance/merge kernels never compare float
+                  quantities with bare ``==``/``!=``
+schema-drift      wire/cache surfaces match the committed fingerprint
+                  baseline unless a schema version was bumped
+picklable         callables handed to pools/executors are module-level
+lock-discipline   lock-guarded cache state mutates only under its lock
+================  ====================================================
+
+Run via ``repro lint`` or ``python -m repro.lint``; suppress a finding
+with ``# repro-lint: ignore[rule-id]`` on (or directly above) the line.
+"""
+
+from repro.lint.framework import (
+    Finding,
+    LintConfig,
+    ModuleInfo,
+    Rule,
+    all_rules,
+    get_rule,
+    register_rule,
+)
+from repro.lint.runner import main, run
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "main",
+    "register_rule",
+    "run",
+]

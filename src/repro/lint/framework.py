@@ -1,0 +1,250 @@
+"""Core machinery of the project linter: findings, rules, suppressions.
+
+The linter is a small AST-based framework purpose-built for this
+repository's invariants (deterministic digests, non-blocking serve
+handlers, epsilon-disciplined float comparisons, pinned wire schemas,
+picklable pool callables, lock-guarded cache state).  It is *not* a
+general style checker — ruff covers that — but the rules here encode
+semantic contracts no off-the-shelf tool knows about.
+
+Vocabulary
+----------
+* :class:`Finding` — one diagnostic, pointing at a file/line/column.
+* :class:`ModuleInfo` — a parsed source file plus its suppression map.
+* :class:`Rule` — a check.  Module-scoped rules see one file at a time
+  (restricted by ``default_patterns``); project-scoped rules
+  (``project_wide = True``) see every collected module at once.
+* Suppressions — ``# repro-lint: ignore[rule-id]`` on the offending
+  line, or on a comment line directly above it.  ``ignore[a, b]``
+  silences several rules, bare ``ignore`` silences all of them.
+
+Rules self-register via :func:`register_rule`; importing
+:mod:`repro.lint.rules` populates the registry.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import re
+from collections.abc import Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "ModuleInfo",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*ignore(?:\[(?P<ids>[^\]]*)\])?"
+)
+
+#: Wildcard entry meaning "every rule is suppressed on this line".
+SUPPRESS_ALL = "*"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic emitted by a rule."""
+
+    rule: str
+    path: str  #: repo-relative posix path
+    line: int  #: 1-based
+    col: int  #: 1-based
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def format_text(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def _parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    A suppression comment covers its own line; when the comment sits on
+    a line of its own, it additionally covers the next line (so a long
+    offending statement can carry the comment above itself).
+    """
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if m is None:
+            continue
+        raw = m.group("ids")
+        ids = (
+            {SUPPRESS_ALL}
+            if raw is None or not raw.strip()
+            else {part.strip() for part in raw.split(",") if part.strip()}
+        )
+        out.setdefault(lineno, set()).update(ids)
+        if text.lstrip().startswith("#"):
+            out.setdefault(lineno + 1, set()).update(ids)
+    return {line: frozenset(ids) for line, ids in out.items()}
+
+
+class ModuleInfo:
+    """A parsed source file plus the metadata rules need."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self.tree: ast.Module = ast.parse(source, filename=str(path))
+        self.suppressions = _parse_suppressions(source)
+
+    @classmethod
+    def load(cls, path: Path, root: Path) -> ModuleInfo:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(path, rel, path.read_text(encoding="utf-8"))
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        ids = self.suppressions.get(line)
+        if not ids:
+            return False
+        return rule_id in ids or SUPPRESS_ALL in ids
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Which files each rule applies to, plus project-level knobs.
+
+    ``rule_patterns`` overrides a rule's ``default_patterns``; patterns
+    are :mod:`fnmatch` globs matched against the module's posix relpath
+    (so ``*/batch/cache.py`` matches at any depth).  An empty pattern
+    tuple means "every collected module".
+    """
+
+    rule_patterns: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+    baseline_path: Path | None = None
+    write_schema_baseline: bool = False
+
+    def patterns_for(self, rule: Rule) -> tuple[str, ...]:
+        return tuple(self.rule_patterns.get(rule.id, rule.default_patterns))
+
+
+def _matches(relpath: str, patterns: tuple[str, ...]) -> bool:
+    if not patterns:
+        return True
+    return any(fnmatch.fnmatch(relpath, pat) for pat in patterns)
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``id``/``description`` and implement :meth:`check`
+    (module scope) or :meth:`check_project` (``project_wide = True``).
+    Returned findings are filtered through the suppression map by the
+    runner, so rules simply report everything they see.
+    """
+
+    id: str = ""
+    description: str = ""
+    #: fnmatch globs selecting the modules this rule runs on; () = all.
+    default_patterns: tuple[str, ...] = ()
+    #: project-wide rules see all modules at once via check_project().
+    project_wide: bool = False
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, modules: list[ModuleInfo], config: LintConfig
+    ) -> Iterator[Finding]:
+        return iter(())
+
+    # -- helpers shared by concrete rules --------------------------------
+
+    @staticmethod
+    def dotted_name(node: ast.AST) -> str | None:
+        """``a.b.c`` for a Name/Attribute chain, else None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    @staticmethod
+    def terminal_name(node: ast.AST) -> str | None:
+        """The last identifier of a Name/Attribute chain (``c`` of ``a.b.c``)."""
+        if isinstance(node, ast.Attribute):
+            return node.attr
+        if isinstance(node, ast.Name):
+            return node.id
+        return None
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register_rule(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id (import repro.lint.rules first)."""
+    return [_REGISTRY[k] for k in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown rule {rule_id!r}; known: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+
+
+def run_rules(
+    modules: list[ModuleInfo],
+    rules: Iterable[Rule],
+    config: LintConfig,
+) -> list[Finding]:
+    """Apply rules to modules, honouring patterns and suppressions."""
+    findings: list[Finding] = []
+    by_rel = {m.relpath: m for m in modules}
+    for rule in rules:
+        patterns = config.patterns_for(rule)
+        if rule.project_wide:
+            raw = list(rule.check_project(modules, config))
+        else:
+            raw = []
+            for module in modules:
+                if _matches(module.relpath, patterns):
+                    raw.extend(rule.check(module, config))
+        for f in raw:
+            mod = by_rel.get(f.path)
+            if mod is not None and mod.is_suppressed(f.rule, f.line):
+                continue
+            findings.append(f)
+    findings.sort(key=Finding.sort_key)
+    return findings

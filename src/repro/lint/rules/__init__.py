@@ -1,0 +1,19 @@
+"""Rule modules; importing this package registers every rule."""
+
+from repro.lint.rules import (  # noqa: F401
+    async_safety,
+    determinism,
+    float_eq,
+    locks,
+    picklable,
+    schema_drift,
+)
+
+__all__ = [
+    "async_safety",
+    "determinism",
+    "float_eq",
+    "locks",
+    "picklable",
+    "schema_drift",
+]

@@ -1,0 +1,134 @@
+"""``async-blocking`` — no blocking work on the serve event loop.
+
+:mod:`repro.serve` multiplexes every connection on one asyncio loop; a
+single blocking call stalls *all* in-flight requests (the bug class PR 4
+hardened against: CPU-bound ``instance_key``/``fan_out`` are pushed off
+the loop via ``run_in_executor``, batch solves run on a worker thread).
+
+Inside ``async def`` bodies this rule bans:
+
+* ``time.sleep`` (use ``await asyncio.sleep``);
+* synchronous file/socket I/O: ``open``, ``socket.socket``,
+  ``socket.create_connection``, ``subprocess.*``, ``os.system``;
+* blocking waits: ``Future.result()`` / ``concurrent.futures.wait``;
+* direct solver invocation — ``solve_batch``, ``replica_update``,
+  ``greedy_placement``, ``power_frontier``, ``power_frontier_counts``,
+  and ``policy.solve(...)`` calls.  Hand those to an executor instead
+  (pass the function *uncalled* to ``run_in_executor`` or wrap it in
+  ``functools.partial``).
+
+Nested ``def`` bodies are skipped: a function defined inside a handler
+is a callback whose execution context is decided at its call site (the
+usual pattern here is precisely "define it, then run it off-loop").
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+_BLOCKING_EXACT = {
+    "time.sleep",
+    "socket.socket",
+    "socket.create_connection",
+    "os.system",
+    "subprocess.run",
+    "subprocess.call",
+    "subprocess.check_call",
+    "subprocess.check_output",
+    "subprocess.Popen",
+    "concurrent.futures.wait",
+}
+_SOLVER_NAMES = {
+    "solve_batch",
+    "replica_update",
+    "greedy_placement",
+    "power_frontier",
+    "power_frontier_counts",
+    "exhaustive_min_power",
+}
+
+
+def _iter_async_body_calls(fn: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+    """Calls lexically inside ``fn``, skipping nested function bodies."""
+    stack: list[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue  # separate execution context; async defs get their own visit
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register_rule
+class AsyncBlockingRule(Rule):
+    id = "async-blocking"
+    description = (
+        "async def bodies in repro.serve must not sleep, do sync I/O, "
+        "or invoke solvers inline"
+    )
+    default_patterns = ("*/serve/*.py",)
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        # Calls to the module's own coroutine functions produce awaitables
+        # without running anything — never blocking, whatever their name.
+        local_async = {
+            n.name
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.AsyncFunctionDef)
+        }
+        awaited = {
+            id(n.value)
+            for n in ast.walk(module.tree)
+            if isinstance(n, ast.Await)
+        }
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_async_fn(module, node, local_async, awaited)
+
+    def _check_async_fn(
+        self,
+        module: ModuleInfo,
+        fn: ast.AsyncFunctionDef,
+        local_async: set[str],
+        awaited: set[int],
+    ) -> Iterator[Finding]:
+        for call in _iter_async_body_calls(fn):
+            terminal = self.terminal_name(call.func)
+            if terminal in local_async or id(call) in awaited:
+                continue
+            label = self._blocking_label(call)
+            if label is not None:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=call.lineno,
+                    col=call.col_offset + 1,
+                    message=(
+                        f"{label} inside async def {fn.name}: blocks the "
+                        "event loop — run it via run_in_executor / "
+                        "asyncio.sleep instead"
+                    ),
+                )
+
+    def _blocking_label(self, call: ast.Call) -> str | None:
+        dotted = self.dotted_name(call.func)
+        if dotted in _BLOCKING_EXACT:
+            return f"{dotted}()"
+        if dotted == "open" or (dotted is not None and dotted.endswith(".open")):
+            # pathlib.Path.open and builtins.open are both synchronous.
+            return "synchronous open()"
+        terminal = self.terminal_name(call.func)
+        if terminal in _SOLVER_NAMES:
+            return f"direct solver call {terminal}()"
+        if terminal == "solve" and isinstance(call.func, ast.Attribute):
+            return "direct policy .solve() call"
+        if terminal == "result" and isinstance(call.func, ast.Attribute):
+            # fut.result() blocks; await the future instead.  Zero-arg
+            # only: result(timeout) on concurrent futures is equally
+            # blocking but plain .result() is the shape seen in practice.
+            return "blocking Future.result()"
+        return None

@@ -1,0 +1,130 @@
+"""``determinism`` — digest/serialisation modules must be reproducible.
+
+The cache keys (:func:`repro.batch.canonical.instance_digest`) and the
+wire serialisers promise: same logical instance, same bytes, on every
+run, every process, every host.  Three thing break that promise:
+
+* wall-clock / randomness sources (``time.time``, ``random.*``,
+  ``os.urandom``, ``uuid.uuid4``, …) leaking into serialised output;
+* iterating an unordered ``set`` while building serialised output —
+  CPython set order varies with insertion history and hash seeds;
+* ``json.dumps`` without ``sort_keys=True`` — dict insertion order is
+  deterministic per run but not across code paths that build the same
+  mapping differently.
+
+The rule therefore bans the call families above inside the configured
+digest/serialise modules, flags iteration directly over a set
+expression (wrap it in ``sorted(...)``), and requires every
+``json.dumps`` call to pass ``sort_keys=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+_FORBIDDEN_EXACT = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+_FORBIDDEN_PREFIXES = ("random.", "secrets.", "np.random.", "numpy.random.")
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in {"set", "frozenset"}
+    return False
+
+
+@register_rule
+class DeterminismRule(Rule):
+    id = "determinism"
+    description = (
+        "digest/serialise modules must not consume clocks, randomness, "
+        "unsorted set iteration, or unsorted json.dumps"
+    )
+    default_patterns = (
+        "*/batch/canonical.py",
+        "*/power/serialize.py",
+        "*/tree/serialize.py",
+    )
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                yield from self._check_iteration(module, node)
+
+    def _check_call(self, module: ModuleInfo, node: ast.Call) -> Iterator[Finding]:
+        dotted = self.dotted_name(node.func)
+        if dotted is not None:
+            banned = dotted in _FORBIDDEN_EXACT or dotted.startswith(
+                _FORBIDDEN_PREFIXES
+            )
+            if banned:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(
+                        f"call to {dotted}() in a digest/serialise module: "
+                        "output must be reproducible across runs"
+                    ),
+                )
+                return
+        is_dumps = dotted is not None and (
+            dotted == "dumps" or dotted.endswith("json.dumps")
+        )
+        if is_dumps and not any(
+            kw.arg == "sort_keys"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ):
+            yield Finding(
+                rule=self.id,
+                path=module.relpath,
+                line=node.lineno,
+                col=node.col_offset + 1,
+                message=(
+                    "json.dumps without sort_keys=True in a "
+                    "digest/serialise module: key order must not depend "
+                    "on construction history"
+                ),
+            )
+
+    def _check_iteration(
+        self, module: ModuleInfo, node: ast.For | ast.comprehension
+    ) -> Iterator[Finding]:
+        source = node.iter
+        if _is_set_expr(source):
+            anchor = node if isinstance(node, ast.For) else source
+            yield Finding(
+                rule=self.id,
+                path=module.relpath,
+                line=anchor.lineno,
+                col=anchor.col_offset + 1,
+                message=(
+                    "iterating an unordered set while serialising: wrap the "
+                    "set in sorted(...) to pin the order"
+                ),
+            )

@@ -1,0 +1,81 @@
+"""``float-eq`` — no bare ``==``/``!=`` on float quantities in kernels.
+
+PR 5 shipped (and caught) the canonical bug shape: the Pareto kernel's
+alias fast path tested ``p == 0.0`` to mean "this label adds no
+placement", which silently conflates a *genuine* zero-power mode with
+the "no placement" sentinel once mode powers underflow.  The fix keyed
+the path on an explicit ``alias_p`` sentinel — and those three sentinel
+equalities are the *only* audited bare float comparisons allowed in the
+dominance/merge code.
+
+This rule flags ``==`` / ``!=`` where either operand is
+
+* a float literal (``x == 0.0``), or
+* a name that follows the kernels' float-quantity naming convention:
+  ``p``/``g``/``cost``/``power``/``price``/``gain``/``eps`` with an
+  optional digit suffix, or any ``*_p`` / ``*_power`` / ``*_cost`` /
+  ``*_price`` / ``*_eps`` name (which covers ``alias_p``).
+
+Integer comparisons (``flow == 0``, ``len(x) == 1``) are untouched.
+Fix by comparing against an epsilon (``abs(a - b) <= _EPS``) or, for a
+deliberate sentinel equality, suppress with
+``# repro-lint: ignore[float-eq]`` and a comment naming the audit.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.lint.framework import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+_FLOAT_NAME_RE = re.compile(r"^(?:p|g|cost|power|price|gain|eps)\d*$")
+_FLOAT_SUFFIXES = ("_p", "_power", "_cost", "_price", "_eps", "_gain")
+
+
+def _is_float_like(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    name: str | None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return False
+    return bool(_FLOAT_NAME_RE.match(name)) or name.endswith(_FLOAT_SUFFIXES)
+
+
+@register_rule
+class FloatEqualityRule(Rule):
+    id = "float-eq"
+    description = (
+        "dominance/merge code must not compare float quantities with "
+        "bare == / != (the PR 5 p == 0.0 alias bug shape)"
+    )
+    default_patterns = ("*/power/dp_power_pareto.py",)
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands, operands[1:], strict=False
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_float_like(left) or _is_float_like(right):
+                    yield Finding(
+                        rule=self.id,
+                        path=module.relpath,
+                        line=node.lineno,
+                        col=node.col_offset + 1,
+                        message=(
+                            "bare float equality: compare within an epsilon "
+                            "(abs(a - b) <= _EPS) or suppress an audited "
+                            "sentinel equality explicitly"
+                        ),
+                    )
+                    break

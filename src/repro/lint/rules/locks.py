@@ -1,0 +1,288 @@
+"""``lock-discipline`` — guarded cache state mutates only under its lock.
+
+:class:`repro.batch.cache.ResultCache` shares two ``OrderedDict`` tiers
+between the serving event loop and solver worker threads; every
+mutation must hold ``self._mutex`` (the class's stated contract).  A
+naive "mutation must be lexically inside ``with self._mutex``" check
+false-positives on the real code, which factors mutations into private
+helpers (``_insert``, the shard rewrites) that are *only ever called*
+with the mutex held.  So the rule runs a small fixpoint over the
+class's internal call graph:
+
+1. Find classes that create a ``threading.Lock``/``RLock`` attribute in
+   ``__init__`` and collect their *guarded* attributes: mutable
+   containers (``dict``/``OrderedDict``/``list``/``set`` and literals)
+   assigned in ``__init__``.
+2. For every method, record each guarded-state mutation (subscript
+   assignment/deletion, attribute rebinding, or a mutating method call
+   such as ``.pop``/``.move_to_end``/``.clear``) together with whether
+   it sits inside ``with self.<lock>:``, and every ``self.<method>()``
+   call with the same held/unheld flag.
+3. Fixpoint: a private method is *always-held* when every internal call
+   site is under the lock (directly or from an always-held method).
+   ``__init__`` counts as held — the object is not shared during
+   construction.
+4. Report mutations that are neither under the lock nor inside an
+   always-held method.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.lint.framework import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+_MUTATORS = {
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "move_to_end",
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "remove",
+    "discard",
+}
+_CONTAINER_CTORS = {"dict", "OrderedDict", "list", "set", "defaultdict", "deque"}
+_LOCK_CTORS = {"Lock", "RLock"}
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """``x`` of ``self.x`` (else None)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_container_ctor(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Dict, ast.List, ast.Set, ast.ListComp, ast.DictComp)):
+        return True
+    if isinstance(node, ast.Call):
+        terminal = node.func.attr if isinstance(node.func, ast.Attribute) else (
+            node.func.id if isinstance(node.func, ast.Name) else None
+        )
+        return terminal in _CONTAINER_CTORS
+    return False
+
+
+def _is_lock_ctor(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    terminal = node.func.attr if isinstance(node.func, ast.Attribute) else (
+        node.func.id if isinstance(node.func, ast.Name) else None
+    )
+    return terminal in _LOCK_CTORS
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    line: int
+    col: int
+    held: bool
+    method: str
+
+
+@dataclass
+class _CallSite:
+    callee: str
+    held: bool
+    method: str
+
+
+class _MethodScanner:
+    """Walk one method body tracking the lexical ``with self.<lock>`` state."""
+
+    def __init__(self, lock_attr: str, guarded: set[str], method: str) -> None:
+        self.lock_attr = lock_attr
+        self.guarded = guarded
+        self.method = method
+        self.mutations: list[_Mutation] = []
+        self.calls: list[_CallSite] = []
+
+    def scan(self, body: list[ast.stmt], held: bool) -> None:
+        for stmt in body:
+            self._scan_stmt(stmt, held)
+
+    def _holds_lock(self, node: ast.With) -> bool:
+        return any(
+            _self_attr(item.context_expr) == self.lock_attr
+            for item in node.items
+        )
+
+    def _scan_stmt(self, node: ast.stmt, held: bool) -> None:
+        if isinstance(node, ast.With):
+            inner = held or self._holds_lock(node)
+            for item in node.items:
+                self._scan_expr(item.context_expr, held)
+            self.scan(node.body, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested defs run later, in an unknown context: scan unheld.
+            self.scan(node.body, False)
+            return
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                self._record_target(target, held)
+            if getattr(node, "value", None) is not None:
+                self._scan_expr(node.value, held)
+            return
+        if isinstance(node, ast.Delete):
+            for target in node.targets:
+                self._record_target(target, held)
+            return
+        if isinstance(node, ast.Expr):
+            self._scan_expr(node.value, held)
+            return
+        # Generic recursion: statements with bodies keep the held flag.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                self._scan_stmt(child, held)
+            elif isinstance(child, ast.expr):
+                self._scan_expr(child, held)
+
+    def _record_target(self, target: ast.expr, held: bool) -> None:
+        attr: str | None = None
+        anchor: ast.expr = target
+        if isinstance(target, ast.Subscript):
+            attr = _self_attr(target.value)
+        elif isinstance(target, ast.Attribute):
+            attr = _self_attr(target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_target(elt, held)
+            return
+        if attr is not None and attr in self.guarded:
+            self.mutations.append(
+                _Mutation(attr, anchor.lineno, anchor.col_offset + 1, held, self.method)
+            )
+
+    def _scan_expr(self, node: ast.expr, held: bool) -> None:
+        for call in (
+            n for n in ast.walk(node) if isinstance(n, ast.Call)
+        ):
+            func = call.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            owner_attr = _self_attr(func.value)
+            if owner_attr in self.guarded and func.attr in _MUTATORS:
+                self.mutations.append(
+                    _Mutation(
+                        owner_attr,
+                        call.lineno,
+                        call.col_offset + 1,
+                        held,
+                        self.method,
+                    )
+                )
+            if _self_attr(func) is not None:
+                self.calls.append(_CallSite(func.attr, held, self.method))
+
+
+@register_rule
+class LockDisciplineRule(Rule):
+    id = "lock-discipline"
+    description = (
+        "mutations of lock-guarded cache state must hold the instance lock "
+        "(directly or via an always-held helper)"
+    )
+    default_patterns = ("*/batch/cache.py",)
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        init = next(
+            (
+                n
+                for n in cls.body
+                if isinstance(n, ast.FunctionDef) and n.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        lock_attr: str | None = None
+        guarded: set[str] = set()
+        for stmt in ast.walk(init):
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                if _is_lock_ctor(stmt.value):
+                    lock_attr = attr
+                elif _is_container_ctor(stmt.value):
+                    guarded.add(attr)
+        if lock_attr is None or not guarded:
+            return
+
+        scanners: dict[str, _MethodScanner] = {}
+        for node in cls.body:
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scanner = _MethodScanner(lock_attr, guarded, node.name)
+            # __init__ builds the object before it is shared: treat as held.
+            scanner.scan(list(node.body), held=(node.name == "__init__"))
+            scanners[node.name] = scanner
+
+        # Fixpoint: a method is always-held when every internal call site
+        # is under the lock or inside an always-held method.
+        sites: dict[str, list[_CallSite]] = {}
+        for scanner in scanners.values():
+            for site in scanner.calls:
+                sites.setdefault(site.callee, []).append(site)
+        always_held: set[str] = set()
+        changed = True
+        while changed:
+            changed = False
+            for name in scanners:
+                if name in always_held or name == "__init__":
+                    continue
+                callers = sites.get(name)
+                if not callers:
+                    continue
+                if all(
+                    s.held or s.method in always_held or s.method == "__init__"
+                    for s in callers
+                ):
+                    always_held.add(name)
+                    changed = True
+
+        for name, scanner in scanners.items():
+            if name == "__init__":
+                continue
+            safe_context = name in always_held
+            for mut in scanner.mutations:
+                if mut.held or safe_context:
+                    continue
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=mut.line,
+                    col=mut.col,
+                    message=(
+                        f"{cls.name}.{name} mutates guarded state "
+                        f"self.{mut.attr} without holding self.{lock_attr} "
+                        "(and is not provably called under it)"
+                    ),
+                )

@@ -1,0 +1,132 @@
+"""``picklable`` — pool/executor callables must be module-level.
+
+``ProcessPoolExecutor`` (spawn or forkserver start methods) pickles the
+submitted callable by qualified name: lambdas and closures raise
+``PicklingError`` at runtime, typically only on the platform/start
+method you did not test on.  The batch executor's ``_solve_chunk`` and
+the experiment runners' chunked ``run_experimentN`` are module-level
+for exactly this reason.
+
+The rule flags the callable argument of ``submit(...)``, ``map(...)``
+(on pool/executor objects) and ``run_in_executor(...)`` when it is
+
+* a ``lambda`` literal,
+* the name of a function *defined inside another function* (a closure),
+* a name bound to a lambda anywhere in the module, or
+* a ``functools.partial(...)`` whose first argument is any of the above.
+
+Bound methods and module-level functions pass.  ``run_in_executor``
+with a *thread* executor would tolerate closures at runtime, but the
+serving code deliberately keeps every handed-off callable spawn-safe so
+the executor can be swapped for a process pool without a rewrite.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.framework import Finding, LintConfig, ModuleInfo, Rule, register_rule
+
+_POOLISH_HINTS = ("pool", "executor", "_thread", "_process")
+
+
+def _nested_function_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined inside another function (closures)."""
+    nested: set[str] = set()
+
+    def visit(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if inside_function:
+                    nested.add(child.name)
+                visit(child, True)
+            else:  # repro-lint keeps lexical scope: only defs nest
+                visit(child, inside_function)
+
+    visit(tree, False)
+    return nested
+
+
+def _lambda_bound_names(tree: ast.Module) -> set[str]:
+    """Names assigned a lambda literal anywhere in the module."""
+    out: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    out.add(target.id)
+        elif (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.value, ast.Lambda)
+            and isinstance(node.target, ast.Name)
+        ):
+            out.add(node.target.id)
+    return out
+
+
+@register_rule
+class SpawnPicklableRule(Rule):
+    id = "picklable"
+    description = (
+        "callables handed to pools/executors must be module-level "
+        "importables, not lambdas or closures"
+    )
+    default_patterns = ()  # any module may hand work to an executor
+
+    def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
+        nested = _nested_function_names(module.tree)
+        lambdas = _lambda_bound_names(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            candidate = self._handed_callable(node)
+            if candidate is None:
+                continue
+            reason = self._unpicklable_reason(candidate, nested, lambdas)
+            if reason is not None:
+                yield Finding(
+                    rule=self.id,
+                    path=module.relpath,
+                    line=candidate.lineno,
+                    col=candidate.col_offset + 1,
+                    message=(
+                        f"{reason} handed to an executor: spawn-based "
+                        "process pools pickle by qualified name — move it "
+                        "to module level"
+                    ),
+                )
+
+    def _handed_callable(self, call: ast.Call) -> ast.expr | None:
+        """The callable argument of a pool/executor hand-off, if any."""
+        if not isinstance(call.func, ast.Attribute):
+            return None
+        method = call.func.attr
+        if method == "run_in_executor":
+            # loop.run_in_executor(executor, func, *args)
+            return call.args[1] if len(call.args) >= 2 else None
+        if method in {"submit", "map"}:
+            owner = self.terminal_name(call.func.value)
+            if owner is None:
+                return None
+            lowered = owner.lower()
+            if any(h in lowered for h in _POOLISH_HINTS):
+                return call.args[0] if call.args else None
+        return None
+
+    def _unpicklable_reason(
+        self, node: ast.expr, nested: set[str], lambdas: set[str]
+    ) -> str | None:
+        if isinstance(node, ast.Lambda):
+            return "lambda"
+        if isinstance(node, ast.Name):
+            if node.id in nested:
+                return f"closure {node.id!r}"
+            if node.id in lambdas:
+                return f"lambda-bound name {node.id!r}"
+            return None
+        if isinstance(node, ast.Call):
+            dotted = self.dotted_name(node.func)
+            if dotted in {"functools.partial", "partial"} and node.args:
+                return self._unpicklable_reason(node.args[0], nested, lambdas)
+        return None

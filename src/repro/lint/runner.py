@@ -1,0 +1,200 @@
+"""File collection, rule orchestration and the ``repro lint`` CLI.
+
+Exit codes: 0 — clean; 1 — findings; 2 — usage or parse error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+import repro.lint.rules  # noqa: F401  (imports register the rules)
+from repro.lint.framework import (
+    Finding,
+    LintConfig,
+    ModuleInfo,
+    all_rules,
+    get_rule,
+    run_rules,
+)
+from repro.lint.rules.schema_drift import DEFAULT_BASELINE
+
+_SKIP_DIRS = {".git", "__pycache__", ".venv", "build", "dist", ".mypy_cache"}
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_ERROR = 2
+
+
+def collect_files(paths: Sequence[Path]) -> list[Path]:
+    """Python files under the given paths, stable order, dedup'd."""
+    seen: set[Path] = set()
+    out: list[Path] = []
+    for path in paths:
+        candidates = (
+            ([path] if path.suffix == ".py" else [])
+            if path.is_file()
+            else sorted(
+                p
+                for p in path.rglob("*.py")
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        )
+        for p in candidates:
+            rp = p.resolve()
+            if rp not in seen:
+                seen.add(rp)
+                out.append(p)
+    return out
+
+
+def load_modules(
+    files: Sequence[Path], root: Path
+) -> tuple[list[ModuleInfo], list[Finding]]:
+    """Parse files; unparsable ones become findings instead of crashes."""
+    modules: list[ModuleInfo] = []
+    errors: list[Finding] = []
+    for path in files:
+        try:
+            modules.append(ModuleInfo.load(path, root))
+        except SyntaxError as exc:
+            errors.append(
+                Finding(
+                    rule="parse-error",
+                    path=path.as_posix(),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+    return modules, errors
+
+
+def render_text(findings: Sequence[Finding], stream=None) -> None:
+    stream = sys.stdout if stream is None else stream
+    for f in findings:
+        print(f.format_text(), file=stream)
+    n = len(findings)
+    print(
+        f"repro lint: {n} finding{'s' if n != 1 else ''}"
+        if n
+        else "repro lint: clean",
+        file=stream,
+    )
+
+
+def render_json(findings: Sequence[Finding], stream=None) -> None:
+    stream = sys.stdout if stream is None else stream
+    payload = {
+        "findings": [f.to_dict() for f in findings],
+        "count": len(findings),
+    }
+    print(json.dumps(payload, indent=2, sort_keys=True), file=stream)
+
+
+def run(
+    paths: Sequence[str | Path],
+    *,
+    root: Path | None = None,
+    select: Sequence[str] | None = None,
+    config: LintConfig | None = None,
+    output: str = "text",
+    stream=None,
+) -> int:
+    """Lint ``paths`` and render a report; returns the exit code."""
+    root = Path.cwd() if root is None else root
+    if config is None:
+        config = LintConfig(baseline_path=root / DEFAULT_BASELINE)
+    try:
+        rules = (
+            [get_rule(rid) for rid in select] if select else all_rules()
+        )
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return EXIT_ERROR
+    files = collect_files([Path(p) for p in paths])
+    if not files:
+        print("repro lint: no python files found", file=sys.stderr)
+        return EXIT_ERROR
+    modules, errors = load_modules(files, root)
+    findings = errors + run_rules(modules, rules, config)
+    findings.sort(key=Finding.sort_key)
+    if output == "json":
+        render_json(findings, stream)
+    else:
+        render_text(findings, stream)
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Shared between ``repro lint`` and ``python -m repro.lint``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output",
+        choices=("text", "json"),
+        default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print registered rules and exit",
+    )
+    parser.add_argument(
+        "--write-schema-baseline",
+        action="store_true",
+        help="regenerate baselines/schema_fingerprint.json from the "
+        "current sources and exit clean",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help="override the schema baseline path",
+    )
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        for rule in all_rules():
+            scope = "project" if rule.project_wide else "module"
+            print(f"{rule.id:16} [{scope}] {rule.description}")
+        return EXIT_CLEAN
+    root = Path.cwd()
+    baseline = (
+        Path(args.baseline) if args.baseline else root / DEFAULT_BASELINE
+    )
+    config = LintConfig(
+        baseline_path=baseline,
+        write_schema_baseline=args.write_schema_baseline,
+    )
+    select = (
+        [s.strip() for s in args.select.split(",") if s.strip()]
+        if args.select
+        else None
+    )
+    return run(
+        args.paths, root=root, select=select, config=config, output=args.output
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Project-specific static analysis for the repro codebase.",
+    )
+    add_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

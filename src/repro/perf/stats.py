@@ -23,7 +23,8 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, TYPE_CHECKING
+from collections.abc import Iterable, Mapping
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.dp_withpre import CostLike
@@ -282,7 +283,7 @@ class ParetoDPStats:
     )
     _MAX_FIELDS = ("max_front_size", "max_flow_keys")
 
-    def absorb(self, counters: Mapping[str, float]) -> "ParetoDPStats":
+    def absorb(self, counters: Mapping[str, float]) -> ParetoDPStats:
         """Fold another run's ``as_dict`` counters into this collector.
 
         Used by the batch CLI and the serving tier to aggregate the
@@ -316,10 +317,10 @@ class ParetoDPStats:
 
 
 def instrument_replica_update(
-    tree: "Tree",
+    tree: Tree,
     capacity: int,
     preexisting: Iterable[int] = (),
-    cost_model: "CostLike | None" = None,
+    cost_model: CostLike | None = None,
 ) -> tuple["PlacementResult", CoreDPStats]:
     """Run :func:`repro.core.dp_withpre.replica_update` with a collector."""
     from repro.core.dp_withpre import replica_update
@@ -330,9 +331,9 @@ def instrument_replica_update(
 
 
 def instrument_pareto_frontier(
-    tree: "Tree",
-    power_model: "PowerModel",
-    cost_model: "ModalCostModel",
+    tree: Tree,
+    power_model: PowerModel,
+    cost_model: ModalCostModel,
     preexisting_modes: Mapping[int, int] | None = None,
 ) -> tuple["PowerFrontier", ParetoDPStats]:
     """Run :func:`repro.power.dp_power_pareto.power_frontier` with a collector."""

@@ -21,7 +21,7 @@ we solve it exactly with a small dynamic program:
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

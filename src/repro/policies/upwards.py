@@ -16,7 +16,7 @@ NP-hard for identical servers.  Accordingly this module provides:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.core.solution import PlacementResult
 from repro.exceptions import ConfigurationError, InfeasibleError

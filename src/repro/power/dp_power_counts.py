@@ -31,7 +31,7 @@ Modes are load-determined (§2.2), see the discussion in
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import ConfigurationError, InfeasibleError
@@ -91,7 +91,7 @@ def power_frontier_counts(
         return tuple(lst)
 
     def add_states(a: tuple[int, ...], b: tuple[int, ...]) -> tuple[int, ...]:
-        return tuple(x + y for x, y in zip(a, b))
+        return tuple(x + y for x, y in zip(a, b, strict=True))
 
     tables: list[dict[tuple[int, ...], set[int]] | None] = [None] * tree.n_nodes
 
@@ -116,10 +116,11 @@ def power_frontier_counts(
                     # Option 2: replica on the child absorbs the flow at
                     # its load-determined mode.
                     mode = modes.mode_of(flow)
-                    if child in pre:
-                        placed = place_reused(state, pre[child], mode)
-                    else:
-                        placed = place_new(state, mode)
+                    placed = (
+                        place_reused(state, pre[child], mode)
+                        if child in pre
+                        else place_new(state, mode)
+                    )
                     options.setdefault(placed, set()).add(0)
             merged: dict[tuple[int, ...], set[int]] = {}
             for s1, flows1 in acc.items():

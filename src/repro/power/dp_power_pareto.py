@@ -103,7 +103,8 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from heapq import heapify, heappop, heappush
 from operator import itemgetter
-from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.perf.stats import ParetoDPStats
@@ -191,7 +192,7 @@ def _subtree_iso(
                 stack.append((ka[0], kb[0]))
             else:
                 stack.extend(
-                    zip(sorted(ka, key=get), sorted(kb, key=get))
+                    zip(sorted(ka, key=get), sorted(kb, key=get), strict=True)
                 )
     return mapping
 
@@ -415,7 +416,7 @@ class PowerFrontier:
         *,
         extra: Mapping[str, object] | None = None,
         verify: bool = True,
-    ) -> "PowerFrontier":
+    ) -> PowerFrontier:
         """Rebuild a frontier from :meth:`to_records` output.
 
         With ``verify=True`` every point is materialised once, which
@@ -449,7 +450,7 @@ class PowerFrontier:
             extra=extra,
         )
         if verify:
-            for prev, nxt in zip(frontier.points, frontier.points[1:]):
+            for prev, nxt in zip(frontier.points, frontier.points[1:], strict=False):
                 if nxt.cost <= prev.cost or nxt.power >= prev.power:
                     raise SolverError(
                         "frontier record is not strictly cost-ascending / "
@@ -532,7 +533,7 @@ def power_frontier(
     cost_model: ModalCostModel,
     preexisting_modes: Mapping[int, int] | None = None,
     *,
-    stats: "ParetoDPStats | None" = None,
+    stats: ParetoDPStats | None = None,
     memoize: bool = True,
 ) -> PowerFrontier:
     """Compute the exact cost/power frontier for an instance.
@@ -691,6 +692,9 @@ def power_frontier(
                 if (
                     zf is not None
                     and len(zf) == 1
+                    # alias_p is a copied sentinel, compared bit-for-bit,
+                    # never computed — audited equality.
+                    # repro-lint: ignore[float-eq]
                     and zf[0][1] == alias_p
                     and dg_by_mode[0] >= 0.0
                 ):
@@ -801,6 +805,7 @@ def power_frontier(
                         arow = front_a[0]
                         g0 = arow[0]
                         p0 = arow[1]
+                        # repro-lint: ignore[float-eq] — audited sentinel.
                         if p0 == alias_p:
                             # Placement-free accumulator label: merging is
                             # the identity on the options — alias pass rows,
@@ -820,8 +825,8 @@ def power_frontier(
                                 merged[f] = front_b
                         else:
                             labels_generated += lb
-                            if has_modes:
-                                merged[f] = [
+                            merged[f] = (
+                                [
                                     (
                                         g0 + g,
                                         p0 + p,
@@ -830,8 +835,8 @@ def power_frontier(
                                     )
                                     for g, p, r, m in front_b
                                 ]
-                            else:
-                                merged[f] = [
+                                if has_modes
+                                else [
                                     (
                                         g0 + brow[0],
                                         p0 + brow[1],
@@ -839,6 +844,7 @@ def power_frontier(
                                     )
                                     for brow in front_b
                                 ]
+                            )
                         continue
                     if lb == 1:
                         # Singleton option: symmetric shifted copy along
@@ -850,30 +856,22 @@ def power_frontier(
                             g1 = r1[0]
                             p1 = r1[1]
                             m1 = -1
+                        # repro-lint: ignore[float-eq] — audited sentinel.
                         if p1 == alias_p and m1 < 0:
                             # Pure pass of a placement-free child label:
                             # reuse the accumulator front verbatim.
                             merged[f] = front_a
                         else:
                             labels_generated += la
-                            if m1 < 0:
-                                merged[f] = [
-                                    (
-                                        arow[0] + g1,
-                                        arow[1] + p1,
-                                        ("m", arow, r1),
-                                    )
-                                    for arow in front_a
-                                ]
-                            else:
-                                merged[f] = [
-                                    (
-                                        arow[0] + g1,
-                                        arow[1] + p1,
-                                        ("x", arow, r1, child, m1),
-                                    )
-                                    for arow in front_a
-                                ]
+                            merged[f] = [
+                                (
+                                    arow[0] + g1,
+                                    arow[1] + p1,
+                                    ("m", arow, r1) if m1 < 0
+                                    else ("x", arow, r1, child, m1),
+                                )
+                                for arow in front_a
+                            ]
                         continue
                     total = la * lb
                 else:

@@ -7,7 +7,8 @@ the test-suite; guarded against large trees.
 
 from __future__ import annotations
 
-from typing import Mapping
+import math
+from collections.abc import Mapping
 
 from repro.core.costs import ModalCostModel
 from repro.core.exhaustive import iter_valid_placements
@@ -53,7 +54,7 @@ def exhaustive_min_power(
     power_model: PowerModel,
     cost_model: ModalCostModel,
     preexisting_modes: Mapping[int, int] | None = None,
-    cost_bound: float = float("inf"),
+    cost_bound: float = math.inf,
 ) -> ModalPlacementResult:
     """Ground-truth MinPower(-BoundedCost) solution by full enumeration."""
     pre = dict(preexisting_modes or {})

@@ -19,7 +19,8 @@ to ``W_M``, prices each greedy placement with load-determined modes, and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Mapping, Sequence
+from collections.abc import Mapping, Sequence
+from typing import Literal
 
 from repro.core.costs import ModalCostModel
 from repro.core.greedy import greedy_placement
@@ -44,9 +45,10 @@ class GreedyPowerCandidates:
         """Minimal-power candidate with cost within the bound, or ``None``."""
         best: ModalPlacementResult | None = None
         for cand in self.candidates:
-            if cand.cost <= cost_bound + _EPS:
-                if best is None or cand.power < best.power - _EPS:
-                    best = cand
+            if cand.cost <= cost_bound + _EPS and (
+                best is None or cand.power < best.power - _EPS
+            ):
+                best = cand
         return best
 
     def min_power(self) -> ModalPlacementResult | None:

@@ -16,7 +16,7 @@ bi-criteria DP on the Experiment-3 workload.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import InfeasibleError
@@ -100,7 +100,8 @@ def local_search_power(
         return res if res.cost <= cost_bound + _EPS else None
 
     rounds = 0
-    for rounds in range(1, max_rounds + 1):
+    while rounds < max_rounds:
+        rounds += 1
         base = frozenset(current.server_modes)
         neighbours: set[frozenset[int]] = set()
         for v in range(tree.n_nodes):

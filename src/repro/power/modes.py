@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Iterator, Mapping
 
 from repro.exceptions import ConfigurationError
 
@@ -41,7 +41,7 @@ class ModeSet:
             raise ConfigurationError("a ModeSet needs at least one mode")
         if caps[0] < 1:
             raise ConfigurationError(f"capacities must be >= 1, got {caps[0]}")
-        if any(b <= a for a, b in zip(caps, caps[1:])):
+        if any(b <= a for a, b in zip(caps, caps[1:], strict=False)):
             raise ConfigurationError(
                 f"capacities must be strictly increasing, got {caps}"
             )
@@ -75,7 +75,7 @@ class ModeSet:
             )
         return bisect.bisect_left(self.capacities, load)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.capacities)
 
 
@@ -101,7 +101,7 @@ class PowerModel:
             )
 
     @classmethod
-    def paper_experiment3(cls) -> "PowerModel":
+    def paper_experiment3(cls) -> PowerModel:
         """Experiment 3 configuration: modes ``{5, 10}``, ``α = 3`` and
         ``P_i = W_1³/10 + W_i³`` (§5.2)."""
         modes = ModeSet((5, 10))
@@ -121,8 +121,9 @@ class PowerModel:
 
         Accepts either ``{node: mode}`` or a bare iterable of mode indices.
         """
-        if isinstance(server_modes, Mapping):
-            modes = server_modes.values()
-        else:
-            modes = server_modes
+        modes = (
+            server_modes.values()
+            if isinstance(server_modes, Mapping)
+            else server_modes
+        )
         return sum(self.mode_power(m) for m in modes)

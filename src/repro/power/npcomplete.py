@@ -32,7 +32,7 @@ reference on randomised instances.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import ConfigurationError

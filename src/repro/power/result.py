@@ -9,7 +9,7 @@ cost and power in one pass.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.core.costs import ModalCostModel
 from repro.core.solution import server_loads

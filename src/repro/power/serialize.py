@@ -23,7 +23,8 @@ Frontier records (lists of such triples) are produced and consumed by
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import ConfigurationError

@@ -14,7 +14,9 @@ coalescing window without connection-per-request overhead.
 from __future__ import annotations
 
 import asyncio
-from typing import Any, Sequence
+import contextlib
+from collections.abc import Sequence
+from typing import Any
 
 from repro.batch.instance import BatchInstance, instance_to_dict
 from repro.exceptions import ReproError
@@ -47,13 +49,13 @@ class ServeClient:
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "ServeClient":
+    async def connect(cls, host: str, port: int) -> ServeClient:
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
         return cls(reader, writer)
 
-    async def __aenter__(self) -> "ServeClient":
+    async def __aenter__(self) -> ServeClient:
         return self
 
     async def __aexit__(self, *exc_info: Any) -> None:
@@ -137,10 +139,8 @@ class ServeClient:
             if not future.done():
                 future.set_exception(ServeError("client connection closed"))
         self._writer.close()
-        try:
+        with contextlib.suppress(Exception):
             await self._writer.wait_closed()
-        except Exception:
-            pass
 
     # ------------------------------------------------------------------
     # plumbing

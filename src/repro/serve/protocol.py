@@ -62,7 +62,7 @@ class ProtocolError(ConfigurationError):
 
 def encode_line(message: dict[str, Any]) -> bytes:
     """Frame one message as a compact JSON line."""
-    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
 
 
 def decode_line(line: bytes) -> dict[str, Any]:

@@ -37,6 +37,7 @@ scheduled solves, p50/p99 latency) are collected in a
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import functools
 import time
 from concurrent.futures import (
@@ -184,7 +185,7 @@ class BatchServer:
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> "BatchServer":
+    async def start(self) -> BatchServer:
         """Start the solve backend (idempotent); no sockets yet."""
         if self._closing:
             raise ServerClosedError("server has been stopped")
@@ -241,7 +242,7 @@ class BatchServer:
             self._thread = None
         self._stopped.set()
 
-    async def __aenter__(self) -> "BatchServer":
+    async def __aenter__(self) -> BatchServer:
         return await self.start()
 
     async def __aexit__(self, *exc_info: Any) -> None:
@@ -617,9 +618,8 @@ class BatchServer:
                     "error": "internal error: response not JSON-serialisable",
                 }
             )
-        try:
+        # Peer may disconnect mid-response; nothing to flush to then.
+        with contextlib.suppress(ConnectionError, RuntimeError):
             async with write_lock:
                 writer.write(data)
                 await writer.drain()
-        except (ConnectionError, RuntimeError):
-            pass  # peer disconnected mid-response; nothing to flush to

@@ -20,7 +20,8 @@ from __future__ import annotations
 import heapq
 import math
 from dataclasses import dataclass
-from typing import Iterable, Literal, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Literal
 
 import numpy as np
 

@@ -18,7 +18,7 @@ hpc-parallel guides: views, not copies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, Mapping, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -50,7 +50,7 @@ class Client:
                 f"({self.requests}); the paper's r_i are >= 1"
             )
 
-    def with_requests(self, requests: int) -> "Client":
+    def with_requests(self, requests: int) -> Client:
         """Return a copy of this client issuing ``requests`` requests."""
         return Client(self.node, requests)
 
@@ -311,7 +311,7 @@ class Tree:
     # ------------------------------------------------------------------
     # derived instances
     # ------------------------------------------------------------------
-    def with_clients(self, clients: Iterable[Client | tuple[int, int]]) -> "Tree":
+    def with_clients(self, clients: Iterable[Client | tuple[int, int]]) -> Tree:
         """Return a tree with identical structure but a new workload."""
         return Tree(self._parents, clients, validate=False)
 

@@ -14,7 +14,8 @@ The dict schema is versioned so saved workloads stay loadable:
 from __future__ import annotations
 
 import json
-from typing import Any, Iterable, Mapping
+from collections.abc import Iterable, Mapping
+from typing import Any
 
 from repro.exceptions import ConfigurationError
 from repro.tree.model import Client, Tree
@@ -53,8 +54,13 @@ def tree_from_dict(data: Mapping[str, Any]) -> Tree:
 
 
 def tree_to_json(tree: Tree, *, indent: int | None = None) -> str:
-    """Serialize a tree to a JSON string."""
-    return json.dumps(tree_to_dict(tree), indent=indent)
+    """Serialize a tree to a JSON string.
+
+    Keys are sorted so equal trees serialise to equal bytes regardless
+    of how the payload dict was assembled (the determinism contract the
+    ``repro lint`` determinism rule enforces for this module).
+    """
+    return json.dumps(tree_to_dict(tree), indent=indent, sort_keys=True)
 
 
 def tree_from_json(text: str) -> Tree:

@@ -17,7 +17,7 @@ known relative to the original:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -6,7 +6,7 @@ dynamics package; they deliberately work on the public ``Tree`` API only.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.tree.model import Tree
 

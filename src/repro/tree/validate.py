@@ -12,7 +12,7 @@ here perform the *semantic* checks that solvers rely on:
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping
+from collections.abc import Iterable, Mapping
 
 from repro.exceptions import ConfigurationError, InfeasibleError
 from repro.tree.model import Tree

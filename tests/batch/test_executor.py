@@ -44,7 +44,7 @@ class TestCorrectness:
     def test_matches_naive_dp_loop(self):
         batch = _mixed_batch()
         results = solve_batch(batch, solver="dp")
-        for instance, result in zip(batch, results):
+        for instance, result in zip(batch, results, strict=True):
             naive = replica_update(
                 instance.tree,
                 instance.capacity,
@@ -62,7 +62,7 @@ class TestCorrectness:
         batch = _mixed_batch(n_unique=2, n_total=5)
         greedy = solve_batch(batch, solver="greedy")
         nopre = solve_batch(batch, solver="dp_nopre")
-        for instance, g, n in zip(batch, greedy, nopre):
+        for instance, g, n in zip(batch, greedy, nopre, strict=True):
             ref_g = greedy_placement(
                 instance.tree, instance.capacity,
                 preexisting=instance.preexisting,
@@ -77,7 +77,7 @@ class TestCorrectness:
     def test_results_keep_input_order(self):
         batch = _mixed_batch()
         results = solve_batch(batch, solver="dp")
-        for instance, result in zip(batch, results):
+        for instance, result in zip(batch, results, strict=True):
             # replicas must be nodes of *this* instance's tree
             assert all(0 <= v < instance.tree.n_nodes for v in result.replicas)
             assert result.reused <= instance.preexisting
@@ -182,7 +182,7 @@ class TestInstanceSerialization:
         text = batch_to_json(batch)
         restored = batch_from_json(text)
         assert len(restored) == len(batch)
-        for a, b in zip(batch, restored):
+        for a, b in zip(batch, restored, strict=True):
             assert a.tree == b.tree
             assert a.preexisting == b.preexisting
             assert a.capacity == b.capacity

@@ -119,7 +119,7 @@ class TestFanOutMatchesDirectSolve:
             _relabelled_copy(instance, s) for s in range(4)
         ]
         results = solve_batch(duplicates, solver="power_frontier")
-        for inst, frontier in zip(duplicates, results):
+        for inst, frontier in zip(duplicates, results, strict=True):
             assert isinstance(frontier, PowerFrontier)
             direct = power_frontier(
                 inst.tree, PM, CM, inst.pre_modes()
@@ -132,7 +132,7 @@ class TestFanOutMatchesDirectSolve:
             _relabelled_copy(instance, s) for s in range(3)
         ]
         results = solve_batch(duplicates, solver="min_power")
-        for inst, result in zip(duplicates, results):
+        for inst, result in zip(duplicates, results, strict=True):
             assert isinstance(result, ModalPlacementResult)
             direct = power_frontier(
                 inst.tree, PM, CM, inst.pre_modes()
@@ -213,7 +213,7 @@ class TestValidationAndSerialization:
             _power_instance(seed=s, with_modes=bool(s % 2)) for s in range(4)
         ]
         restored = batch_from_json(batch_to_json(batch))
-        for a, b in zip(batch, restored):
+        for a, b in zip(batch, restored, strict=True):
             assert a.tree == b.tree
             assert a.power_model == b.power_model
             assert a.modal_cost_model == b.modal_cost_model

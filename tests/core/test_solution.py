@@ -71,7 +71,7 @@ class TestAssignClients:
         # Re-derive loads from the per-client assignment.
         derived: dict[int, int] = {v: 0 for v in replicas}
         missing = 0
-        for client, server in zip(tree.clients, assignment):
+        for client, server in zip(tree.clients, assignment, strict=True):
             if server is None:
                 missing += client.requests
             else:

@@ -40,7 +40,7 @@ class TestRedrawRequests:
 class TestRandomWalkRequests:
     def test_step_bound(self, workload, rng):
         evolved = RandomWalkRequests(step=1, minimum=1, maximum=6).evolve(workload, rng)
-        for old, new in zip(workload.clients, evolved.clients):
+        for old, new in zip(workload.clients, evolved.clients, strict=True):
             assert abs(new.requests - old.requests) <= 1
 
     def test_clipping(self, workload, rng):

@@ -38,7 +38,7 @@ class TestRunSession:
     def test_same_replica_counts_every_step(self, tree):
         # §5.1: both algorithms reach the same total number of servers.
         res = run_session(tree, 10, 6, RedrawRequests(), STRATS, rng=1)
-        for rec_dp, rec_gr in zip(res.tracks["DP"], res.tracks["GR"]):
+        for rec_dp, rec_gr in zip(res.tracks["DP"], res.tracks["GR"], strict=True):
             assert rec_dp.n_replicas == rec_gr.n_replicas
 
     def test_dp_cumulative_reuse_dominates(self, tree):
@@ -46,12 +46,12 @@ class TestRunSession:
         dp = res.cumulative_reuse("DP")
         gr = res.cumulative_reuse("GR")
         assert dp[-1] >= gr[-1]
-        assert all(a <= b for a, b in zip(dp, dp[1:]))  # non-decreasing
+        assert all(a <= b for a, b in zip(dp, dp[1:], strict=False))  # non-decreasing
 
     def test_preexisting_carries_over(self, tree):
         res = run_session(tree, 10, 4, RedrawRequests(), {"DP": DPUpdateStrategy()}, rng=3)
         recs = res.tracks["DP"]
-        for prev, cur in zip(recs, recs[1:]):
+        for prev, cur in zip(recs, recs[1:], strict=False):
             # reused servers at step t are exactly R_t ∩ R_{t-1}
             assert cur.n_reused == len(cur.replicas & prev.replicas)
 

@@ -72,7 +72,7 @@ class TestRunPolicy:
         from repro.core.solution import evaluate_placement
 
         run = run_policy(workloads, 10, LazyPolicy(), DPUpdateStrategy())
-        for tree, rec in zip(workloads, run.records):
+        for tree, rec in zip(workloads, run.records, strict=True):
             assert evaluate_placement(tree, rec.replicas, 10).ok
 
     def test_totals(self, workloads):

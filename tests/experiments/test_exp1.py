@@ -43,14 +43,14 @@ class TestResultShape:
         # No pre-existing servers -> nothing to reuse; DP >= GR everywhere.
         assert result.dp_reuse[0].mean == 0.0
         assert result.gr_reuse[0].mean == 0.0
-        for dp, gr in zip(result.dp_reuse, result.gr_reuse):
+        for dp, gr in zip(result.dp_reuse, result.gr_reuse, strict=True):
             assert dp.mean >= gr.mean - 1e-9
 
     def test_same_replica_counts(self, result):
         assert result.count_mismatches == 0
 
     def test_gap_consistency(self, result):
-        for dp, gr, gap in zip(result.dp_reuse, result.gr_reuse, result.gap):
+        for dp, gr, gap in zip(result.dp_reuse, result.gr_reuse, result.gap, strict=True):
             assert gap.mean == pytest.approx(dp.mean - gr.mean)
         assert result.mean_gap >= 0.0
         assert result.max_gap >= 0

@@ -61,12 +61,12 @@ class TestResultShape:
 
     def test_dp_dominates_gr(self, result):
         # Figure 8: the optimal DP curve is never below GR's.
-        for dp, gr in zip(result.dp_inverse, result.gr_inverse):
+        for dp, gr in zip(result.dp_inverse, result.gr_inverse, strict=True):
             assert dp.mean >= gr.mean - 1e-9
 
     def test_curves_nondecreasing_in_bound(self, result):
         dp = [s.mean for s in result.dp_inverse]
-        assert all(a <= b + 1e-9 for a, b in zip(dp, dp[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(dp, dp[1:], strict=False))
 
     def test_loose_bound_reaches_optimum(self, result):
         # The largest bound admits the unconstrained optimum: inverse = 1.
@@ -83,7 +83,7 @@ class TestResultShape:
         assert list(result.dp_success) == sorted(result.dp_success)
 
     def test_dp_succeeds_whenever_gr_does(self, result):
-        for dp_ok, gr_ok in zip(result.dp_success, result.gr_success):
+        for dp_ok, gr_ok in zip(result.dp_success, result.gr_success, strict=True):
             assert dp_ok >= gr_ok - 1e-9
 
     def test_rows(self, result):

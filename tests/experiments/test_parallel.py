@@ -61,7 +61,7 @@ class TestParallelRunners:
         res = run_experiment1_parallel(cfg, n_workers=2)
         assert all(s.n == 4 for s in res.dp_reuse)
         assert res.count_mismatches == 0
-        for dp, gr in zip(res.dp_reuse, res.gr_reuse):
+        for dp, gr in zip(res.dp_reuse, res.gr_reuse, strict=True):
             assert dp.mean >= gr.mean - 1e-9
 
     def test_exp1_single_worker_equals_sequential(self):
@@ -89,7 +89,7 @@ class TestParallelRunners:
         res = run_experiment3_parallel(cfg, n_workers=2)
         assert all(s.n == 4 for s in res.dp_inverse)
         assert res.dp_inverse[-1].mean == pytest.approx(1.0)
-        for dp, gr in zip(res.dp_inverse, res.gr_inverse):
+        for dp, gr in zip(res.dp_inverse, res.gr_inverse, strict=True):
             assert dp.mean >= gr.mean - 1e-9
         assert all(0.0 <= r <= 1.0 for r in res.dp_success)
 

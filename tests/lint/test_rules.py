@@ -1,0 +1,454 @@
+"""Every lint rule: a known-bad fixture that must fire, and clean
+counter-fixtures that must not.
+
+The bad fixtures replay the repository's historical bug shapes — the
+PR 5 ``p == 0.0`` alias conflation and the PR 3 frontier-drop (equal
+keys discarded with a bare ``==`` during a dominance merge) — so the
+rules demonstrably catch the classes of bug they were written for.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint.framework import LintConfig, ModuleInfo, get_rule, run_rules
+
+# Importing the rules package registers everything.
+import repro.lint.rules  # noqa: F401
+
+
+def make_module(source: str, relpath: str) -> ModuleInfo:
+    return ModuleInfo(Path(relpath), relpath, textwrap.dedent(source))
+
+
+def findings_for(rule_id: str, source: str, relpath: str) -> list:
+    module = make_module(source, relpath)
+    return run_rules([module], [get_rule(rule_id)], LintConfig())
+
+
+class TestDeterminism:
+    REL = "src/repro/batch/canonical.py"
+
+    def test_clock_call_fires(self):
+        src = """
+            import time
+
+            def digest(payload):
+                payload["stamp"] = time.time()
+                return payload
+        """
+        found = findings_for("determinism", src, self.REL)
+        assert len(found) == 1
+        assert "time.time" in found[0].message
+
+    def test_random_call_fires(self):
+        src = """
+            import random
+
+            def salt():
+                return random.random()
+        """
+        assert findings_for("determinism", src, self.REL)
+
+    def test_set_iteration_fires(self):
+        src = """
+            def serialise(items):
+                return [v for v in set(items)]
+        """
+        found = findings_for("determinism", src, self.REL)
+        assert len(found) == 1
+        assert "sorted" in found[0].message
+
+    def test_sorted_set_iteration_clean(self):
+        src = """
+            def serialise(items):
+                return [v for v in sorted(set(items))]
+        """
+        assert findings_for("determinism", src, self.REL) == []
+
+    def test_unsorted_json_dumps_fires(self):
+        src = """
+            import json
+
+            def to_json(payload):
+                return json.dumps(payload)
+        """
+        found = findings_for("determinism", src, self.REL)
+        assert len(found) == 1
+        assert "sort_keys" in found[0].message
+
+    def test_sorted_json_dumps_clean(self):
+        src = """
+            import json
+
+            def to_json(payload):
+                return json.dumps(payload, sort_keys=True)
+        """
+        assert findings_for("determinism", src, self.REL) == []
+
+    def test_rule_scoped_to_serialise_modules(self):
+        src = """
+            import time
+
+            def now():
+                return time.time()
+        """
+        # Same source in a non-digest module: out of scope.
+        assert findings_for("determinism", src, "src/repro/cli.py") == []
+
+
+class TestAsyncBlocking:
+    REL = "src/repro/serve/server.py"
+
+    def test_time_sleep_fires(self):
+        src = """
+            import time
+
+            async def handler():
+                time.sleep(1)
+        """
+        found = findings_for("async-blocking", src, self.REL)
+        assert len(found) == 1
+        assert "time.sleep" in found[0].message
+
+    def test_sync_open_fires(self):
+        src = """
+            async def handler(path):
+                with open(path) as fh:
+                    return fh.read()
+        """
+        assert findings_for("async-blocking", src, self.REL)
+
+    def test_direct_solver_call_fires(self):
+        src = """
+            from repro.batch.executor import solve_batch
+
+            async def handler(instances):
+                return solve_batch(instances)
+        """
+        found = findings_for("async-blocking", src, self.REL)
+        assert len(found) == 1
+        assert "solve_batch" in found[0].message
+
+    def test_policy_solve_fires(self):
+        src = """
+            async def handler(policy, payload):
+                return policy.solve(payload)
+        """
+        assert findings_for("async-blocking", src, self.REL)
+
+    def test_executor_handoff_clean(self):
+        src = """
+            import asyncio
+            import functools
+
+            async def handler(loop, policy, payload):
+                return await loop.run_in_executor(
+                    None, functools.partial(policy.solve, payload)
+                )
+        """
+        assert findings_for("async-blocking", src, self.REL) == []
+
+    def test_local_coroutine_call_clean(self):
+        # Regression: ServeClient.solve_many fans out via its own async
+        # solve(); creating coroutines does not block the loop.
+        src = """
+            import asyncio
+
+            class Client:
+                async def solve(self, instance):
+                    return instance
+
+                async def solve_many(self, instances):
+                    return await asyncio.gather(
+                        *(self.solve(i) for i in instances)
+                    )
+        """
+        assert findings_for("async-blocking", src, self.REL) == []
+
+    def test_sync_function_out_of_scope(self):
+        src = """
+            import time
+
+            def not_async():
+                time.sleep(1)
+        """
+        assert findings_for("async-blocking", src, self.REL) == []
+
+
+class TestFloatEquality:
+    REL = "src/repro/power/dp_power_pareto.py"
+
+    def test_pr5_alias_shape_fires(self):
+        # The PR 5 bug: keying the alias fast path on p == 0.0 conflates
+        # "no placement" with a genuinely zero-power mode.
+        src = """
+            def merge(front):
+                out = []
+                for g, p, r in front:
+                    if p == 0.0:
+                        continue
+                    out.append((g, p, r))
+                return out
+        """
+        found = findings_for("float-eq", src, self.REL)
+        assert len(found) == 1
+        assert "epsilon" in found[0].message
+
+    def test_pr3_frontier_drop_shape_fires(self):
+        # The PR 3 bug shape: discarding frontier points whose cost ties
+        # the incumbent with a bare equality during a dominance merge.
+        src = """
+            def sweep(points):
+                best_cost = None
+                kept = []
+                for cost, power in points:
+                    if best_cost is not None and cost == best_cost:
+                        continue
+                    best_cost = cost
+                    kept.append((cost, power))
+                return kept
+        """
+        assert findings_for("float-eq", src, self.REL)
+
+    def test_integer_comparisons_clean(self):
+        src = """
+            def route(flow, labels):
+                if flow == 0:
+                    return None
+                return len(labels) == 1
+        """
+        assert findings_for("float-eq", src, self.REL) == []
+
+    def test_epsilon_comparison_clean(self):
+        src = """
+            _EPS = 1e-9
+
+            def close(a_cost, b_cost):
+                return abs(a_cost - b_cost) <= _EPS
+        """
+        assert findings_for("float-eq", src, self.REL) == []
+
+    def test_audited_suppression_honoured(self):
+        src = """
+            def fast_path(p, alias_p):
+                return p == alias_p  # repro-lint: ignore[float-eq]
+        """
+        assert findings_for("float-eq", src, self.REL) == []
+
+
+class TestPicklable:
+    REL = "src/repro/batch/executor.py"
+
+    def test_lambda_submit_fires(self):
+        src = """
+            def run(pool, chunks):
+                return [pool.submit(lambda c: c, c) for c in chunks]
+        """
+        found = findings_for("picklable", src, self.REL)
+        assert len(found) == 1
+        assert "lambda" in found[0].message
+
+    def test_closure_handoff_fires(self):
+        src = """
+            def run(pool, chunks, bound):
+                def solve_chunk(chunk):
+                    return [c for c in chunk if c <= bound]
+                return list(pool.map(solve_chunk, chunks))
+        """
+        found = findings_for("picklable", src, self.REL)
+        assert len(found) == 1
+        assert "closure" in found[0].message
+
+    def test_partial_of_lambda_fires(self):
+        src = """
+            import functools
+
+            async def run(loop, executor, payload):
+                fn = lambda p: p
+                return await loop.run_in_executor(
+                    executor, functools.partial(fn, payload)
+                )
+        """
+        assert findings_for("picklable", src, self.REL)
+
+    def test_module_level_function_clean(self):
+        src = """
+            def solve_chunk(chunk):
+                return chunk
+
+            def run(pool, chunks):
+                return list(pool.map(solve_chunk, chunks))
+        """
+        assert findings_for("picklable", src, self.REL) == []
+
+    def test_builtin_map_not_confused(self):
+        src = """
+            def run(chunks):
+                return list(map(lambda c: c, chunks))
+        """
+        assert findings_for("picklable", src, self.REL) == []
+
+
+class TestLockDiscipline:
+    REL = "src/repro/batch/cache.py"
+
+    def test_unguarded_mutation_fires(self):
+        src = """
+            import threading
+            from collections import OrderedDict
+
+            class Cache:
+                def __init__(self):
+                    self._mutex = threading.RLock()
+                    self._lru = OrderedDict()
+
+                def put(self, key, value):
+                    self._lru[key] = value
+        """
+        found = findings_for("lock-discipline", src, self.REL)
+        assert len(found) == 1
+        assert "_lru" in found[0].message
+
+    def test_guarded_mutation_clean(self):
+        src = """
+            import threading
+            from collections import OrderedDict
+
+            class Cache:
+                def __init__(self):
+                    self._mutex = threading.RLock()
+                    self._lru = OrderedDict()
+
+                def put(self, key, value):
+                    with self._mutex:
+                        self._lru[key] = value
+        """
+        assert findings_for("lock-discipline", src, self.REL) == []
+
+    def test_always_held_helper_clean(self):
+        # The real cache factors mutations into _insert(), called only
+        # with the mutex held — the fixpoint must prove that safe.
+        src = """
+            import threading
+            from collections import OrderedDict
+
+            class Cache:
+                def __init__(self):
+                    self._mutex = threading.RLock()
+                    self._lru = OrderedDict()
+
+                def put(self, key, value):
+                    with self._mutex:
+                        self._insert(key, value)
+
+                def get(self, key):
+                    with self._mutex:
+                        self._insert(key, None)
+                        return self._lru.get(key)
+
+                def _insert(self, key, value):
+                    self._lru[key] = value
+                    self._lru.move_to_end(key)
+        """
+        assert findings_for("lock-discipline", src, self.REL) == []
+
+    def test_helper_with_unguarded_call_site_fires(self):
+        src = """
+            import threading
+            from collections import OrderedDict
+
+            class Cache:
+                def __init__(self):
+                    self._mutex = threading.RLock()
+                    self._lru = OrderedDict()
+
+                def put(self, key, value):
+                    with self._mutex:
+                        self._insert(key, value)
+
+                def put_fast(self, key, value):
+                    self._insert(key, value)
+
+                def _insert(self, key, value):
+                    self._lru[key] = value
+        """
+        found = findings_for("lock-discipline", src, self.REL)
+        assert len(found) == 1
+        assert "_insert" in found[0].message
+
+    def test_mutating_method_call_fires(self):
+        src = """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._mutex = threading.RLock()
+                    self._disk = {}
+
+                def evict(self, key):
+                    self._disk.pop(key, None)
+        """
+        assert findings_for("lock-discipline", src, self.REL)
+
+    def test_init_mutations_exempt(self):
+        src = """
+            import threading
+
+            class Cache:
+                def __init__(self, seed):
+                    self._mutex = threading.RLock()
+                    self._disk = {}
+                    self._disk.update(seed)
+        """
+        assert findings_for("lock-discipline", src, self.REL) == []
+
+
+class TestSuppressions:
+    REL = "src/repro/batch/canonical.py"
+
+    def test_inline_suppression(self):
+        src = """
+            import time
+
+            def digest():
+                return time.time()  # repro-lint: ignore[determinism]
+        """
+        assert findings_for("determinism", src, self.REL) == []
+
+    def test_line_above_suppression(self):
+        src = """
+            import time
+
+            def digest():
+                # repro-lint: ignore[determinism]
+                return time.time()
+        """
+        assert findings_for("determinism", src, self.REL) == []
+
+    def test_bare_ignore_suppresses_all(self):
+        src = """
+            import time
+
+            def digest():
+                return time.time()  # repro-lint: ignore
+        """
+        assert findings_for("determinism", src, self.REL) == []
+
+    def test_other_rule_id_does_not_suppress(self):
+        src = """
+            import time
+
+            def digest():
+                return time.time()  # repro-lint: ignore[float-eq]
+        """
+        assert len(findings_for("determinism", src, self.REL)) == 1
+
+
+class TestUnknownRule:
+    def test_get_rule_raises(self):
+        with pytest.raises(KeyError):
+            get_rule("no-such-rule")

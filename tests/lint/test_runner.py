@@ -1,0 +1,145 @@
+"""Runner behaviour: clean-repo run, exit codes, reporters, CLI wiring."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.framework import LintConfig
+from repro.lint.runner import (
+    EXIT_CLEAN,
+    EXIT_ERROR,
+    EXIT_FINDINGS,
+    collect_files,
+    load_modules,
+    run,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+def repo_config() -> LintConfig:
+    return LintConfig(baseline_path=ROOT / "baselines" / "schema_fingerprint.json")
+
+
+class TestCleanRepo:
+    """The repository itself lints clean — the rules' false-positive gate."""
+
+    def test_src_is_clean(self, capsys):
+        code = run([ROOT / "src"], root=ROOT, config=repo_config())
+        out = capsys.readouterr().out
+        assert code == EXIT_CLEAN, out
+        assert "clean" in out
+
+    def test_json_report_shape(self, capsys):
+        code = run(
+            [ROOT / "src"], root=ROOT, config=repo_config(), output="json"
+        )
+        assert code == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+        assert payload["findings"] == []
+
+
+class TestExitCodes:
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "batch" / "canonical.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(
+            "import time\n\n\ndef digest():\n    return time.time()\n"
+        )
+        code = run(
+            [bad],
+            root=tmp_path,
+            select=["determinism"],
+            config=LintConfig(baseline_path=tmp_path / "fp.json"),
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_FINDINGS
+        assert "determinism" in out
+        assert "1 finding" in out
+
+    def test_unknown_rule_is_usage_error(self, tmp_path):
+        f = tmp_path / "x.py"
+        f.write_text("x = 1\n")
+        assert run([f], root=tmp_path, select=["nope"]) == EXIT_ERROR
+
+    def test_no_files_is_usage_error(self, tmp_path):
+        assert run([tmp_path / "absent"], root=tmp_path) == EXIT_ERROR
+
+    def test_syntax_error_becomes_finding(self, tmp_path, capsys):
+        f = tmp_path / "broken.py"
+        f.write_text("def nope(:\n")
+        code = run(
+            [f], root=tmp_path, config=LintConfig(baseline_path=tmp_path / "fp")
+        )
+        out = capsys.readouterr().out
+        assert code == EXIT_FINDINGS
+        assert "parse-error" in out
+
+
+class TestCollection:
+    def test_skips_pycache_and_dedups(self, tmp_path):
+        (tmp_path / "pkg" / "__pycache__").mkdir(parents=True)
+        (tmp_path / "pkg" / "a.py").write_text("a = 1\n")
+        (tmp_path / "pkg" / "__pycache__" / "junk.py").write_text("x = 1\n")
+        files = collect_files([tmp_path / "pkg", tmp_path / "pkg" / "a.py"])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_load_modules_reports_relpaths(self, tmp_path):
+        f = tmp_path / "sub" / "m.py"
+        f.parent.mkdir()
+        f.write_text("x = 1\n")
+        modules, errors = load_modules([f], tmp_path)
+        assert errors == []
+        assert modules[0].relpath == "sub/m.py"
+
+
+class TestCliIntegration:
+    def test_repro_lint_subcommand_clean(self, monkeypatch, capsys):
+        from repro.cli import main
+
+        monkeypatch.chdir(ROOT)
+        code = main(["lint", "src"])
+        assert code == EXIT_CLEAN, capsys.readouterr().out
+
+    def test_module_entry_point_list_rules(self, capsys):
+        from repro.lint.runner import main as lint_main
+
+        assert lint_main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in (
+            "determinism",
+            "async-blocking",
+            "float-eq",
+            "schema-drift",
+            "picklable",
+            "lock-discipline",
+        ):
+            assert rule_id in out
+
+    def test_select_subset(self, capsys):
+        code = run(
+            [ROOT / "src" / "repro" / "batch" / "cache.py"],
+            root=ROOT,
+            select=["lock-discipline"],
+            config=repo_config(),
+        )
+        assert code == EXIT_CLEAN, capsys.readouterr().out
+
+
+@pytest.mark.parametrize(
+    "relpath",
+    [
+        "src/repro/batch/cache.py",
+        "src/repro/batch/canonical.py",
+        "src/repro/power/dp_power_pareto.py",
+        "src/repro/serve/server.py",
+    ],
+)
+def test_critical_modules_individually_clean(relpath, capsys):
+    """The modules the rules were designed around pass one by one."""
+    code = run([ROOT / relpath], root=ROOT, config=repo_config())
+    assert code == EXIT_CLEAN, capsys.readouterr().out

@@ -11,6 +11,7 @@ replaced.
 
 from __future__ import annotations
 
+import contextlib
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -218,10 +219,8 @@ class TestMemoization:
     def test_memo_never_changes_the_frontier(self, tree):
         # Low request diversity makes collisions (hence memo hits) likely;
         # the frontier must not care.
-        try:
+        with contextlib.suppress(InfeasibleError):
             both_kernels(tree, PM, CM, {})
-        except InfeasibleError:
-            pass
 
 
 class TestZeroModePowerUnderflow:
@@ -276,7 +275,7 @@ class TestBisectQueries:
         assert len(pairs) >= 4
         eps = 1e-9
         bounds = [pairs[0][0] - 1.0]
-        for cost, power in pairs:
+        for cost, _power in pairs:
             bounds += [cost - 1e-3, cost, cost + 1e-3]
         for bound in bounds:
             got = frontier.best_under_cost(bound)
@@ -290,7 +289,7 @@ class TestBisectQueries:
                 assert got is not None
                 assert (got.cost, got.power) == pytest.approx(want)
         power_bounds = [pairs[-1][1] - 1.0]
-        for cost, power in pairs:
+        for _cost, power in pairs:
             power_bounds += [power - 1e-3, power, power + 1e-3]
         for bound in power_bounds:
             got = frontier.best_under_power(bound)

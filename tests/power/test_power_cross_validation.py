@@ -34,7 +34,7 @@ def _preexisting(draw_ints, tree):
 
 def assert_frontiers_equal(a, b):
     assert len(a) == len(b), (a, b)
-    for (c1, p1), (c2, p2) in zip(a, b):
+    for (c1, p1), (c2, p2) in zip(a, b, strict=True):
         assert c1 == pytest.approx(c2, abs=1e-6)
         assert p1 == pytest.approx(p2, abs=1e-6)
 

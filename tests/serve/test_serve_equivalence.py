@@ -79,7 +79,7 @@ def test_server_responses_byte_match_direct_solve(
             return results, server
 
     results, server = asyncio.run(run())
-    for got, want in zip(results, direct):
+    for got, want in zip(results, direct, strict=True):
         assert _wire(solver, got) == _wire(solver, want)
     # All instances are isomorphic: one canonical solve, the rest joined
     # in flight or hit the cache — coalescing is complete and lossless.
@@ -110,7 +110,7 @@ def test_coalescing_preserves_verified_placements(seed, n_nodes):
             )
 
     results = asyncio.run(run())
-    for instance, result in zip(instances, results):
+    for instance, result in zip(instances, results, strict=True):
         want = solve_batch([instance], solver="dp")[0]
         # fan_out re-verifies validity on the original tree; equality of
         # the replica sets pins that coalescing changed nothing.

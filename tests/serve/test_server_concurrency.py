@@ -17,6 +17,7 @@ or without the pytest-asyncio plugin installed.
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import json
 import time
 
@@ -76,11 +77,9 @@ class CrashingPolicy(DpPolicy):
         os._exit(13)
 
 
-try:
+with contextlib.suppress(ConfigurationError):  # pragma: no cover - reimport
     register_policy(SlowDpPolicy())
     register_policy(CrashingPolicy())
-except ConfigurationError:  # pragma: no cover - repeated module import
-    pass
 
 
 class TestCoalescing:
@@ -142,7 +141,7 @@ class TestCoalescing:
 
         results, server = asyncio.run(run())
         assert server.stats.policy("dp").solves_scheduled == 1
-        for got, want in zip(results, direct):
+        for got, want in zip(results, direct, strict=True):
             assert _wire("dp", got) == _wire("dp", want)
 
     def test_priorities_accepted(self):
@@ -364,7 +363,7 @@ class TestShutdown:
             return results
 
         results = asyncio.run(run())
-        for got, want in zip(results, direct):
+        for got, want in zip(results, direct, strict=True):
             assert _wire("dp", got) == _wire("dp", want)
 
     def test_shutdown_op_stops_tcp_server(self):

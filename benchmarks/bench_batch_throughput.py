@@ -60,9 +60,10 @@ def _timed(fn, repeats: int = 3):
     return out, best
 
 
-def test_batch_throughput_vs_naive(emit):
+def test_batch_throughput_vs_naive(emit, emit_json):
     rows = []
     speedups: dict[float, float] = {}
+    series: dict[str, dict] = {}
     for rate in RATES:
         batch = _make_batch(rate)
         naive, t_naive = _timed(lambda: _naive_loop(batch))
@@ -90,6 +91,13 @@ def test_batch_throughput_vs_naive(emit):
         )
 
         speedups[rate] = t_naive / t_batch
+        series[f"{rate:.2f}"] = {
+            "unique_solved": stats.unique_solved,
+            "duplicates_folded": stats.duplicates_folded,
+            "naive_seconds": t_naive,
+            "batch_seconds": t_batch,
+            "speedup": speedups[rate],
+        }
         rows.append(
             (
                 f"{rate:.0%}",
@@ -111,6 +119,16 @@ def test_batch_throughput_vs_naive(emit):
         f"E={N_PRE}, solver=dp (MinCost-WithPre)\n"
         f"acceptance: speedup at 90% duplicates >= {MIN_SPEEDUP_90:.0f}x "
         f"(measured {speedups[0.9]:.1f}x)",
+    )
+    emit_json(
+        "batch",
+        {
+            "n_instances": N_INSTANCES,
+            "n_nodes": N_NODES,
+            "solver": "dp",
+            "min_speedup_90": MIN_SPEEDUP_90,
+            "rates": series,
+        },
     )
     assert speedups[0.9] >= MIN_SPEEDUP_90
 

@@ -28,6 +28,13 @@ Two gates fail the build:
   after rescaling by a pure-Python calibration loop measured on both
   machines — so a slower runner shifts the threshold instead of failing
   the build.
+
+A third gate (PR 7, ``test_array_vs_tuple_kernel``) compares the
+structure-of-arrays kernel (:mod:`repro.power.dp_power_array`) against
+the row-tuple kernel on label-heavy diverse-cost families: frontiers
+must be byte-identical and the ``hard`` families must beat the tuple
+kernel by ``REPRO_BENCH_MIN_ARRAY_SPEEDUP`` (default 3.0).  Results land
+in ``benchmarks/results/BENCH_pareto_array.json``.
 """
 
 from __future__ import annotations
@@ -35,6 +42,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import random
 import sys
 import time
 
@@ -46,6 +54,7 @@ from _legacy_pareto import legacy_power_frontier_pairs  # noqa: E402
 from repro.analysis import format_table  # noqa: E402
 from repro.core.costs import ModalCostModel  # noqa: E402
 from repro.perf.stats import ParetoDPStats  # noqa: E402
+from repro.power.dp_power_array import power_frontier_array  # noqa: E402
 from repro.power.dp_power_pareto import power_frontier  # noqa: E402
 from repro.power.modes import ModeSet, PowerModel  # noqa: E402
 from repro.tree.generators import (  # noqa: E402
@@ -124,6 +133,54 @@ def _families() -> dict[str, dict]:
     return f
 
 
+def _diverse_instance(
+    n_nodes: int, seed: int, caps: tuple[int, ...], requests: tuple[int, int]
+):
+    """A label-heavy instance: *mode-dependent* create/delete/changed
+    prices keep sibling fronts distinct (uniform costs collapse them), so
+    merge label work — the array kernel's target — dominates the solve."""
+    rng = random.Random(seed)
+    tree = paper_tree(n_nodes, rng=seed, request_range=requests)
+    pm = PowerModel(ModeSet(caps), static_power=2.0, alpha=2.0)
+    k = len(caps)
+    cm = ModalCostModel(
+        create=tuple(0.2 + 0.07 * m for m in range(k)),
+        delete=tuple(0.05 + 0.013 * m for m in range(k)),
+        changed=tuple(
+            tuple(0.0 if a == b else 0.01 + 0.003 * abs(a - b) for b in range(k))
+            for a in range(k)
+        ),
+    )
+    pre = {
+        v: rng.randrange(k)
+        for v in tree.post_order()
+        if v != tree.root and rng.random() < 0.25
+    }
+    return tree, pm, cm, pre
+
+
+def _array_families() -> dict[str, dict]:
+    """Instances for the array-vs-tuple comparison (PR 7).
+
+    ``hard=True`` families carry the ``REPRO_BENCH_MIN_ARRAY_SPEEDUP``
+    gate.  Small instances are deliberately absent: below ~10^6 labels
+    both kernels are bounded by the per-node skeleton and numpy call
+    overhead makes the array kernel *slower* — the knob exists so such
+    workloads can keep the tuple kernel.
+    """
+    six = (1, 2, 4, 7, 11, 16)
+    f: dict[str, dict] = {}
+    tree, pm, cm, pre = _diverse_instance(400, 7, six, (1, 10))
+    f["sixmode400_div"] = dict(
+        tree=tree, pm=pm, cm=cm, pre=pre, reps=3, hard=False
+    )
+    tree, pm, cm, pre = _diverse_instance(800, 8, six, (1, 10))
+    f["sixmode800_div"] = dict(
+        tree=tree, pm=pm, cm=cm, pre=pre, reps=2, hard=True
+    )
+    return f
+
+
 def _paired(fn_new, fn_old, reps: int) -> tuple[float, float]:
     """Interleaved best-of wall times (defeats CPU-frequency drift)."""
     best_new = best_old = float("inf")
@@ -173,6 +230,37 @@ def _run_families() -> dict[str, dict]:
             "legacy_seconds": old_s,
             "speedup": old_s / new_s,
             "stats": stats.as_dict(),
+        }
+    return out
+
+
+def _run_array_families() -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for name, spec in _array_families().items():
+        tree, pm, cm, pre = spec["tree"], spec["pm"], spec["cm"], spec["pre"]
+        arr_stats, tup_stats = ParetoDPStats(), ParetoDPStats()
+        arr = power_frontier_array(tree, pm, cm, pre, stats=arr_stats)
+        tup = power_frontier(tree, pm, cm, pre, stats=tup_stats)
+        # Byte identity first — a fast wrong frontier is not a speedup.
+        assert arr.pairs() == tup.pairs(), (
+            f"{name}: array kernel frontier diverged from the tuple oracle"
+        )
+        arr_s, tup_s = _paired(
+            lambda: power_frontier_array(tree, pm, cm, pre),
+            lambda: power_frontier(tree, pm, cm, pre),
+            spec["reps"],
+        )
+        out[name] = {
+            "n_nodes": tree.n_nodes,
+            "n_modes": pm.modes.n_modes,
+            "hard": spec["hard"],
+            "points": len(arr),
+            "array_seconds": arr_s,
+            "tuple_seconds": tup_s,
+            "speedup": tup_s / arr_s,
+            "labels_created": arr_stats.labels_created,
+            "array_labels_generated": arr_stats.labels_generated,
+            "tuple_labels_generated": tup_stats.labels_generated,
         }
     return out
 
@@ -247,4 +335,52 @@ def test_pareto_kernel_speedup_and_smoke(benchmark, emit):
                 f"baseline-derived limit {limit:.4f}s "
                 f"(baseline {ref['kernel_seconds']:.4f}s x scale "
                 f"{scale:.2f} x factor {factor})"
+            )
+
+
+def test_array_vs_tuple_kernel(benchmark, emit, emit_json):
+    """PR 7 gate: the structure-of-arrays kernel vs the tuple oracle.
+
+    Byte-identical (cost, power) frontiers are asserted inside the
+    runner; the ``hard`` label-heavy families must then beat the tuple
+    kernel by ``REPRO_BENCH_MIN_ARRAY_SPEEDUP`` (default 3.0)."""
+    families = benchmark.pedantic(_run_array_families, rounds=1, iterations=1)
+
+    emit_json("pareto_array", {"families": families})
+    rows = [
+        (
+            name,
+            fam["n_nodes"],
+            fam["n_modes"],
+            fam["points"],
+            fam["labels_created"],
+            f"{fam['tuple_seconds'] * 1e3:.1f}",
+            f"{fam['array_seconds'] * 1e3:.1f}",
+            f"{fam['speedup']:.2f}x",
+            "hard" if fam["hard"] else "",
+        )
+        for name, fam in families.items()
+    ]
+    table = format_table(
+        (
+            "family", "N", "M", "pts", "created", "tuple_ms", "array_ms",
+            "speedup", "gate",
+        ),
+        rows,
+    )
+    emit(
+        "pareto_array_kernel",
+        f"{table}\n\nByte-identical frontiers on every family (asserted "
+        "before timing).  'hard' families carry the array-speedup gate; "
+        "diverse per-mode costs keep fronts wide so merge label work "
+        "dominates — the regime the array kernel is built for.",
+    )
+
+    floor = float(os.environ.get("REPRO_BENCH_MIN_ARRAY_SPEEDUP", "3.0"))
+    for name, fam in families.items():
+        if fam["hard"]:
+            assert fam["speedup"] >= floor, (
+                f"{name}: array speedup {fam['speedup']:.2f}x fell below "
+                f"the {floor:.1f}x floor (tuple {fam['tuple_seconds']:.4f}s, "
+                f"array {fam['array_seconds']:.4f}s)"
             )

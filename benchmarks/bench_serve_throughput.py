@@ -58,9 +58,10 @@ def _serve_storm(storm):
     return asyncio.run(run())
 
 
-def test_serve_throughput_vs_naive_loop(emit):
+def test_serve_throughput_vs_naive_loop(emit, emit_json):
     rows = []
     speedups: dict[float, float] = {}
+    series: dict[str, dict] = {}
     policy = get_policy("dp")
     for rate in RATES:
         storm = _make_storm(rate)
@@ -95,6 +96,16 @@ def test_serve_throughput_vs_naive_loop(emit):
         )
 
         speedups[rate] = t_naive / t_serve
+        series[f"{rate:.2f}"] = {
+            "solves_scheduled": stats.solves_scheduled,
+            "coalesced_joins": stats.coalesced_joins,
+            "cache_hits": stats.cache_hits,
+            "naive_seconds": t_naive,
+            "serve_seconds": t_serve,
+            "speedup": speedups[rate],
+            "p50_seconds": stats.latency_quantile(0.5),
+            "p99_seconds": stats.latency_quantile(0.99),
+        }
         rows.append(
             (
                 f"{rate:.0%}",
@@ -129,5 +140,15 @@ def test_serve_throughput_vs_naive_loop(emit):
         f"solver=dp, in-process submit path\n"
         f"acceptance: speedup at 90% duplicates >= {MIN_SPEEDUP_90:.1f}x "
         f"(measured {speedups[0.9]:.1f}x)",
+    )
+    emit_json(
+        "serve",
+        {
+            "n_requests": N_REQUESTS,
+            "n_nodes": N_NODES,
+            "solver": "dp",
+            "min_speedup_90": MIN_SPEEDUP_90,
+            "rates": series,
+        },
     )
     assert speedups[0.9] >= MIN_SPEEDUP_90

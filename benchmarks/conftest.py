@@ -5,10 +5,16 @@ emits the regenerated figure (ASCII chart + data table) both to the
 terminal (bypassing capture) and to ``benchmarks/results/<name>.txt`` so
 the series survive in the repository.  EXPERIMENTS.md is written from those
 files.
+
+Benchmarks that feed the nightly workflow additionally persist a
+machine-readable ``benchmarks/results/BENCH_<name>.json`` via
+``emit_json`` — the files the scheduled run uploads as artifacts and
+summarises in the job step summary.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -26,5 +32,19 @@ def emit(capsys):
             print(f"\n===== {name} =====")
             print(text)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit
+
+
+@pytest.fixture()
+def emit_json():
+    """Persist a named JSON report as ``results/BENCH_<name>.json``."""
+
+    def _emit(name: str, payload: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
 
     return _emit

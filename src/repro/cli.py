@@ -29,6 +29,7 @@ import asyncio
 import contextlib
 import dataclasses
 import json
+import os
 import signal
 import sys
 from pathlib import Path
@@ -161,7 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument(
         "--stats", action="store_true",
         help="print aggregated Pareto-DP kernel counters (labels created/"
-        "generated/rejected, memo hits) from the solved records as JSON",
+        "generated/rejected, memo hits, per-kernel solve counts) from the "
+        "solved records as JSON",
+    )
+    b.add_argument(
+        "--kernel", choices=("array", "tuple"), default=None,
+        help="Pareto-DP engine for the power policies (default: array; "
+        "tuple is the byte-identity oracle; REPRO_POWER_KERNEL also works)",
     )
 
     v = sub.add_parser(
@@ -188,6 +195,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     v.add_argument("--lru-size", type=int, default=4096)
     v.add_argument("--disk-size", type=int, default=None, metavar="N")
+    v.add_argument(
+        "--kernel", choices=("array", "tuple"), default=None,
+        help="Pareto-DP engine for the power policies (default: array; "
+        "tuple is the byte-identity oracle; REPRO_POWER_KERNEL also works)",
+    )
 
     c = sub.add_parser(
         "client",
@@ -495,6 +507,11 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "batch":
+        if args.kernel is not None:
+            # Frontier policies resolve the kernel in this (parent)
+            # process when building payloads, so the override reaches
+            # spawn-based workers without re-reading the environment.
+            os.environ["REPRO_POWER_KERNEL"] = args.kernel
         if args.demo is not None and args.file is not None:
             print(
                 "error: --demo and a batch file are mutually exclusive",
@@ -590,6 +607,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "serve":
+        if args.kernel is not None:
+            os.environ["REPRO_POWER_KERNEL"] = args.kernel
         try:
             return asyncio.run(_run_server(args))
         except OSError as exc:  # e.g. port already in use

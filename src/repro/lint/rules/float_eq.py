@@ -17,6 +17,12 @@ This rule flags ``==`` / ``!=`` where either operand is
   ``*_price`` / ``*_eps`` name (which covers ``alias_p``).
 
 Integer comparisons (``flow == 0``, ``len(x) == 1``) are untouched.
+So are *elementwise ndarray* comparisons: in the structure-of-arrays
+kernel (``dp_power_array``), ``x_mask == value`` builds a boolean mask —
+a vectorised select, not a scalar float equality — so operands following
+the kernel's ndarray naming convention (``*_col`` / ``*_cols`` /
+``*_arr`` / ``*_mask`` / ``*_ids``) are exempt.
+
 Fix by comparing against an epsilon (``abs(a - b) <= _EPS``) or, for a
 deliberate sentinel equality, suppress with
 ``# repro-lint: ignore[float-eq]`` and a comment naming the audit.
@@ -33,18 +39,32 @@ from repro.lint.framework import Finding, LintConfig, ModuleInfo, Rule, register
 _FLOAT_NAME_RE = re.compile(r"^(?:p|g|cost|power|price|gain|eps)\d*$")
 _FLOAT_SUFFIXES = ("_p", "_power", "_cost", "_price", "_eps", "_gain")
 
+#: Names following the array kernel's ndarray convention: a comparison
+#: touching one of these is an elementwise mask build, not a scalar
+#: float equality.
+_NDARRAY_SUFFIXES = ("_col", "_cols", "_arr", "_mask", "_ids")
+
+
+def _operand_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
 
 def _is_float_like(node: ast.expr) -> bool:
     if isinstance(node, ast.Constant):
         return isinstance(node.value, float)
-    name: str | None
-    if isinstance(node, ast.Name):
-        name = node.id
-    elif isinstance(node, ast.Attribute):
-        name = node.attr
-    else:
+    name = _operand_name(node)
+    if name is None:
         return False
     return bool(_FLOAT_NAME_RE.match(name)) or name.endswith(_FLOAT_SUFFIXES)
+
+
+def _is_ndarray_like(node: ast.expr) -> bool:
+    name = _operand_name(node)
+    return name is not None and name.endswith(_NDARRAY_SUFFIXES)
 
 
 @register_rule
@@ -54,7 +74,10 @@ class FloatEqualityRule(Rule):
         "dominance/merge code must not compare float quantities with "
         "bare == / != (the PR 5 p == 0.0 alias bug shape)"
     )
-    default_patterns = ("*/power/dp_power_pareto.py",)
+    default_patterns = (
+        "*/power/dp_power_pareto.py",
+        "*/power/dp_power_array.py",
+    )
 
     def check(self, module: ModuleInfo, config: LintConfig) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
@@ -65,6 +88,8 @@ class FloatEqualityRule(Rule):
                 node.ops, operands, operands[1:], strict=False
             ):
                 if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_ndarray_like(left) or _is_ndarray_like(right):
                     continue
                 if _is_float_like(left) or _is_float_like(right):
                     yield Finding(

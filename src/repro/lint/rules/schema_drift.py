@@ -49,6 +49,8 @@ _SURFACE_FUNCTIONS = {
     "_envelope",
     "encode_line",
     "decode_line",
+    "frontier_to_columnar",
+    "frontier_from_columnar",
 }
 #: Class attributes that are wire surfaces (fingerprinted by value).
 _SURFACE_ATTRS = {"digest_fields", "record_schema"}
@@ -56,6 +58,7 @@ _SURFACE_ATTRS = {"digest_fields", "record_schema"}
 _VERSION_NAMES = {
     "_SCHEMA",
     "_ACCEPTED_SCHEMAS",
+    "_COLUMNAR_SCHEMA",
     "_DIGEST_SCHEMA",
     "CACHE_SCHEMA",
     "record_schema",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sized
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -227,7 +227,9 @@ class ParetoDPStats:
     better label then beat at pop time.  ``memo_hits`` / ``memo_misses``
     count subtree-table lookups by labelled AHU code, and
     ``memo_labels_shared`` the labels answered from a shared table
-    instead of being recomputed.
+    instead of being recomputed.  ``kernel_solves`` labels the runs by
+    merge engine (``{"array": 3, "tuple": 1}``) so aggregated batch/serve
+    counters say which kernel produced them.
     """
 
     merges: int = 0
@@ -240,8 +242,14 @@ class ParetoDPStats:
     memo_labels_shared: int = 0  #: labels served from a memoized table
     max_front_size: int = 0  #: largest (g, p) front for a single flow value
     max_flow_keys: int = 0  #: most distinct flow values at one node
+    #: solves per merge engine, e.g. ``{"array": 3}`` (kernel knob label)
+    kernel_solves: dict[str, int] = field(default_factory=dict)
 
-    def record_table(self, table: Mapping[int, list]) -> None:
+    def record_kernel(self, name: str) -> None:
+        """Count one solve under the given kernel label."""
+        self.kernel_solves[name] = self.kernel_solves.get(name, 0) + 1
+
+    def record_table(self, table: Mapping[int, Sized]) -> None:
         self.max_flow_keys = max(self.max_flow_keys, len(table))
         for labs in table.values():
             self.labels_kept += len(labs)
@@ -296,9 +304,15 @@ class ParetoDPStats:
             setattr(
                 self, name, max(getattr(self, name), int(counters.get(name, 0)))
             )
+        solves = counters.get("kernel_solves")
+        if isinstance(solves, Mapping):
+            for kernel, count in solves.items():
+                self.kernel_solves[str(kernel)] = self.kernel_solves.get(
+                    str(kernel), 0
+                ) + int(count)
         return self
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, object]:
         return {
             "merges": self.merges,
             "labels_created": self.labels_created,
@@ -313,6 +327,7 @@ class ParetoDPStats:
             "prune_ratio": self.prune_ratio,
             "generation_ratio": self.generation_ratio,
             "memo_hit_rate": self.memo_hit_rate,
+            "kernel_solves": dict(sorted(self.kernel_solves.items())),
         }
 
 

@@ -2,7 +2,11 @@
 
 * :mod:`~repro.power.modes` — mode sets and the Equation-3 power model;
 * :mod:`~repro.power.dp_power_pareto` — exact MinPower(-BoundedCost) solver
-  returning the full cost/power frontier (production engine);
+  returning the full cost/power frontier (row-tuple oracle kernel);
+* :mod:`~repro.power.dp_power_array` — structure-of-arrays numpy rebuild
+  of the same kernel (production default; byte-identical frontiers);
+* :mod:`~repro.power.kernels` — the ``kernel=`` knob mapping names to
+  engines (``REPRO_POWER_KERNEL`` overrides the default);
 * :mod:`~repro.power.dp_power_counts` — paper-faithful count-vector DP
   (Theorem 3 state space; validation reference);
 * :mod:`~repro.power.greedy_power` — the GR capacity-sweep baseline of §5.2;
@@ -11,6 +15,7 @@
 * :mod:`~repro.power.heuristics` — §6 future-work heuristics.
 """
 
+from repro.power.dp_power_array import power_frontier_array
 from repro.power.dp_power_counts import power_frontier_counts
 from repro.power.dp_power_pareto import (
     FrontierPoint,
@@ -22,6 +27,7 @@ from repro.power.dp_power_pareto import (
 from repro.power.exhaustive_power import exhaustive_min_power, exhaustive_power_frontier
 from repro.power.greedy_power import GreedyPowerCandidates, greedy_power_candidates
 from repro.power.heuristics import local_search_power, reuse_aware_greedy_power
+from repro.power.kernels import DEFAULT_KERNEL, KERNELS, resolve_kernel
 from repro.power.modes import ModeSet, PowerModel
 from repro.power.npcomplete import (
     TwoPartitionReduction,
@@ -30,8 +36,14 @@ from repro.power.npcomplete import (
     solve_two_partition_via_minpower,
     two_partition_reference,
 )
-from repro.power.result import ModalPlacementResult, modal_from_replicas
+from repro.power.result import (
+    FrontierColumns,
+    ModalPlacementResult,
+    modal_from_replicas,
+)
 from repro.power.serialize import (
+    frontier_from_columnar,
+    frontier_to_columnar,
     modal_cost_model_from_dict,
     modal_cost_model_to_dict,
     modal_result_to_record,
@@ -40,6 +52,9 @@ from repro.power.serialize import (
 )
 
 __all__ = [
+    "DEFAULT_KERNEL",
+    "KERNELS",
+    "FrontierColumns",
     "FrontierPoint",
     "GreedyPowerCandidates",
     "ModalPlacementResult",
@@ -50,6 +65,8 @@ __all__ = [
     "build_reduction",
     "exhaustive_min_power",
     "exhaustive_power_frontier",
+    "frontier_from_columnar",
+    "frontier_to_columnar",
     "greedy_power_candidates",
     "local_search_power",
     "min_power",
@@ -60,9 +77,11 @@ __all__ = [
     "modal_result_to_record",
     "partition_from_placement",
     "power_frontier",
+    "power_frontier_array",
     "power_frontier_counts",
     "power_model_from_dict",
     "power_model_to_dict",
+    "resolve_kernel",
     "reuse_aware_greedy_power",
     "solve_two_partition_via_minpower",
     "two_partition_reference",

@@ -112,7 +112,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 from repro.core.costs import ModalCostModel
 from repro.exceptions import ConfigurationError, InfeasibleError, SolverError
 from repro.power.modes import PowerModel
-from repro.power.result import ModalPlacementResult, modal_from_replicas
+from repro.power.result import (
+    FrontierColumns,
+    ModalPlacementResult,
+    modal_from_replicas,
+)
 from repro.tree.model import Tree
 
 __all__ = [
@@ -245,6 +249,18 @@ def _merge_slow(
     # Stream merge: one sorted candidate stream per accumulator row, a
     # heap across streams, and a bisect skip past candidates the current
     # best already dominates (they are never generated).
+    #
+    # A stream's candidates ascend strictly in exact g *before* rounding,
+    # but the float sum ``g0 + col_g[bv]`` can collapse a sub-ulp g step
+    # to equality — a not-yet-generated successor ``(g, p')`` (possibly
+    # from *another* stream whose head shares this g) then belongs before
+    # the candidate just popped in global ``(g, p)`` order, yet is not in
+    # the heap.  Popping out of order breaks the sweep (a dominated label
+    # slips past the running best), so pops are batched per exact g value:
+    # the cohort loop drains every equal-g entry, generating successors as
+    # it goes (equal-g successors join the cohort transitively), then
+    # processes the cohort in p-ascending order exactly as the sorted
+    # brute sweep would.
     heap: list[tuple] = []
     seq = 0
     for front_a, front_b, has_modes in prs:
@@ -270,25 +286,37 @@ def _merge_slow(
             heap.append((g0 + gb0, p0 + pb0, seq, g0, p0, arow, 0, cols))
             seq += 1
     heapify(heap)
-    generated = len(heap)
+    generated = seq
+    cohort: list[tuple] = []
     while heap:
-        g, p, s, g0, p0, r0, bv, cols = heappop(heap)
-        col_g, col_p, col_r, col_m, neg_p = cols
-        if p < best - _EPS:
-            best = p
-            m = -1 if col_m is None else col_m[bv]
-            out.append(
-                (g, p, ("m", r0, col_r[bv]) if m < 0
-                 else ("x", r0, col_r[bv], child, m))
-            )
-        # Next candidate of this stream that could still be accepted:
-        # first bv' > bv with p0 + P[bv'] < best - _EPS.
-        nxt = bisect_right(neg_p, p0 - best + _EPS, bv + 1)
-        if nxt < len(col_g):
-            heappush(
-                heap, (g0 + col_g[nxt], p0 + col_p[nxt], s, g0, p0, r0, nxt, cols)
-            )
-            generated += 1
+        g = heap[0][0]
+        while heap and heap[0][0] == g:  # repro-lint: ignore[float-eq]
+            _, p, s, g0, p0, r0, bv, cols = heappop(heap)
+            cohort.append((p, s, r0, bv, cols))
+            col_g, col_p, neg_p = cols[0], cols[1], cols[4]
+            # Next candidate of this stream that could still be accepted:
+            # first bv' > bv with p0 + P[bv'] < best - _EPS.
+            nxt = bisect_right(neg_p, p0 - best + _EPS, bv + 1)
+            if nxt < len(col_g):
+                seq += 1
+                generated += 1
+                heappush(
+                    heap,
+                    (g0 + col_g[nxt], p0 + col_p[nxt], seq, g0, p0, r0,
+                     nxt, cols),
+                )
+        if len(cohort) > 1:
+            cohort.sort()
+        for p, s, r0, bv, cols in cohort:
+            if p < best - _EPS:
+                best = p
+                col_r, col_m = cols[2], cols[3]
+                m = -1 if col_m is None else col_m[bv]
+                out.append(
+                    (g, p, ("m", r0, col_r[bv]) if m < 0
+                     else ("x", r0, col_r[bv], child, m))
+                )
+        cohort.clear()
     return out, generated, generated - len(out)
 
 
@@ -367,6 +395,7 @@ class PowerFrontier:
         root_node: int,
         *,
         extra: Mapping[str, object] | None = None,
+        columns: FrontierColumns | None = None,
     ) -> None:
         self._tree = tree
         self.points = list(points)
@@ -375,10 +404,17 @@ class PowerFrontier:
         self._pre = dict(preexisting_modes)
         self._root = root_node
         self.extra: dict[str, object] = dict(extra or {})
-        # Sorted columns for the bisect queries (costs ascending, powers
-        # descending along the frontier — negate the latter for bisect).
-        self._costs = [pt.cost for pt in self.points]
-        self._neg_powers = [-pt.power for pt in self.points]
+        # Columnar backing for the bisect queries (costs ascending,
+        # powers descending along the frontier): shared float64 buffers
+        # when the caller already has them (the array kernel, a columnar
+        # record decode), otherwise built from the points once.
+        self.columns = (
+            columns
+            if columns is not None
+            else FrontierColumns.from_pairs(
+                [(pt.cost, pt.power) for pt in self.points]
+            )
+        )
 
     def __len__(self) -> int:
         return len(self.points)
@@ -450,12 +486,7 @@ class PowerFrontier:
             extra=extra,
         )
         if verify:
-            for prev, nxt in zip(frontier.points, frontier.points[1:], strict=False):
-                if nxt.cost <= prev.cost or nxt.power >= prev.power:
-                    raise SolverError(
-                        "frontier record is not strictly cost-ascending / "
-                        f"power-descending at ({nxt.cost}, {nxt.power})"
-                    )
+            frontier.columns.validate()
             for pt in frontier.points:
                 frontier._materialise(pt)
         return frontier
@@ -472,10 +503,10 @@ class PowerFrontier:
         """Minimal-power solution with ``cost <= cost_bound`` (or ``None``).
 
         Power is non-increasing in cost along the frontier, so the answer
-        is the *last* frontier point within the bound — found by bisect
-        over the cost column.
+        is the *last* frontier point within the bound — found by a
+        ``searchsorted`` bisect over the columnar cost buffer.
         """
-        idx = bisect_right(self._costs, cost_bound + _EPS) - 1
+        idx = self.columns.index_under_cost(cost_bound)
         if idx < 0:
             return None
         return self._materialise(self.points[idx])
@@ -491,10 +522,10 @@ class PowerFrontier:
         problem with the roles of the objectives swapped (a power *cap*
         with a cost objective, e.g. a rack power budget).  Cost is
         non-increasing in allowed power along the frontier, so the answer
-        is the first frontier point within the bound — a bisect over the
-        (negated) power column.
+        is the first frontier point within the bound — a ``searchsorted``
+        bisect over the (negated) columnar power buffer.
         """
-        idx = bisect_left(self._neg_powers, -(power_bound + _EPS))
+        idx = self.columns.index_under_power(power_bound)
         if idx >= len(self.points):
             return None
         return self._materialise(self.points[idx])
@@ -960,6 +991,7 @@ def power_frontier(
         stats.memo_hits += memo_hits
         stats.memo_misses += memo_misses
         stats.memo_labels_shared += memo_shared
+        stats.record_kernel("tuple")
     return PowerFrontier(tree, points, power_model, cost_model, pre, root)
 
 

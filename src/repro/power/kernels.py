@@ -1,0 +1,53 @@
+"""Pareto-DP kernel selection.
+
+Two interchangeable engines produce the exact cost/power frontier:
+
+* ``"array"`` — :func:`~repro.power.dp_power_array.power_frontier_array`,
+  the structure-of-arrays numpy kernel (default);
+* ``"tuple"`` — :func:`~repro.power.dp_power_pareto.power_frontier`, the
+  row-tuple kernel retained as the byte-identity *oracle*.
+
+Both return byte-identical frontiers (pinned by
+``tests/power/test_kernel_equivalence.py``); the knob exists so the
+oracle stays one environment variable away in production and so CI can
+matrix over both.  Resolution order: explicit ``kernel=`` argument, then
+the ``REPRO_POWER_KERNEL`` environment variable, then
+:data:`DEFAULT_KERNEL`.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.power.dp_power_array import power_frontier_array
+from repro.power.dp_power_pareto import power_frontier
+
+__all__ = ["DEFAULT_KERNEL", "KERNELS", "resolve_kernel"]
+
+#: Kernel name -> solver callable (both share power_frontier's signature).
+KERNELS: dict[str, Callable] = {
+    "array": power_frontier_array,
+    "tuple": power_frontier,
+}
+
+DEFAULT_KERNEL = "array"
+
+#: Environment override consulted when no explicit kernel is requested.
+_ENV_VAR = "REPRO_POWER_KERNEL"
+
+
+def resolve_kernel(name: str | None = None) -> str:
+    """Resolve a kernel name (argument > environment > default).
+
+    Raises :class:`ConfigurationError` for unknown names so a typo'd
+    override fails loudly instead of silently solving with the default.
+    """
+    resolved = name or os.environ.get(_ENV_VAR) or DEFAULT_KERNEL
+    if resolved not in KERNELS:
+        raise ConfigurationError(
+            f"unknown power kernel {resolved!r}; expected one of "
+            f"{sorted(KERNELS)}"
+        )
+    return resolved

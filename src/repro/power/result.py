@@ -4,20 +4,103 @@ Under the paper's §2.2 semantics a server's operated mode is *determined by
 its load* (smallest mode covering ``req_j``), so a modal solution is fully
 described by the replica set; :func:`modal_from_replicas` derives modes,
 cost and power in one pass.
+
+:class:`FrontierColumns` is the columnar (structure-of-arrays) backing of
+a Pareto frontier: the sorted cost/power columns as shared float64
+buffers.  :class:`~repro.power.dp_power_pareto.PowerFrontier` holds one
+and answers its bound queries with O(log n) ``searchsorted`` bisects over
+these columns; the tuple-level API (``pairs()``, ``FrontierPoint``) stays
+unchanged as lazy views over the same buffers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from collections.abc import Iterable, Mapping
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.costs import ModalCostModel
 from repro.core.solution import server_loads
-from repro.exceptions import InfeasibleError
+from repro.exceptions import InfeasibleError, SolverError
 from repro.power.modes import PowerModel
 from repro.tree.model import Tree
 
-__all__ = ["ModalPlacementResult", "modal_from_replicas"]
+__all__ = ["FrontierColumns", "ModalPlacementResult", "modal_from_replicas"]
+
+#: Bound-query tolerance — matches the kernel's dominance ``_EPS`` (kept
+#: local: the kernel module imports this one, not the other way round).
+_BOUND_EPS = 1e-9
+
+
+class FrontierColumns:
+    """Sorted columnar view of a Pareto frontier (structure of arrays).
+
+    ``costs`` ascends strictly and ``powers`` descends strictly along the
+    frontier; both are float64 arrays sharing whatever buffer produced
+    them (the array kernel's output columns, or a zero-copy decode of a
+    columnar record).  Queries are ``searchsorted`` bisects; ``pairs()``
+    materialises plain-float tuples lazily for the row-level API.
+    """
+
+    __slots__ = ("costs", "powers", "_neg_powers")
+
+    def __init__(self, costs: object, powers: object) -> None:
+        self.costs = np.asarray(costs, dtype=np.float64)
+        self.powers = np.asarray(powers, dtype=np.float64)
+        if self.costs.shape != self.powers.shape or self.costs.ndim != 1:
+            raise SolverError(
+                "frontier columns must be 1-d arrays of equal length, got "
+                f"shapes {self.costs.shape} and {self.powers.shape}"
+            )
+        # Negated power column, precomputed so best-under-power bisects
+        # need no per-query allocation.
+        self._neg_powers = -self.powers
+
+    def __len__(self) -> int:
+        return int(self.costs.shape[0])
+
+    @classmethod
+    def from_pairs(
+        cls, pairs: Sequence[tuple[float, float]]
+    ) -> FrontierColumns:
+        """Build columns from ``(cost, power)`` tuples (row-major input)."""
+        if not pairs:
+            return cls(np.empty(0), np.empty(0))
+        arr = np.asarray(pairs, dtype=np.float64)
+        return cls(arr[:, 0].copy(), arr[:, 1].copy())
+
+    def pairs(self) -> list[tuple[float, float]]:
+        """Plain-float ``(cost, power)`` tuples (the lazy row view)."""
+        return list(zip(self.costs.tolist(), self.powers.tolist(), strict=True))
+
+    def validate(self) -> None:
+        """Check the frontier ordering invariant the bisects rely on.
+
+        Raises :class:`SolverError` unless costs strictly ascend and
+        powers strictly descend.
+        """
+        cost_steps = np.diff(self.costs)
+        power_steps = np.diff(self.powers)
+        if bool((cost_steps <= 0.0).any()) or bool((power_steps >= 0.0).any()):
+            raise SolverError(
+                "frontier record is not strictly cost-ascending / "
+                "power-descending"
+            )
+
+    def index_under_cost(self, cost_bound: float) -> int:
+        """Index of the last point with ``cost <= bound`` (-1 if none)."""
+        return int(
+            np.searchsorted(self.costs, cost_bound + _BOUND_EPS, side="right")
+        ) - 1
+
+    def index_under_power(self, power_bound: float) -> int:
+        """Index of the first point with ``power <= bound`` (len if none)."""
+        return int(
+            np.searchsorted(
+                self._neg_powers, -(power_bound + _BOUND_EPS), side="left"
+            )
+        )
 
 
 @dataclass(frozen=True)

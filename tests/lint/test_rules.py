@@ -239,6 +239,45 @@ class TestFloatEquality:
         """
         assert findings_for("float-eq", src, self.REL) == []
 
+    def test_array_kernel_module_in_scope(self):
+        # PR 7: the structure-of-arrays kernel carries the same bug
+        # shape; its scalar float comparisons are linted too.
+        src = """
+            def fast_path(p0, alias_p):
+                return p0 == alias_p
+        """
+        rel = "src/repro/power/dp_power_array.py"
+        found = findings_for("float-eq", src, rel)
+        assert len(found) == 1
+        assert "epsilon" in found[0].message
+
+    def test_ndarray_mask_comparisons_exempt(self):
+        # Elementwise ndarray comparisons build boolean masks — a
+        # vectorised select, not a scalar float equality.  Names follow
+        # the array kernel's ndarray suffix convention.
+        src = """
+            import numpy as np
+
+            def select(g_col, p_cols, flow_arr, keep_mask, row_ids):
+                a = g_col == 0.0
+                b = p_cols != flow_arr
+                c = keep_mask == row_ids
+                return a & b & c
+        """
+        rel = "src/repro/power/dp_power_array.py"
+        assert findings_for("float-eq", src, rel) == []
+
+    def test_scalar_float_next_to_masks_still_fires(self):
+        # The exemption is per-comparison: a scalar float equality in
+        # the same module (even the same function) is still flagged.
+        src = """
+            def mixed(g_col, power, eps):
+                mask = g_col == 0.0
+                return mask.any() and power == eps
+        """
+        rel = "src/repro/power/dp_power_array.py"
+        assert len(findings_for("float-eq", src, rel)) == 1
+
 
 class TestPicklable:
     REL = "src/repro/batch/executor.py"

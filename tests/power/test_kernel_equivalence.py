@@ -1,12 +1,16 @@
-"""Equivalence suite pinning the array/row Pareto kernel (PR 5).
+"""Equivalence suite pinning the Pareto kernels (PR 5 / PR 7).
 
-The rewritten dominance-aware kernel must be *observationally identical*
-to its predecessors: same (cost, power) frontier as the paper-faithful
-count-vector DP on arbitrary instances, identical with and without AHU
-subtree memoization, reconstructable placements that survive the
-``from_records(verify=True)`` re-pricing path (the PR-4 cache contract),
-and bisect-based bound queries that agree with the linear scans they
-replaced.
+Two production kernels solve the same DP — the row-tuple oracle
+(``power_frontier``) and the structure-of-arrays rebuild
+(``power_frontier_array``) — and both must be *observationally
+identical*: same (cost, power) frontier as the paper-faithful
+count-vector DP on arbitrary instances, byte-identical across kernels
+and with/without AHU subtree memoization, reconstructable placements
+that survive the ``from_records(verify=True)`` re-pricing path (the
+PR-4 cache contract), and bisect-based bound queries that agree with
+the linear scans they replaced.  Witness placements may differ between
+kernels at equal-optimum ties; every witness must still re-price
+exactly.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from hypothesis import strategies as st
 from repro.core.costs import ModalCostModel
 from repro.exceptions import InfeasibleError
 from repro.perf.stats import ParetoDPStats
+from repro.power.dp_power_array import power_frontier_array
 from repro.power.dp_power_counts import power_frontier_counts
 from repro.power.dp_power_pareto import power_frontier
 from repro.power.modes import ModeSet, PowerModel
@@ -33,10 +38,18 @@ CM3 = ModalCostModel.uniform(3, create=0.2, delete=0.05, changed=0.01)
 
 
 def both_kernels(tree, pm, cm, pre):
-    """Frontier with memoization on and off; must be byte-identical."""
+    """Frontier across both kernels, memoization on and off.
+
+    All four solves must agree byte-for-byte on the (cost, power)
+    frontier; returns the memoized tuple-kernel frontier.
+    """
     with_memo = power_frontier(tree, pm, cm, pre, memoize=True)
     without = power_frontier(tree, pm, cm, pre, memoize=False)
     assert with_memo.pairs() == without.pairs()
+    arr_memo = power_frontier_array(tree, pm, cm, pre, memoize=True)
+    arr_plain = power_frontier_array(tree, pm, cm, pre, memoize=False)
+    assert arr_memo.pairs() == with_memo.pairs()
+    assert arr_plain.pairs() == with_memo.pairs()
     return with_memo
 
 
@@ -122,9 +135,10 @@ class TestDegenerateInstances:
 
     def test_load_above_w_max_infeasible_same_error(self):
         t = Tree([None, 0], [Client(1, 11)])
-        for memoize in (True, False):
-            with pytest.raises(InfeasibleError):
-                power_frontier(t, PM, CM, memoize=memoize)
+        for kernel in (power_frontier, power_frontier_array):
+            for memoize in (True, False):
+                with pytest.raises(InfeasibleError):
+                    kernel(t, PM, CM, memoize=memoize)
 
     def test_every_node_saturated(self):
         # Every node carries exactly w_max of direct load: feasible only
@@ -356,3 +370,135 @@ class TestStatsCoherence:
         assert total.labels_created == 2 * a.labels_created
         assert total.merges == 2 * a.merges
         assert total.max_flow_keys == a.max_flow_keys
+
+    def test_kernel_solve_labels(self):
+        t = Tree([None, 0], [Client(1, 3)])
+        st_t, st_a = ParetoDPStats(), ParetoDPStats()
+        power_frontier(t, PM, CM, stats=st_t)
+        power_frontier_array(t, PM, CM, stats=st_a)
+        assert st_t.kernel_solves == {"tuple": 1}
+        assert st_a.kernel_solves == {"array": 1}
+        total = ParetoDPStats()
+        total.absorb(st_t.as_dict()).absorb(st_a.as_dict()).absorb(
+            st_a.as_dict()
+        )
+        assert total.kernel_solves == {"array": 2, "tuple": 1}
+        assert total.as_dict()["kernel_solves"] == {"array": 2, "tuple": 1}
+
+    def test_cross_kernel_mirror(self):
+        # The array kernel is a *re-expression* of the tuple kernel, not
+        # an approximation: the dominance-structure counters (merges,
+        # created/kept labels, memo behaviour) must mirror exactly.
+        # labels_generated / merge_rejected legitimately differ — the
+        # array kernel's certain-reject prefilter changes how many
+        # candidates are materialised, never which ones survive.
+        t = Tree(
+            [None, 0, 0, 1, 1, 2, 2],
+            [Client(v, (v % 4) + 1) for v in range(7)],
+        )
+        st_t, st_a = ParetoDPStats(), ParetoDPStats()
+        ft = power_frontier(t, PM, CM, {3: 1}, stats=st_t)
+        fa = power_frontier_array(t, PM, CM, {3: 1}, stats=st_a)
+        assert ft.pairs() == fa.pairs()
+        for field in (
+            "merges",
+            "labels_created",
+            "labels_kept",
+            "memo_hits",
+            "memo_misses",
+            "memo_labels_shared",
+        ):
+            assert getattr(st_t, field) == getattr(st_a, field), field
+
+
+class TestArrayKernelContract:
+    """Array-kernel specifics: lazy placements, columnar wire format,
+    and the ``kernel=`` selection knob."""
+
+    def _instance(self):
+        parents = [None, 0, 0, 1, 1, 2, 2, 3, 4]
+        clients = [Client(v, (v % 5) + 1) for v in range(3, 9)]
+        return Tree(parents, clients), {2: 1, 5: 0}
+
+    def test_lazy_placements_reverify(self):
+        # Array-kernel points decode placements on demand from the
+        # provenance log; every decoded witness must re-price exactly
+        # through the from_records(verify=True) path.
+        t, pre = self._instance()
+        frontier = power_frontier_array(t, PM, CM, pre)
+        assert_roundtrip(frontier, t, PM, CM, pre)
+
+    def test_placements_price_correctly(self):
+        t, pre = self._instance()
+        fa = power_frontier_array(t, PM, CM, pre)
+        for pt in fa.points:
+            modes = pt.placement()
+            if pt._root_mode is not None:
+                modes[t.root] = pt._root_mode
+            assert pt.power == pytest.approx(
+                sum(PM.mode_power(m) for m in modes.values()), abs=1e-9
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_trees(max_nodes=9, max_requests=6), st.data())
+    def test_roundtrip_hypothesis(self, tree, data):
+        pre_nodes = data.draw(
+            st.lists(
+                st.integers(0, tree.n_nodes - 1), max_size=4, unique=True
+            )
+        )
+        pre = {v: data.draw(st.integers(0, 1)) for v in pre_nodes}
+        try:
+            frontier = power_frontier_array(tree, PM, CM, pre)
+        except InfeasibleError:
+            return
+        assert_roundtrip(frontier, tree, PM, CM, pre)
+
+    def test_columnar_roundtrip(self):
+        from repro.power.serialize import (
+            frontier_from_columnar,
+            frontier_to_columnar,
+        )
+
+        t, pre = self._instance()
+        frontier = power_frontier_array(t, PM, CM, pre)
+        data = frontier_to_columnar(frontier)
+        rebuilt = frontier_from_columnar(t, data, PM, CM, pre, verify=True)
+        assert rebuilt.pairs() == frontier.pairs()
+        for a, b in zip(rebuilt.points, frontier.points, strict=True):
+            full = b.placement()
+            if b._root_mode is not None:
+                full[t.root] = b._root_mode
+            assert a.placement() == full
+        # Encoding is deterministic: same frontier, same bytes.
+        assert frontier_to_columnar(rebuilt) == data
+
+    def test_columnar_rejects_foreign_dtype(self):
+        from repro.exceptions import ConfigurationError
+        from repro.power.serialize import (
+            frontier_from_columnar,
+            frontier_to_columnar,
+        )
+
+        t, pre = self._instance()
+        data = frontier_to_columnar(power_frontier_array(t, PM, CM, pre))
+        assert data["dtype"] == "<f8"
+        bad = dict(data, dtype=">f8")
+        with pytest.raises(ConfigurationError, match="dtype"):
+            frontier_from_columnar(t, bad, PM, CM, pre)
+        unknown = dict(data, columnar_schema=99)
+        with pytest.raises(ConfigurationError, match="schema"):
+            frontier_from_columnar(t, unknown, PM, CM, pre)
+
+    def test_resolve_kernel_precedence(self, monkeypatch):
+        from repro.exceptions import ConfigurationError
+        from repro.power.kernels import DEFAULT_KERNEL, resolve_kernel
+
+        monkeypatch.delenv("REPRO_POWER_KERNEL", raising=False)
+        assert resolve_kernel() == DEFAULT_KERNEL == "array"
+        assert resolve_kernel("tuple") == "tuple"
+        monkeypatch.setenv("REPRO_POWER_KERNEL", "tuple")
+        assert resolve_kernel() == "tuple"
+        assert resolve_kernel("array") == "array"  # argument wins
+        with pytest.raises(ConfigurationError, match="unknown power kernel"):
+            resolve_kernel("simd")

@@ -194,6 +194,31 @@ class TestBatch:
             assert "unique_solved=3" in out
             assert "duplicates_folded=3" in out
 
+    def test_batch_stats_reports_per_kernel_counters(self, capsys, monkeypatch):
+        # --kernel writes the env override; seed it through monkeypatch
+        # so the mutation is rolled back after the test.
+        monkeypatch.setenv("REPRO_POWER_KERNEL", "array")
+        outputs = {}
+        for kernel in ("array", "tuple"):
+            assert (
+                main(
+                    [
+                        "batch", "--demo", "4", "--duplicate-rate", "0.5",
+                        "--nodes", "20", "--seed", "7",
+                        "--solver", "min_power", "--stats",
+                        "--kernel", kernel,
+                    ]
+                )
+                == 0
+            )
+            out = capsys.readouterr().out
+            stats = json.loads(out[out.index("{"):])
+            assert stats["kernel_solves"] == {kernel: stats["kernel_records"]}
+            outputs[kernel] = stats
+        # Same workload, different engine: identical dominance structure.
+        for field in ("merges", "labels_created", "labels_kept"):
+            assert outputs["array"][field] == outputs["tuple"][field]
+
     def test_batch_disk_size_flag(self, tmp_path, capsys):
         cache_dir = str(tmp_path / "cache")
         assert (

@@ -44,6 +44,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass
 from collections.abc import Iterable, Mapping, Sequence
 from typing import TYPE_CHECKING
@@ -59,6 +62,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "Canonical",
     "SubtreeCodes",
+    "cached_subtree_codes",
     "canonicalize",
     "instance_digest",
     "labelled_subtree_codes",
@@ -106,6 +110,17 @@ class Canonical:
         return frozenset(self.from_canonical[v] for v in canonical_nodes)
 
 
+def _normalize_preexisting(
+    preexisting: Iterable[int] | Mapping[int, int],
+) -> dict[int, int]:
+    """Coerce either pre-existing shape to the ``{node: old_mode}`` form."""
+    return (
+        {int(v): int(m) for v, m in preexisting.items()}
+        if isinstance(preexisting, Mapping)
+        else {int(v): 0 for v in preexisting}
+    )
+
+
 def canonicalize(
     tree: Tree, preexisting: Iterable[int] | Mapping[int, int] = ()
 ) -> Canonical:
@@ -115,11 +130,7 @@ def canonicalize(
     shape) or a ``{node: old_mode}`` mapping (the power shape); a plain
     set canonicalises exactly like the all-modes-0 mapping.
     """
-    pre_modes = (
-        {int(v): int(m) for v, m in preexisting.items()}
-        if isinstance(preexisting, Mapping)
-        else {int(v): 0 for v in preexisting}
-    )
+    pre_modes = _normalize_preexisting(preexisting)
     check_preexisting(tree, pre_modes)
     n = tree.n_nodes
 
@@ -222,7 +233,10 @@ class SubtreeCodes:
 
 
 def labelled_subtree_codes(
-    tree: Tree, preexisting: Iterable[int] | Mapping[int, int] = ()
+    tree: Tree,
+    preexisting: Iterable[int] | Mapping[int, int] = (),
+    *,
+    intern: dict[tuple, int] | None = None,
 ) -> SubtreeCodes:
     """Intern the labelled AHU code of every node's subtree.
 
@@ -241,17 +255,21 @@ def labelled_subtree_codes(
     :func:`canonicalize` no level-by-level ordering is needed — equal
     keys imply equal heights by construction, and within-tree equality
     is all the intern ids promise.
+
+    ``intern`` optionally supplies a caller-owned intern table.  Ids
+    then stay comparable across *every call sharing that table* — the
+    contract the live-session front store
+    (:mod:`repro.power.frontstore`) relies on to match subtree tables
+    across deltas.  Without it a fresh table is used per call and ids
+    are only comparable within that call.
     """
-    pre_modes = (
-        {int(v): int(m) for v, m in preexisting.items()}
-        if isinstance(preexisting, Mapping)
-        else {int(v): 0 for v in preexisting}
-    )
+    pre_modes = _normalize_preexisting(preexisting)
     check_preexisting(tree, pre_modes)
     n = tree.n_nodes
     codes = [0] * n
     keys = [0] * n
-    intern: dict[tuple, int] = {}
+    if intern is None:
+        intern = {}
     loads = tree.client_loads.tolist()
     children = tree.children
     # A node's table_key is the code its marker-0 twin would carry, so one
@@ -278,6 +296,50 @@ def labelled_subtree_codes(
         else:
             keys[vi] = c
     return SubtreeCodes(codes=tuple(codes), table_keys=tuple(keys))
+
+
+#: Capacity of the per-process :func:`cached_subtree_codes` memo.  Live
+#: sessions and bound sweeps hammer a handful of trees; 128 retained
+#: relabellings covers every realistic working set while keeping the
+#: worst case (128 full code tuples) a few MiB.
+_CODES_MEMO_CAP = 128
+
+_codes_memo: OrderedDict[
+    tuple[int, tuple[tuple[int, int], ...]],
+    tuple["weakref.ref[Tree]", SubtreeCodes],
+] = OrderedDict()
+_codes_memo_lock = threading.Lock()
+
+
+def cached_subtree_codes(
+    tree: Tree, preexisting: Iterable[int] | Mapping[int, int] = ()
+) -> SubtreeCodes:
+    """Memoized :func:`labelled_subtree_codes` for repeated solves.
+
+    Both Pareto-DP kernels relabel the whole tree on *every* solve; on
+    the serving hot paths (bound sweeps, live sessions, cache-warm
+    batches) the same ``(tree, pre)`` pair recurs many times, so the
+    O(N log N) relabelling is pure overhead after the first call.  The
+    memo is keyed by tree *identity* plus the sorted pre-mode items and
+    holds a weak reference to the tree: an entry only answers while the
+    keyed object is still alive (``id`` reuse after garbage collection
+    cannot alias a different tree), and the LRU cap bounds the memo on
+    long-lived processes.  Thread-safe — solves run on executor threads.
+    """
+    pre_modes = _normalize_preexisting(preexisting)
+    key = (id(tree), tuple(sorted(pre_modes.items())))
+    with _codes_memo_lock:
+        hit = _codes_memo.get(key)
+        if hit is not None and hit[0]() is tree:
+            _codes_memo.move_to_end(key)
+            return hit[1]
+    sub = labelled_subtree_codes(tree, pre_modes)
+    with _codes_memo_lock:
+        _codes_memo[key] = (weakref.ref(tree), sub)
+        _codes_memo.move_to_end(key)
+        while len(_codes_memo) > _CODES_MEMO_CAP:
+            _codes_memo.popitem(last=False)
+    return sub
 
 
 def instance_digest(

@@ -15,6 +15,10 @@ Subcommands
 ``power``
     Print the exact cost/power frontier (and optionally the placement for
     one bound).
+``dynamics``
+    Multi-step update sessions (Experiment 2's engine) with an explicit
+    ``--seed``; ``--incremental`` drives the live delta re-solve engine
+    (:mod:`repro.dynamics.incremental`) over a random churn sequence.
 ``exp1`` / ``exp2`` / ``exp3``
     Run the paper's experiments at a configurable scale and render the
     corresponding figure as ASCII + a data table (optionally CSV).
@@ -237,6 +241,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--shutdown", action="store_true",
         help="ask the server to drain and stop afterwards",
     )
+    c.add_argument(
+        "--session", type=int, default=None, metavar="STEPS",
+        help="open a live incremental session on one --nodes/--seed demo "
+        "power instance and stream STEPS random delta batches through it",
+    )
+    c.add_argument(
+        "--kernel", choices=("array", "tuple"), default=None,
+        help="Pareto-DP engine requested for --session (server default "
+        "otherwise)",
+    )
+
+    d = sub.add_parser(
+        "dynamics",
+        help="multi-step update sessions / live incremental re-solve engine",
+    )
+    d.add_argument("--nodes", type=int, default=100)
+    d.add_argument("--steps", type=int, default=10)
+    d.add_argument("--seed", type=int, default=None)
+    d.add_argument("--capacity", type=int, default=10)
+    d.add_argument(
+        "--evolution", choices=("redraw", "walk", "hotspot"),
+        default="redraw",
+        help="workload evolution between steps (session mode)",
+    )
+    d.add_argument(
+        "--incremental", action="store_true",
+        help="drive the incremental delta re-solve engine over a random "
+        "churn sequence instead of the Experiment-2 session tracks",
+    )
+    d.add_argument(
+        "--deltas-per-step", type=int, default=1,
+        help="churn deltas batched into each incremental step",
+    )
+    d.add_argument(
+        "--kernel", choices=("array", "tuple"), default=None,
+        help="Pareto-DP engine for --incremental (default: array)",
+    )
+    d.add_argument(
+        "--verify", action="store_true",
+        help="cross-check every incremental frontier against a cold solve "
+        "(byte-identity)",
+    )
+    d.add_argument("--modes", type=str, default="5,10")
+    d.add_argument("--alpha", type=float, default=3.0)
+    d.add_argument("--static", type=float, default=12.5)
+    d.add_argument("--create", type=float, default=0.1)
+    d.add_argument("--delete", type=float, default=0.01)
+    d.add_argument("--changed", type=float, default=0.001)
+    d.add_argument("--csv", type=str, default=None)
 
     p = sub.add_parser("power", help="print the cost/power frontier of a tree")
     p.add_argument("tree", type=str)
@@ -377,6 +430,102 @@ async def _run_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def _random_delta(
+    tree: Tree, rng: np.random.Generator, max_load: int | None = None
+):
+    """One random, always-feasible churn delta for ``tree``.
+
+    Draws uniformly over the applicable delta kinds.  ``max_load`` (the
+    largest mode capacity ``W``) bounds per-node direct client load so
+    the evolved instance stays solvable; migrations leave direct loads
+    untouched, retry a few candidate ``(node, new_parent)`` pairs and
+    degrade to an ``add_client`` when the tree offers no valid move.
+    """
+    from repro.dynamics import AddClient, MigrateSubtree, RemoveClient, SetRequests
+
+    loads = tree.client_loads
+
+    def _headroom(node: int) -> int:
+        return (1 << 30) if max_load is None else max_load - int(loads[node])
+
+    kinds = ["add", "migrate"]
+    if tree.clients:
+        kinds += ["remove", "set"]
+    kind = kinds[int(rng.integers(len(kinds)))]
+    if kind == "remove":
+        return RemoveClient(int(rng.integers(len(tree.clients))))
+    if kind == "set":
+        idx = int(rng.integers(len(tree.clients)))
+        cap = _headroom(tree.clients[idx].node) + tree.clients[idx].requests
+        if cap >= 1:
+            return SetRequests(idx, 1 + int(rng.integers(min(6, cap))))
+        return RemoveClient(idx)
+    if kind == "migrate" and tree.n_nodes > 1:
+        for _ in range(16):
+            node = int(rng.integers(1, tree.n_nodes))
+            new_parent = int(rng.integers(tree.n_nodes))
+            if new_parent != tree.parents[node] and not tree.is_ancestor(
+                node, new_parent
+            ):
+                return MigrateSubtree(node, new_parent)
+    nodes = [v for v in range(tree.n_nodes) if _headroom(v) >= 1]
+    if not nodes:  # saturated everywhere: shed load instead of adding
+        return RemoveClient(int(rng.integers(len(tree.clients))))
+    node = nodes[int(rng.integers(len(nodes)))]
+    return AddClient(node, 1 + int(rng.integers(min(6, _headroom(node)))))
+
+
+async def _run_session_client(args: argparse.Namespace) -> int:
+    """The ``repro client --session`` path: stream deltas at a server."""
+    from repro.dynamics import apply_deltas
+    from repro.serve import ServeClient
+
+    rng = np.random.default_rng(args.seed)
+    tree = paper_tree(args.nodes, rng=rng)
+    power_model = PowerModel(
+        _parse_mode_set(args.modes), static_power=args.static, alpha=args.alpha
+    )
+    from repro.batch.instance import BatchInstance
+
+    instance = BatchInstance(tree, 10, frozenset(), power_model=power_model)
+    client = await ServeClient.connect(args.host, args.port)
+    try:
+        sess = await client.session(instance, kernel=args.kernel)
+        print(
+            f"session {sess.session_id} kernel={sess.kernel} "
+            f"points={len(sess.result['points'])}"
+        )
+        rows = []
+        max_load = max(power_model.modes.capacities)
+        for step in range(args.session):
+            deltas = [_random_delta(tree, rng, max_load)]
+            response = await sess.delta(deltas)
+            tree, _ = apply_deltas(tree, deltas)
+            apply_info = response["apply"]
+            rows.append(
+                (
+                    step,
+                    type(deltas[0]).__name__,
+                    apply_info["fronts_reused"],
+                    apply_info["fronts_invalidated"],
+                    len(response["result"]["points"]),
+                )
+            )
+        print(
+            format_table(
+                ("step", "delta", "reused", "invalidated", "points"), rows
+            )
+        )
+        stats = await sess.close()
+        print(json.dumps(stats, indent=2))
+        if args.shutdown:
+            await client.shutdown_server()
+            print("server shutdown requested")
+    finally:
+        await client.close()
+    return 0
+
+
 async def _run_client(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient
 
@@ -386,6 +535,15 @@ async def _run_client(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.session is not None:
+        if args.file is not None or args.demo is not None:
+            print(
+                "error: --session is mutually exclusive with a batch file "
+                "and --demo",
+                file=sys.stderr,
+            )
+            return 2
+        return await _run_session_client(args)
     instances = []
     if args.demo is not None:
         instances = random_batch(
@@ -398,8 +556,8 @@ async def _run_client(args: argparse.Namespace) -> int:
         instances = batch_from_json(_read_text(args.file))
     elif not (args.stats or args.perf or args.shutdown):
         print(
-            "error: provide a batch file, --demo N, --stats, --perf or "
-            "--shutdown",
+            "error: provide a batch file, --demo N, --session N, --stats, "
+            "--perf or --shutdown",
             file=sys.stderr,
         )
         return 2
@@ -431,6 +589,126 @@ async def _run_client(args: argparse.Namespace) -> int:
             print("server shutdown requested")
     finally:
         await client.close()
+    return 0
+
+
+def _dispatch_dynamics(args: argparse.Namespace) -> int:
+    """``repro dynamics``: session tracks, or ``--incremental`` churn."""
+    if args.incremental:
+        from repro.dynamics import SessionState, apply_deltas
+        from repro.power.kernels import KERNELS
+
+        rng = np.random.default_rng(args.seed)
+        tree = paper_tree(args.nodes, rng=rng)
+        power_model = PowerModel(
+            _parse_mode_set(args.modes),
+            static_power=args.static,
+            alpha=args.alpha,
+        )
+        cost_model = ModalCostModel.uniform(
+            power_model.modes.n_modes,
+            create=args.create,
+            delete=args.delete,
+            changed=args.changed,
+        )
+        state = SessionState(tree, power_model, cost_model, kernel=args.kernel)
+        print(
+            f"cold solve: {len(state.frontier().pairs())} frontier points "
+            f"(kernel={state.kernel})"
+        )
+        rows = []
+        verified = 0
+        max_load = max(power_model.modes.capacities)
+        try:
+            for step in range(args.steps):
+                # Generate each delta against the batch-so-far tree so
+                # client indices and load headroom stay valid within the
+                # batch, not just at its start.
+                deltas = []
+                preview = state.tree
+                for _ in range(args.deltas_per_step):
+                    delta = _random_delta(preview, rng, max_load)
+                    preview, _ = apply_deltas(preview, [delta])
+                    deltas.append(delta)
+                result = state.apply(deltas)
+                if args.verify:
+                    cold = KERNELS[state.kernel](
+                        state.tree,
+                        power_model,
+                        cost_model,
+                        state.preexisting_modes,
+                    )
+                    if result.frontier.pairs() != cold.pairs():
+                        raise ConfigurationError(
+                            f"incremental frontier diverged from the cold "
+                            f"solve at step {step}"
+                        )
+                    verified += 1
+                rows.append(
+                    (
+                        step,
+                        ",".join(type(d).__name__ for d in deltas),
+                        result.fronts_reused,
+                        result.fronts_invalidated,
+                        len(result.frontier.pairs()),
+                    )
+                )
+        finally:
+            state.close()
+        headers = ("step", "deltas", "reused", "invalidated", "points")
+        print(format_table(headers, rows))
+        stats = state.stats
+        touched = stats.fronts_reused + stats.fronts_invalidated
+        reuse = stats.fronts_reused / touched if touched else 0.0
+        print(
+            f"steps={args.steps} deltas={stats.deltas_applied} "
+            f"fronts_reused={stats.fronts_reused} "
+            f"fronts_invalidated={stats.fronts_invalidated} "
+            f"reuse_rate={reuse:.2f}"
+        )
+        if args.verify:
+            print(
+                f"verified: {verified} incremental frontiers byte-identical "
+                "to cold solves"
+            )
+        if args.csv:
+            Path(args.csv).write_text(to_csv(headers, rows), encoding="utf-8")
+        return 0
+
+    from repro.dynamics import (
+        DPUpdateStrategy,
+        GreedyStrategy,
+        HotspotShift,
+        RandomWalkRequests,
+        RedrawRequests,
+        run_session,
+    )
+
+    evolution = {
+        "redraw": RedrawRequests(),
+        "walk": RandomWalkRequests(),
+        "hotspot": HotspotShift(),
+    }[args.evolution]
+    tree = paper_tree(args.nodes, rng=np.random.default_rng(args.seed))
+    result = run_session(
+        tree,
+        args.capacity,
+        args.steps,
+        evolution,
+        {"DP": DPUpdateStrategy(), "GR": GreedyStrategy()},
+        seed=args.seed,
+    )
+    rows = [
+        (rec_dp.step, rec_dp.n_replicas, rec_dp.n_reused, rec_gr.n_reused)
+        for rec_dp, rec_gr in zip(result.tracks["DP"], result.tracks["GR"])
+    ]
+    headers = ("step", "DP_replicas", "DP_reused", "GR_reused")
+    print(format_table(headers, rows))
+    dp_total = result.cumulative_reuse("DP")[-1]
+    gr_total = result.cumulative_reuse("GR")[-1]
+    print(f"cumulative reuse: DP={dp_total} GR={gr_total}")
+    if args.csv:
+        Path(args.csv).write_text(to_csv(headers, rows), encoding="utf-8")
     return 0
 
 
@@ -621,6 +899,9 @@ def _dispatch(args: argparse.Namespace) -> int:
         except OSError as exc:  # e.g. connection refused, server gone
             print(f"error: {exc}", file=sys.stderr)
             return 2
+
+    if args.command == "dynamics":
+        return _dispatch_dynamics(args)
 
     if args.command == "power":
         tree = _read_tree(args.tree)

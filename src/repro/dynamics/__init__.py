@@ -8,6 +8,19 @@ from repro.dynamics.evolution import (
     RandomWalkRequests,
     RedrawRequests,
 )
+from repro.dynamics.incremental import (
+    AddClient,
+    ApplyResult,
+    Delta,
+    MigrateSubtree,
+    RemoveClient,
+    SessionState,
+    SessionStats,
+    SetRequests,
+    apply_deltas,
+    delta_from_dict,
+    delta_to_dict,
+)
 from repro.dynamics.migration import (
     MigrationPlan,
     MigrationStep,
@@ -34,14 +47,25 @@ from repro.dynamics.strategies import (
 )
 
 __all__ = [
+    "AddClient",
+    "ApplyResult",
     "DPUpdateStrategy",
+    "Delta",
     "EvolutionModel",
     "GreedyStrategy",
     "HotspotShift",
     "LazyPolicy",
+    "MigrateSubtree",
     "MigrationPlan",
     "MigrationStep",
+    "RemoveClient",
+    "SessionState",
+    "SessionStats",
+    "SetRequests",
     "StepKind",
+    "apply_deltas",
+    "delta_from_dict",
+    "delta_to_dict",
     "plan_migration",
     "PeriodicPolicy",
     "PlacementStrategy",

@@ -126,6 +126,7 @@ def run_session(
     strategies: Mapping[str, PlacementStrategy],
     *,
     rng: np.random.Generator | int | None = None,
+    seed: int | None = None,
     initial_preexisting: Iterable[int] = (),
     cost_model: CostLike | None = None,
 ) -> SessionResult:
@@ -139,6 +140,12 @@ def run_session(
         Applied between consecutive steps to produce the next workload.
     strategies:
         Named placement algorithms; each evolves its own pre-existing set.
+    rng:
+        Generator (or raw seed) driving the workload evolution.
+    seed:
+        Explicit integer seed — the replayable spelling used by
+        ``repro dynamics --seed``; two runs with equal seeds see
+        identical workload sequences.  Mutually exclusive with ``rng``.
     cost_model:
         Used only to *price* every step uniformly across strategies
         (Equation 2 against the strategy's previous placement); defaults to
@@ -153,6 +160,13 @@ def run_session(
         raise ConfigurationError(f"n_steps must be >= 1, got {n_steps}")
     if not strategies:
         raise ConfigurationError("at least one strategy is required")
+    if seed is not None:
+        if rng is not None:
+            raise ConfigurationError(
+                "pass either rng or seed, not both (they would race for "
+                "control of the workload sequence)"
+            )
+        rng = int(seed)
     gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
     pricing = cost_model if cost_model is not None else UniformCostModel()
 

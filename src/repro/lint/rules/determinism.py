@@ -62,6 +62,7 @@ class DeterminismRule(Rule):
     )
     default_patterns = (
         "*/batch/canonical.py",
+        "*/dynamics/incremental.py",
         "*/power/serialize.py",
         "*/tree/serialize.py",
     )

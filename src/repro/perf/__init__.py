@@ -12,6 +12,7 @@ from repro.perf.stats import (
     ParetoDPStats,
     PolicyServeStats,
     ServeStats,
+    SessionServeStats,
     instrument_pareto_frontier,
     instrument_replica_update,
 )
@@ -22,6 +23,7 @@ __all__ = [
     "ParetoDPStats",
     "PolicyServeStats",
     "ServeStats",
+    "SessionServeStats",
     "instrument_pareto_frontier",
     "instrument_replica_update",
 ]

@@ -40,6 +40,7 @@ __all__ = [
     "ParetoDPStats",
     "PolicyServeStats",
     "ServeStats",
+    "SessionServeStats",
     "instrument_replica_update",
     "instrument_pareto_frontier",
 ]
@@ -148,6 +149,74 @@ class PolicyServeStats:
             "errors": self.errors,
             "p50_latency": self.latency_quantile(0.50),
             "p99_latency": self.latency_quantile(0.99),
+        }
+
+
+@dataclass
+class SessionServeStats:
+    """Counters of one live session (the serve tier's ``session.*`` ops).
+
+    ``applies`` counts ``session.delta`` calls, ``deltas_applied`` the
+    individual deltas inside them (a call may batch several);
+    ``fronts_reused`` / ``fronts_invalidated`` mirror the
+    :class:`repro.dynamics.SessionStats` store counters (tables answered
+    from the retained store vs recomputed along the dirty root paths).
+    Delta latencies (seconds, request decode to re-solved frontier) land
+    in the same sliding-window quantile machinery as
+    :class:`PolicyServeStats`.
+    """
+
+    applies: int = 0
+    deltas_applied: int = 0
+    fronts_reused: int = 0
+    fronts_invalidated: int = 0
+    errors: int = 0
+    latencies: deque = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+
+    def record_apply(
+        self,
+        *,
+        deltas: int,
+        reused: int,
+        invalidated: int,
+        seconds: float,
+    ) -> None:
+        """Fold one ``session.delta`` round trip into the counters."""
+        self.applies += 1
+        self.deltas_applied += deltas
+        self.fronts_reused += reused
+        self.fronts_invalidated += invalidated
+        self.latencies.append(seconds)
+
+    def latency_quantile(self, q: float) -> float:
+        """Nearest-rank ``q``-quantile of the latency window (0.0 idle)."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+    def merge(self, other: SessionServeStats) -> SessionServeStats:
+        """Fold ``other`` into this collector (closed-session aggregation)."""
+        self.applies += other.applies
+        self.deltas_applied += other.deltas_applied
+        self.fronts_reused += other.fronts_reused
+        self.fronts_invalidated += other.fronts_invalidated
+        self.errors += other.errors
+        self.latencies.extend(other.latencies)
+        return self
+
+    def as_dict(self) -> dict[str, float | int]:
+        return {
+            "applies": self.applies,
+            "deltas_applied": self.deltas_applied,
+            "fronts_reused": self.fronts_reused,
+            "fronts_invalidated": self.fronts_invalidated,
+            "errors": self.errors,
+            "p50_delta_latency": self.latency_quantile(0.50),
+            "p99_delta_latency": self.latency_quantile(0.99),
         }
 
 

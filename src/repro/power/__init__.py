@@ -27,6 +27,7 @@ from repro.power.dp_power_pareto import (
 from repro.power.exhaustive_power import exhaustive_min_power, exhaustive_power_frontier
 from repro.power.greedy_power import GreedyPowerCandidates, greedy_power_candidates
 from repro.power.heuristics import local_search_power, reuse_aware_greedy_power
+from repro.power.frontstore import FrontStore
 from repro.power.kernels import DEFAULT_KERNEL, KERNELS, resolve_kernel
 from repro.power.modes import ModeSet, PowerModel
 from repro.power.npcomplete import (
@@ -54,6 +55,7 @@ from repro.power.serialize import (
 __all__ = [
     "DEFAULT_KERNEL",
     "KERNELS",
+    "FrontStore",
     "FrontierColumns",
     "FrontierPoint",
     "GreedyPowerCandidates",

@@ -77,6 +77,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from numpy.typing import NDArray
 
     from repro.perf.stats import ParetoDPStats
+    from repro.power.frontstore import FrontStore
 
 from repro.core.costs import ModalCostModel
 from repro.exceptions import ConfigurationError, InfeasibleError
@@ -143,7 +144,9 @@ class _ProvLog:
         self.b: list[int] = [0]
         self.node: list[int] = [0]
         self.mode: list[int] = [0]
-        self.isos: list[dict[int, int]] = []
+        # dicts, or lazy mapping-like isos in front-store mode — the
+        # placement walk only ever subscripts them.
+        self.isos: list[Any] = []
 
     def append_merges(
         self,
@@ -163,7 +166,7 @@ class _ProvLog:
         self.mode.extend(modes)
         return np.arange(start, start + n, dtype=np.int64)
 
-    def add_iso(self, iso: dict[int, int]) -> int:
+    def add_iso(self, iso: Any) -> int:
         """Register one memo isomorphism; returns its index for aliases."""
         self.isos.append(iso)
         return len(self.isos) - 1
@@ -258,6 +261,7 @@ def power_frontier_array(
     *,
     stats: ParetoDPStats | None = None,
     memoize: bool = True,
+    front_store: FrontStore | None = None,
 ) -> PowerFrontier:
     """Exact cost/power frontier — array-kernel drop-in for
     :func:`~repro.power.dp_power_pareto.power_frontier`.
@@ -266,6 +270,12 @@ def power_frontier_array(
     the equivalence suite); only the merge engine differs.  The returned
     :class:`~repro.power.dp_power_pareto.PowerFrontier` shares the root
     sweep's output columns as its :class:`FrontierColumns` backing.
+
+    ``front_store`` (an ``"array"``-bound :class:`repro.power.FrontStore`)
+    switches table sharing from the solve-local memo to the store, which
+    also retains every table across solves (``memoize`` is then ignored).
+    The provenance log lives on the store in that mode, so aliases
+    published in one solve stay resolvable in later ones.
     """
     modes = power_model.modes
     n_modes = modes.n_modes
@@ -303,12 +313,19 @@ def power_frontier_array(
     table_keys: Sequence[int] = ()
     memo: dict[int, tuple[int, dict[int, _Front]]] = {}
     recurring: set[int] = set()
-    if memoize:
+    if front_store is not None:
+        # Store mode (live sessions): the session-owned store both answers
+        # repeated subtrees within this solve and retains every computed
+        # table for the next one, so the solve-local memo stays unused.
+        front_store.begin_solve("array")
+        sub = front_store.codes_for(tree, pre)
+        codes, table_keys = sub.codes, sub.table_keys
+    elif memoize:
         from collections import Counter
 
-        from repro.batch.canonical import labelled_subtree_codes
+        from repro.batch.canonical import cached_subtree_codes
 
-        sub = labelled_subtree_codes(tree, pre)
+        sub = cached_subtree_codes(tree, pre)
         codes, table_keys = sub.codes, sub.table_keys
         key_counts = Counter(
             table_keys[v] for v in range(tree.n_nodes) if tree.children(v)
@@ -323,7 +340,15 @@ def power_frontier_array(
     memo_misses = 0
     memo_shared = 0
 
-    prov = _ProvLog()
+    if front_store is not None:
+        # Stored alias columns index the session-wide log, so the log
+        # must outlive any one solve: it lives on the store (created here
+        # lazily so the store module stays kernel-agnostic).
+        prov = front_store.prov
+        if prov is None:
+            prov = front_store.prov = _ProvLog()
+    else:
+        prov = _ProvLog()
     children = tree.children
     loads = tree.client_loads.tolist()
     tables: list[dict[int, _Front] | None] = [None] * tree.n_nodes
@@ -335,13 +360,26 @@ def power_frontier_array(
         j = stack.pop()
         if j >= 0:
             kids = children(j)
-            if memoize and kids:
-                hit = memo.get(table_keys[j])
-                if hit is not None:
-                    rep, rep_table = hit
+            if kids and (front_store is not None or memoize):
+                rep_table: Mapping[int, _Front] | None = None
+                iso_obj: Any = None
+                if front_store is not None:
+                    entry = front_store.lookup(table_keys[j])
+                    if entry is not None:
+                        rep_table = entry.table
+                        # Lazy iso: materialised only if a placement is
+                        # reconstructed through it (keeps store hits
+                        # O(fronts), not O(subtree)).
+                        iso_obj = front_store.make_iso(entry, tree, codes, j)
+                else:
+                    hit = memo.get(table_keys[j])
+                    if hit is not None:
+                        rep, rep_table = hit
+                        iso_obj = _subtree_iso(tree, codes, rep, j)
+                if rep_table is not None:
                     # One iso shared by every aliased row; g/p columns are
                     # the representative's buffers, zero-copy.
-                    iso_idx = prov.add_iso(_subtree_iso(tree, codes, rep, j))
+                    iso_idx = prov.add_iso(iso_obj)
                     table: dict[int, _Front] = {
                         f: (front[0], front[1], prov.append_aliases(front[2], iso_idx))
                         for f, front in rep_table.items()
@@ -760,7 +798,16 @@ def power_frontier_array(
                 stats.record_table(_front_sizes(merged))
             acc = merged
         tables[j] = acc
-        if memoize and table_keys[j] in recurring:
+        if front_store is not None:
+            front_store.publish(
+                table_keys[j],
+                tree,
+                codes,
+                j,
+                acc,
+                sum(int(front[0].shape[0]) for front in acc.values()),
+            )
+        elif memoize and table_keys[j] in recurring:
             memo[table_keys[j]] = (j, acc)
 
     root = tree.root
@@ -817,6 +864,8 @@ def power_frontier_array(
         for cost, power, prov_id, mode in swept
     ]
 
+    if front_store is not None:
+        front_store.end_solve()
     if stats is not None:
         stats.merges += merges
         stats.labels_created += labels_created

@@ -13,6 +13,12 @@ oracle stays one environment variable away in production and so CI can
 matrix over both.  Resolution order: explicit ``kernel=`` argument, then
 the ``REPRO_POWER_KERNEL`` environment variable, then
 :data:`DEFAULT_KERNEL`.
+
+Both kernels also accept a ``front_store=`` keyword — a kernel-bound
+:class:`~repro.power.frontstore.FrontStore` (re-exported here) that
+retains per-subtree tables *across* solves; it is the engine interface
+the incremental re-solve sessions of :mod:`repro.dynamics.incremental`
+are built on.
 """
 
 from __future__ import annotations
@@ -23,8 +29,9 @@ from collections.abc import Callable
 from repro.exceptions import ConfigurationError
 from repro.power.dp_power_array import power_frontier_array
 from repro.power.dp_power_pareto import power_frontier
+from repro.power.frontstore import FrontStore
 
-__all__ = ["DEFAULT_KERNEL", "KERNELS", "resolve_kernel"]
+__all__ = ["DEFAULT_KERNEL", "KERNELS", "FrontStore", "resolve_kernel"]
 
 #: Kernel name -> solver callable (both share power_frontier's signature).
 KERNELS: dict[str, Callable] = {

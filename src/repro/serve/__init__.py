@@ -12,13 +12,16 @@ through its own relabelling.
   (:meth:`~BatchServer.listen`).
 * :class:`ServeClient` — pipelined protocol client (also behind the
   ``repro client`` CLI; the server side is ``repro serve``).
+* :class:`ServeSession` — live incremental-session handle
+  (``session.open`` / ``session.delta`` / ``session.close`` ops over
+  the :mod:`repro.dynamics.incremental` engine).
 * :mod:`repro.serve.protocol` — the wire format.
 
 Serving counters (per-policy requests / cache hits / coalesced joins /
 p50-p99 latency) live in :class:`repro.perf.stats.ServeStats`.
 """
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient, ServeError, ServeSession
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
@@ -34,6 +37,7 @@ __all__ = [
     "ProtocolError",
     "ServeClient",
     "ServeError",
+    "ServeSession",
     "decode_line",
     "encode_line",
     "parse_solve_request",

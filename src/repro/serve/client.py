@@ -19,14 +19,80 @@ from collections.abc import Sequence
 from typing import Any
 
 from repro.batch.instance import BatchInstance, instance_to_dict
+from repro.dynamics.incremental import Delta, delta_to_dict
 from repro.exceptions import ReproError
 from repro.serve.protocol import MAX_LINE_BYTES, decode_line, encode_line
 
-__all__ = ["ServeClient", "ServeError"]
+__all__ = ["ServeClient", "ServeError", "ServeSession"]
 
 
 class ServeError(ReproError):
     """The server answered a request with ``ok: false``."""
+
+
+class ServeSession:
+    """Handle on one live server-side session; create via
+    :meth:`ServeClient.session`.
+
+    Holds the session id plus the frontier returned by the last
+    open/delta round-trip (``points`` pairs, or full ``records`` when the
+    session was opened with ``records=True``).
+    """
+
+    def __init__(
+        self, client: ServeClient, response: dict[str, Any]
+    ) -> None:
+        self._client = client
+        self.session_id: str = response["session"]
+        self.kernel: str = response["kernel"]
+        self.result: dict[str, Any] = response["result"]
+        self.closed = False
+
+    async def delta(
+        self, deltas: Sequence[Delta | dict[str, Any]]
+    ) -> dict[str, Any]:
+        """Apply a batch of deltas; returns the full ``ok: true`` response.
+
+        Accepts :data:`repro.dynamics.incremental.Delta` objects or
+        already-encoded wire dicts.  The response carries the re-solved
+        frontier under ``result`` and reuse counters under ``apply``;
+        ``self.result`` is updated to the new frontier.
+        """
+        if self.closed:
+            raise ServeError(f"session {self.session_id!r} is closed")
+        wire = [
+            d if isinstance(d, dict) else delta_to_dict(d) for d in deltas
+        ]
+        response = await self._client._request(
+            {
+                "op": "session.delta",
+                "session": self.session_id,
+                "deltas": wire,
+            }
+        )
+        self.result = response["result"]
+        return response
+
+    async def close(self) -> dict[str, Any]:
+        """Release the server-side tables; returns the session stats dict.
+
+        Idempotent: closing twice returns the stats from the first close.
+        """
+        if self.closed:
+            return self._stats
+        response = await self._client._request(
+            {"op": "session.close", "session": self.session_id}
+        )
+        self.closed = True
+        self._stats: dict[str, Any] = response["stats"]
+        return self._stats
+
+    async def __aenter__(self) -> ServeSession:
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        with contextlib.suppress(ServeError):
+            await self.close()
 
 
 class ServeClient:
@@ -102,6 +168,31 @@ class ServeClient:
                 )
             )
         )
+
+    async def session(
+        self,
+        instance: BatchInstance,
+        *,
+        kernel: str | None = None,
+        records: bool = False,
+    ) -> ServeSession:
+        """Open a live incremental session on a power instance.
+
+        The server cold-solves the instance, retains its per-subtree
+        fronts, and answers subsequent :meth:`ServeSession.delta` calls
+        by re-solving incrementally.  ``kernel`` picks the Pareto kernel
+        (``"array"`` / ``"tuple"``; server default otherwise); with
+        ``records=True`` responses carry full placement records instead
+        of ``(cost, power)`` pairs.
+        """
+        message: dict[str, Any] = {
+            "op": "session.open",
+            "instance": instance_to_dict(instance),
+            "records": records,
+        }
+        if kernel is not None:
+            message["kernel"] = kernel
+        return ServeSession(self, await self._request(message))
 
     async def stats(self) -> dict[str, Any]:
         """Fetch the server's :class:`~repro.perf.stats.ServeStats` dict."""

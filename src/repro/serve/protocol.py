@@ -11,17 +11,39 @@ greppable.  Requests:
     {"op": "stats", "id": 8}
     {"op": "perf", "id": 9}
     {"op": "shutdown", "id": 10}
+    {"op": "session.open", "id": 11, "instance": {...},
+     "kernel": "array", "records": false}
+    {"op": "session.delta", "id": 12, "session": "s1",
+     "deltas": [{"kind": "add_client", "node": 3, "requests": 2}]}
+    {"op": "session.close", "id": 13, "session": "s1"}
 
 ``instance`` is one :func:`repro.batch.instance.instance_to_dict` dict
 (the schema-2 element of a batch file).  ``priority`` is optional; lower
-drains first.  Responses echo ``id``:
+drains first.  The ``session.*`` family drives the incremental delta
+re-solve engine (:mod:`repro.dynamics.incremental`): ``session.open``
+cold-solves a power instance and retains its per-subtree fronts,
+``session.delta`` applies a batch of churn deltas (the delta grammar of
+:func:`repro.dynamics.incremental.delta_from_dict` — ``add_client`` /
+``remove_client`` / ``set_requests`` / ``migrate``) and re-solves
+incrementally, ``session.close`` releases the retained tables.  Session
+requests are stateful and therefore bypass the digest-coalescing path
+entirely.  Responses echo ``id``:
 
 .. code-block:: json
 
     {"id": 7, "ok": true, "digest": "...", "served": "solve",
      "result": {...}}
     {"id": 8, "ok": true, "stats": {...}}
-    {"id": 9, "ok": true, "perf": {"serve": {...}, "kernel": {...}}}
+    {"id": 9, "ok": true, "perf": {"serve": {...}, "kernel": {...},
+     "sessions": {...}}}
+    {"id": 11, "ok": true, "session": "s1", "kernel": "array",
+     "result": {"points": [[1.1, 250.0]]}}
+    {"id": 12, "ok": true, "session": "s1",
+     "result": {"points": [[2.1, 245.0]]},
+     "apply": {"deltas": 1, "fronts_reused": 17,
+     "fronts_invalidated": 3}}
+    {"id": 13, "ok": true, "session": "s1", "closed": true,
+     "stats": {...}}
     {"id": 7, "ok": false, "error": "..."}
 
 ``served`` records how the request was answered — ``"cache"`` (shared
@@ -45,6 +67,9 @@ __all__ = [
     "ProtocolError",
     "decode_line",
     "encode_line",
+    "parse_session_close",
+    "parse_session_delta",
+    "parse_session_open",
     "parse_solve_request",
 ]
 
@@ -53,7 +78,15 @@ __all__ = [
 #: paper's sizes serialise to a few hundred KiB at most.
 MAX_LINE_BYTES = 32 * 1024 * 1024
 
-_OPS = ("solve", "stats", "perf", "shutdown")
+_OPS = (
+    "solve",
+    "stats",
+    "perf",
+    "shutdown",
+    "session.open",
+    "session.delta",
+    "session.close",
+)
 
 
 class ProtocolError(ConfigurationError):
@@ -98,3 +131,51 @@ def parse_solve_request(
     if not isinstance(priority, int) or isinstance(priority, bool):
         raise ProtocolError("solve request 'priority' must be an integer")
     return instance_from_dict(raw), solver, priority
+
+
+def parse_session_open(
+    message: dict[str, Any]
+) -> tuple[BatchInstance, str | None, bool]:
+    """Extract ``(instance, kernel, records)`` from a session.open request."""
+    raw = message.get("instance")
+    if not isinstance(raw, dict):
+        raise ProtocolError("session.open request has no 'instance' object")
+    kernel = message.get("kernel")
+    if kernel is not None and not isinstance(kernel, str):
+        raise ProtocolError("session.open 'kernel' must be a string")
+    records = message.get("records", False)
+    if not isinstance(records, bool):
+        raise ProtocolError("session.open 'records' must be a boolean")
+    return instance_from_dict(raw), kernel, records
+
+
+def _session_id(message: dict[str, Any], op: str) -> str:
+    sid = message.get("session")
+    if not isinstance(sid, str) or not sid:
+        raise ProtocolError(f"{op} request needs a 'session' id string")
+    return sid
+
+
+def parse_session_delta(
+    message: dict[str, Any]
+) -> tuple[str, list[dict[str, Any]]]:
+    """Extract ``(session_id, raw_deltas)`` from a session.delta request.
+
+    Delta dicts stay raw here — the server parses them through
+    :func:`repro.dynamics.incremental.delta_from_dict`, keeping the wire
+    layer free of engine imports.
+    """
+    sid = _session_id(message, "session.delta")
+    raw = message.get("deltas")
+    if not isinstance(raw, list) or not all(
+        isinstance(d, dict) for d in raw
+    ):
+        raise ProtocolError(
+            "session.delta 'deltas' must be a list of delta objects"
+        )
+    return sid, raw
+
+
+def parse_session_close(message: dict[str, Any]) -> str:
+    """Extract the session id from a session.close request."""
+    return _session_id(message, "session.close")

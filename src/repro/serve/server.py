@@ -51,18 +51,26 @@ from repro.batch.cache import ResultCache
 from repro.batch.executor import solve_batch
 from repro.batch.instance import BatchInstance
 from repro.batch.registry import get_policy
+from repro.dynamics.incremental import (
+    ApplyResult,
+    SessionState,
+    delta_from_dict,
+)
 from repro.exceptions import (
     ConfigurationError,
     ReproError,
     ServerClosedError,
     SolverError,
 )
-from repro.perf.stats import ParetoDPStats, ServeStats
+from repro.perf.stats import ParetoDPStats, ServeStats, SessionServeStats
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
     encode_line,
+    parse_session_close,
+    parse_session_delta,
+    parse_session_open,
     parse_solve_request,
 )
 
@@ -85,6 +93,61 @@ def _consume_exception(future: asyncio.Future) -> None:
     """Mark a job future's exception as retrieved (waiters may be gone)."""
     if not future.cancelled():
         future.exception()
+
+
+def _open_session_state(instance: BatchInstance, kernel: str | None) -> SessionState:
+    """Build and cold-solve the engine state behind one serve session.
+
+    Module-level (not a closure) so it hands off to ``run_in_executor``
+    cleanly; runs on the default executor because session solves are
+    per-session state, never shared with the micro-batch backend.
+    """
+    if instance.power_model is None:
+        raise ConfigurationError(
+            "session.open requires a power-model instance (sessions run "
+            "the cost/power frontier engine)"
+        )
+    state = SessionState(
+        instance.tree,
+        instance.power_model,
+        instance.effective_modal_cost(),
+        instance.pre_modes(),
+        kernel=kernel,
+    )
+    state.solve()
+    return state
+
+
+def _frontier_payload(state: SessionState, records: bool) -> dict[str, Any]:
+    """Wire form of a session's current frontier.
+
+    ``records=False`` (default) sends the ``(cost, power)`` pairs only;
+    placements stay lazy server-side.  ``records=True`` materialises the
+    full placement records (the expensive provenance walks).
+    """
+    frontier = state.frontier()
+    if records:
+        return {"records": frontier.to_records()}
+    return {"points": [[c, p] for c, p in frontier.pairs()]}
+
+
+class _ServeSession:
+    """One live session: engine state + per-session lock and counters.
+
+    The lock serialises deltas on *this* session (the engine mutates its
+    tree and store in place); different sessions run concurrently on the
+    default executor, each against its own store, so they cannot
+    cross-contaminate fronts.
+    """
+
+    __slots__ = ("sid", "state", "records", "lock", "stats")
+
+    def __init__(self, sid: str, state: SessionState, records: bool) -> None:
+        self.sid = sid
+        self.state = state
+        self.records = records
+        self.lock = asyncio.Lock()
+        self.stats = SessionServeStats()
 
 
 class _Job:
@@ -181,6 +244,14 @@ class BatchServer:
         self._kernel_stats: dict[str, ParetoDPStats] = {}
         self._kernel_seen: set[tuple[str, str]] = set()
         self._kernel_seen_prev: set[tuple[str, str]] = set()
+        # Live incremental sessions (the session.* op family).  Stateful
+        # by design: each holds its own FrontStore, so sessions never
+        # share retained tables and never enter the coalescing path.
+        self._sessions: dict[str, _ServeSession] = {}
+        self._session_seq = 0
+        self._sessions_opened = 0
+        self._sessions_closed = 0
+        self._closed_session_stats = SessionServeStats()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -240,6 +311,11 @@ class BatchServer:
         if self._thread is not None:
             self._thread.shutdown(wait=True)
             self._thread = None
+        # Release every remaining live session's retained tables.
+        for sid in sorted(self._sessions):
+            sess = self._sessions.pop(sid, None)
+            if sess is not None:
+                self._retire_session(sess)
         self._stopped.set()
 
     async def __aenter__(self) -> BatchServer:
@@ -409,6 +485,16 @@ class BatchServer:
                 solver: collector.as_dict()
                 for solver, collector in sorted(self._kernel_stats.items())
             },
+            "sessions": {
+                "open": len(self._sessions),
+                "opened": self._sessions_opened,
+                "closed": self._sessions_closed,
+                "per_session": {
+                    sid: self._session_stats_payload(sess)
+                    for sid, sess in sorted(self._sessions.items())
+                },
+                "closed_aggregate": self._closed_session_stats.as_dict(),
+            },
         }
 
     async def _run_jobs(self, jobs: list[_Job]) -> None:
@@ -506,6 +592,7 @@ class BatchServer:
         self._writers.add(writer)
         write_lock = asyncio.Lock()
         conn_tasks: set[asyncio.Task] = set()
+        conn_sessions: set[str] = set()
         try:
             while True:
                 try:
@@ -552,9 +639,14 @@ class BatchServer:
                             self.stop()
                         )
                 else:
-                    task = asyncio.create_task(
-                        self._serve_request(message, writer, write_lock)
+                    handler = (
+                        self._serve_session_request(
+                            op, message, writer, write_lock, conn_sessions
+                        )
+                        if op in ("session.open", "session.delta", "session.close")
+                        else self._serve_request(message, writer, write_lock)
                     )
+                    task = asyncio.create_task(handler)
                     conn_tasks.add(task)
                     self._request_tasks.add(task)
                     task.add_done_callback(conn_tasks.discard)
@@ -567,6 +659,16 @@ class BatchServer:
                 task.cancel()
             self._writers.discard(writer)
             writer.close()
+            # Sessions are owned by their connection: a disconnect
+            # mid-session must not leak retained tables.  Each close
+            # waits on the session lock, and delta handlers keep the lock
+            # until their backend call actually finishes even when
+            # cancelled, so the engine is never torn down mid-solve.
+            for sid in sorted(conn_sessions):
+                sess = self._sessions.pop(sid, None)
+                if sess is not None:
+                    async with sess.lock:
+                        self._retire_session(sess)
 
     async def _serve_request(
         self,
@@ -598,6 +700,137 @@ class BatchServer:
                 "error": f"internal error: {type(exc).__name__}: {exc}",
             }
         await self._write(writer, write_lock, response)
+
+    # ------------------------------------------------------------------
+    # session ops (incremental delta re-solve engine)
+    # ------------------------------------------------------------------
+    async def _serve_session_request(
+        self,
+        op: str,
+        message: dict[str, Any],
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        conn_sessions: set[str],
+    ) -> None:
+        rid = message.get("id")
+        try:
+            if op == "session.open":
+                response = await self._session_open(message, conn_sessions)
+            elif op == "session.delta":
+                response = await self._session_delta(message)
+            else:
+                response = await self._session_close(message, conn_sessions)
+            response["id"] = rid
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            response = {"id": rid, "ok": False, "error": str(exc)}
+        except Exception as exc:  # never let one request kill the server
+            response = {
+                "id": rid,
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+        await self._write(writer, write_lock, response)
+
+    async def _session_open(
+        self, message: dict[str, Any], conn_sessions: set[str]
+    ) -> dict[str, Any]:
+        if self._closing:
+            raise ServerClosedError("server is shutting down; request refused")
+        instance, kernel, records = parse_session_open(message)
+        loop = asyncio.get_running_loop()
+        # Cold solve off the loop (sessions never touch the micro-batch
+        # backend; the default executor is fine for per-session state).
+        state = await loop.run_in_executor(
+            None, _open_session_state, instance, kernel
+        )
+        self._session_seq += 1
+        sid = f"s{self._session_seq}"
+        sess = _ServeSession(sid, state, records)
+        self._sessions[sid] = sess
+        conn_sessions.add(sid)
+        self._sessions_opened += 1
+        payload = await loop.run_in_executor(
+            None, _frontier_payload, state, records
+        )
+        return {
+            "ok": True,
+            "session": sid,
+            "kernel": state.kernel,
+            "result": payload,
+        }
+
+    async def _session_delta(self, message: dict[str, Any]) -> dict[str, Any]:
+        sid, raw = parse_session_delta(message)
+        sess = self._sessions.get(sid)
+        if sess is None:
+            raise ConfigurationError(f"unknown session {sid!r}")
+        deltas = [delta_from_dict(d) for d in raw]
+        loop = asyncio.get_running_loop()
+        started = time.perf_counter()
+        async with sess.lock:
+            fut = loop.run_in_executor(None, sess.state.apply, deltas)
+            try:
+                applied: ApplyResult = await asyncio.shield(fut)
+            except asyncio.CancelledError:
+                # Disconnect mid-apply: hold the session lock until the
+                # backend thread actually finishes, so the cleanup path
+                # can never tear the engine down under a running solve.
+                with contextlib.suppress(Exception):
+                    await fut
+                raise
+            except Exception:
+                sess.stats.errors += 1
+                raise
+            payload = await loop.run_in_executor(
+                None, _frontier_payload, sess.state, sess.records
+            )
+        sess.stats.record_apply(
+            deltas=applied.deltas_applied,
+            reused=applied.fronts_reused,
+            invalidated=applied.fronts_invalidated,
+            seconds=time.perf_counter() - started,
+        )
+        return {
+            "ok": True,
+            "session": sid,
+            "result": payload,
+            "apply": {
+                "deltas": applied.deltas_applied,
+                "fronts_reused": applied.fronts_reused,
+                "fronts_invalidated": applied.fronts_invalidated,
+            },
+        }
+
+    async def _session_close(
+        self, message: dict[str, Any], conn_sessions: set[str]
+    ) -> dict[str, Any]:
+        sid = parse_session_close(message)
+        sess = self._sessions.pop(sid, None)
+        if sess is None:
+            raise ConfigurationError(f"unknown session {sid!r}")
+        conn_sessions.discard(sid)
+        async with sess.lock:
+            stats = self._retire_session(sess)
+        return {"ok": True, "session": sid, "closed": True, "stats": stats}
+
+    @staticmethod
+    def _session_stats_payload(sess: _ServeSession) -> dict[str, Any]:
+        """Per-session stats block of the ``perf`` op (and close response)."""
+        payload: dict[str, Any] = dict(sess.stats.as_dict())
+        payload["kernel"] = sess.state.kernel
+        payload["engine"] = sess.state.stats.as_dict()
+        payload["store"] = sess.state.store.snapshot()
+        return payload
+
+    def _retire_session(self, sess: _ServeSession) -> dict[str, Any]:
+        """Release a session's retained tables; fold stats into the aggregate."""
+        payload = self._session_stats_payload(sess)
+        sess.state.close()
+        self._sessions_closed += 1
+        self._closed_session_stats.merge(sess.stats)
+        return payload
 
     @staticmethod
     async def _write(

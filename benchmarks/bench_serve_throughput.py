@@ -115,8 +115,8 @@ def test_serve_throughput_vs_naive_loop(emit, emit_json):
                 f"{N_REQUESTS / t_naive:.0f}",
                 f"{N_REQUESTS / t_serve:.0f}",
                 f"{speedups[rate]:.1f}x",
-                f"{stats.latency_quantile(0.5) * 1e3:.1f}ms",
-                f"{stats.latency_quantile(0.99) * 1e3:.1f}ms",
+                f"{(stats.latency_quantile(0.5) or 0.0) * 1e3:.1f}ms",
+                f"{(stats.latency_quantile(0.99) or 0.0) * 1e3:.1f}ms",
             )
         )
 

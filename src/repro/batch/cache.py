@@ -47,6 +47,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
@@ -77,6 +78,27 @@ CACHE_SCHEMA = 1
 def _envelope(digest: str, record: dict[str, Any]) -> dict[str, Any]:
     """The JSON object written as one cache line on disk."""
     return {"version": __version__, "digest": digest, "record": record}
+
+
+#: One-time guard for the missing-``fcntl`` warning: a process spawning
+#: many caches (the cluster spawns one per worker) must not repeat it.
+_warned_no_flock = False
+
+
+def _warn_no_flock() -> None:
+    """Warn (once per process) that shard locks degraded to no-ops."""
+    global _warned_no_flock
+    if _warned_no_flock:
+        return
+    _warned_no_flock = True
+    warnings.warn(
+        "fcntl is unavailable on this platform: the persistent cache's "
+        "advisory per-shard file locks degrade to no-ops, so multiple "
+        "processes sharing one cache_dir may interleave or lose appends "
+        "(cache stats report locking: \"none\")",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @contextmanager
@@ -149,8 +171,24 @@ class ResultCache:
         if cache_dir is not None:
             self._dir = Path(cache_dir)
             self._dir.mkdir(parents=True, exist_ok=True)
+            if fcntl is None:  # pragma: no cover - non-POSIX
+                _warn_no_flock()
             with self._mutex:
                 self._load_disk()
+        self.stats.locking = self.locking
+
+    @property
+    def locking(self) -> str:
+        """Cross-process locking mode of the disk tier.
+
+        ``"memory"`` — no disk tier configured; ``"flock"`` — advisory
+        per-shard sidecar locks are in force; ``"none"`` — ``fcntl`` is
+        missing and shard locks are no-ops (shared-directory writers
+        risk corruption; a one-time :class:`RuntimeWarning` was issued).
+        """
+        if self._dir is None:
+            return "memory"
+        return "flock" if fcntl is not None else "none"
 
     # ------------------------------------------------------------------
     # public API

@@ -9,9 +9,10 @@ Subcommands
 ``batch``
     Solve many instances at once with canonical dedupe, result caching
     and an optional process pool (see :mod:`repro.batch`).
-``serve`` / ``client``
-    Long-lived coalescing batch server over JSON-lines TCP, and the
-    matching pipelined client (see :mod:`repro.serve`).
+``serve`` / ``cluster`` / ``client``
+    Long-lived coalescing batch server over JSON-lines TCP, the
+    digest-routed multi-worker cluster router, and the matching
+    pipelined client (see :mod:`repro.serve`).
 ``power``
     Print the exact cost/power frontier (and optionally the placement for
     one bound).
@@ -200,9 +201,61 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--lru-size", type=int, default=4096)
     v.add_argument("--disk-size", type=int, default=None, metavar="N")
     v.add_argument(
+        "--max-pending", type=int, default=None, metavar="N",
+        help="admission bound on pending canonical solves; excess load is "
+        "shed with a retriable 'overloaded' error (default: unbounded)",
+    )
+    v.add_argument(
         "--kernel", choices=("array", "tuple"), default=None,
         help="Pareto-DP engine for the power policies (default: array; "
         "tuple is the byte-identity oracle; REPRO_POWER_KERNEL also works)",
+    )
+
+    u = sub.add_parser(
+        "cluster",
+        help="run the digest-routed multi-worker serving cluster "
+        "(router + N spawned workers)",
+    )
+    u.add_argument("--host", type=str, default="127.0.0.1")
+    u.add_argument(
+        "--port", type=int, default=8570,
+        help="front TCP port (0 binds an ephemeral port; the choice is "
+        "printed)",
+    )
+    u.add_argument(
+        "--cluster-workers", type=int, default=3, metavar="N",
+        help="fleet size: number of serve workers behind the router",
+    )
+    u.add_argument(
+        "--backend", choices=("subprocess", "inprocess"),
+        default="subprocess",
+        help="spawner backend: 'subprocess' runs each worker as a real "
+        "'repro serve' process (parallel solves); 'inprocess' runs them "
+        "on the router's event loop (diagnostics/tests)",
+    )
+    u.add_argument(
+        "--fallbacks", type=int, default=1,
+        help="extra ring owners tried after the primary sheds or dies",
+    )
+    u.add_argument(
+        "--max-pending", type=int, default=64, metavar="N",
+        help="per-worker admission bound (the cluster's backpressure; "
+        "0 = unbounded)",
+    )
+    u.add_argument("--workers", type=int, default=1,
+                   help="process-pool size inside each worker")
+    u.add_argument("--max-batch", type=int, default=32)
+    u.add_argument("--max-delay-ms", type=float, default=2.0)
+    u.add_argument(
+        "--cache-dir", type=str, default=None,
+        help="base directory for persistent caches; each worker owns the "
+        "disjoint subdirectory <cache-dir>/<worker-name>",
+    )
+    u.add_argument("--lru-size", type=int, default=4096)
+    u.add_argument("--disk-size", type=int, default=None, metavar="N")
+    u.add_argument(
+        "--kernel", choices=("array", "tuple"), default=None,
+        help="Pareto-DP engine forwarded to every worker",
     )
 
     c = sub.add_parser(
@@ -250,6 +303,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("array", "tuple"), default=None,
         help="Pareto-DP engine requested for --session (server default "
         "otherwise)",
+    )
+    c.add_argument(
+        "--cluster", action="store_true",
+        help="the server is a cluster router: print the per-worker "
+        "health/overload table from its perf op",
     )
 
     d = sub.add_parser(
@@ -412,6 +470,7 @@ async def _run_server(args: argparse.Namespace) -> int:
         workers=args.workers,
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
+        max_pending=args.max_pending,
     )
     async with server:
         host, port = await server.listen(args.host, args.port)
@@ -428,6 +487,96 @@ async def _run_server(args: argparse.Namespace) -> int:
         await server.serve_forever()
     print("server stopped", flush=True)
     return 0
+
+
+async def _run_cluster(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        ClusterRouter,
+        InProcessSpawner,
+        SubprocessSpawner,
+        WorkerConfig,
+    )
+
+    spawner = (
+        SubprocessSpawner(host=args.host)
+        if args.backend == "subprocess"
+        else InProcessSpawner()
+    )
+    config = WorkerConfig(
+        max_pending=args.max_pending if args.max_pending > 0 else None,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay_ms / 1000.0,
+        pool_workers=args.workers,
+        lru_size=args.lru_size,
+        max_disk_entries=args.disk_size,
+        cache_dir=args.cache_dir,
+        kernel=args.kernel,
+    )
+    router = ClusterRouter(
+        spawner,
+        args.cluster_workers,
+        config,
+        fallbacks=args.fallbacks,
+    )
+    async with router:
+        host, port = await router.listen(args.host, args.port)
+        print(
+            f"cluster of {args.cluster_workers} {args.backend} workers "
+            f"serving on {host}:{port}",
+            flush=True,
+        )
+        loop = asyncio.get_running_loop()
+        stop_tasks: list[asyncio.Task] = []
+
+        def _request_stop() -> None:
+            stop_tasks.append(loop.create_task(router.stop()))
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError):  # pragma: no cover
+                loop.add_signal_handler(sig, _request_stop)
+        await router.serve_forever()
+    print("cluster stopped", flush=True)
+    return 0
+
+
+def _print_cluster_health(perf: dict) -> None:
+    """Render the router's per-worker health table from its perf payload."""
+    cluster = perf.get("cluster", {})
+    workers = perf.get("workers", {})
+    rows = []
+    for name in sorted(workers):
+        entry = workers[name]
+        route = cluster.get("workers", {}).get(name, {})
+        wperf = entry.get("perf") or {}
+        serve = wperf.get("serve", {})
+        policies = serve.get("policies", {})
+        rows.append(
+            (
+                name,
+                "up" if entry.get("alive") else "DOWN",
+                route.get("routed", 0),
+                route.get("sheds", 0),
+                route.get("deaths", 0),
+                route.get("respawns", 0),
+                sum(p.get("requests", 0) for p in policies.values()),
+                sum(p.get("cache_hits", 0) for p in policies.values()),
+            )
+        )
+    print(
+        format_table(
+            (
+                "worker", "state", "routed", "sheds", "deaths",
+                "respawns", "requests", "cache_hits",
+            ),
+            rows,
+        )
+    )
+    print(
+        f"routed={cluster.get('requests_routed', 0)} "
+        f"retries={cluster.get('retries', 0)} "
+        f"rejected={cluster.get('rejected', 0)} "
+        f"lost_sessions={cluster.get('lost_sessions', 0)}"
+    )
 
 
 def _random_delta(
@@ -554,10 +703,10 @@ async def _run_client(args: argparse.Namespace) -> int:
         )
     elif args.file is not None:
         instances = batch_from_json(_read_text(args.file))
-    elif not (args.stats or args.perf or args.shutdown):
+    elif not (args.stats or args.perf or args.shutdown or args.cluster):
         print(
             "error: provide a batch file, --demo N, --session N, --stats, "
-            "--perf or --shutdown",
+            "--perf, --cluster or --shutdown",
             file=sys.stderr,
         )
         return 2
@@ -580,6 +729,8 @@ async def _run_client(args: argparse.Namespace) -> int:
                 f"coalesced={served.count('coalesced')} "
                 f"cache={served.count('cache')}"
             )
+        if args.cluster:
+            _print_cluster_health(await client.perf())
         if args.stats:
             print(json.dumps(await client.stats(), indent=2))
         if args.perf:
@@ -889,6 +1040,17 @@ def _dispatch(args: argparse.Namespace) -> int:
             os.environ["REPRO_POWER_KERNEL"] = args.kernel
         try:
             return asyncio.run(_run_server(args))
+        except OSError as exc:  # e.g. port already in use
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    if args.command == "cluster":
+        if args.kernel is not None:
+            # In-process workers read it from the environment; subprocess
+            # workers also get an explicit --kernel flag.
+            os.environ["REPRO_POWER_KERNEL"] = args.kernel
+        try:
+            return asyncio.run(_run_cluster(args))
         except OSError as exc:  # e.g. port already in use
             print(f"error: {exc}", file=sys.stderr)
             return 2

@@ -17,6 +17,7 @@ __all__ = [
     "InfeasibleError",
     "SolverError",
     "ServerClosedError",
+    "ServerOverloadedError",
 ]
 
 
@@ -67,4 +68,16 @@ class ServerClosedError(ReproError):
     In-flight work is drained before the server exits; only *new*
     submissions observe this error (see :meth:`repro.serve.BatchServer
     .stop`).
+    """
+
+
+class ServerOverloadedError(ReproError):
+    """The serving frontend shed a request at its admission bound.
+
+    Raised (and sent on the wire with ``code: "overloaded"``) when a
+    :class:`~repro.serve.BatchServer` configured with ``max_pending``
+    already holds that many admitted-but-incomplete canonical solves.
+    Nothing was enqueued: the request can safely be retried elsewhere —
+    the cluster router (:mod:`repro.serve.cluster`) retries it against
+    the digest's fallback owner.
     """

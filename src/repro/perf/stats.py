@@ -36,11 +36,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "BatchCacheStats",
+    "ClusterStats",
     "CoreDPStats",
     "ParetoDPStats",
     "PolicyServeStats",
     "ServeStats",
     "SessionServeStats",
+    "WorkerRouteStats",
     "instrument_replica_update",
     "instrument_pareto_frontier",
 ]
@@ -70,6 +72,11 @@ class BatchCacheStats:
     unique_solved: int = 0
     duplicates_folded: int = 0
     schema_discards: int = 0
+    #: Cross-process locking mode of the attached cache's disk tier:
+    #: ``"memory"`` (no disk tier), ``"flock"`` (advisory sidecar locks)
+    #: or ``"none"`` (``fcntl`` unavailable — shared-directory writers
+    #: risk interleaved/lost appends; see :mod:`repro.batch.cache`).
+    locking: str = "memory"
 
     def record_hit(self, *, disk: bool = False) -> None:
         self.hits += 1
@@ -97,6 +104,7 @@ class BatchCacheStats:
             "duplicates_folded": self.duplicates_folded,
             "schema_discards": self.schema_discards,
             "hit_rate": self.hit_rate,
+            "locking": self.locking,
         }
 
 
@@ -124,6 +132,10 @@ class PolicyServeStats:
     cache_hits: int = 0
     coalesced_joins: int = 0
     solves_scheduled: int = 0
+    #: Requests shed at the ``max_pending`` admission bound (counted
+    #: separately from ``errors``: a shed is expected load behaviour and
+    #: is retried by the cluster router, not a failed solve).
+    overloads: int = 0
     errors: int = 0
     latencies: deque = field(
         default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
@@ -132,20 +144,26 @@ class PolicyServeStats:
     def record_latency(self, seconds: float) -> None:
         self.latencies.append(seconds)
 
-    def latency_quantile(self, q: float) -> float:
-        """Nearest-rank ``q``-quantile of the latency window (0.0 idle)."""
+    def latency_quantile(self, q: float) -> float | None:
+        """Nearest-rank ``q``-quantile of the latency window.
+
+        Returns ``None`` (wire ``null``) for an idle window — a window
+        with no measurements is *unknown*, not a genuine zero-latency
+        observation, and consumers must be able to tell the two apart.
+        """
         if not self.latencies:
-            return 0.0
+            return None
         ordered = sorted(self.latencies)
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, float | int | None]:
         return {
             "requests": self.requests,
             "cache_hits": self.cache_hits,
             "coalesced_joins": self.coalesced_joins,
             "solves_scheduled": self.solves_scheduled,
+            "overloads": self.overloads,
             "errors": self.errors,
             "p50_latency": self.latency_quantile(0.50),
             "p99_latency": self.latency_quantile(0.99),
@@ -190,10 +208,15 @@ class SessionServeStats:
         self.fronts_invalidated += invalidated
         self.latencies.append(seconds)
 
-    def latency_quantile(self, q: float) -> float:
-        """Nearest-rank ``q``-quantile of the latency window (0.0 idle)."""
+    def latency_quantile(self, q: float) -> float | None:
+        """Nearest-rank ``q``-quantile of the latency window.
+
+        ``None`` for an idle window (no deltas applied yet) — never
+        ``0.0``, which would be indistinguishable from a measured
+        zero-latency apply.
+        """
         if not self.latencies:
-            return 0.0
+            return None
         ordered = sorted(self.latencies)
         rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
         return ordered[rank]
@@ -208,7 +231,7 @@ class SessionServeStats:
         self.latencies.extend(other.latencies)
         return self
 
-    def as_dict(self) -> dict[str, float | int]:
+    def as_dict(self) -> dict[str, float | int | None]:
         return {
             "applies": self.applies,
             "deltas_applied": self.deltas_applied,
@@ -251,6 +274,76 @@ class ServeStats:
             "policies": {
                 name: stats.as_dict()
                 for name, stats in sorted(self.policies.items())
+            },
+        }
+
+
+@dataclass
+class WorkerRouteStats:
+    """Router-side health/overload counters for one cluster worker.
+
+    ``routed`` counts requests the router dispatched to the worker (as
+    primary *or* fallback owner), ``sheds`` the ``code: "overloaded"``
+    responses it answered with, ``deaths`` the times the router observed
+    the worker dead (connection lost / spawner-reported), and
+    ``respawns`` the times the router's spawner brought it back.
+    """
+
+    routed: int = 0
+    sheds: int = 0
+    errors: int = 0
+    deaths: int = 0
+    respawns: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "routed": self.routed,
+            "sheds": self.sheds,
+            "errors": self.errors,
+            "deaths": self.deaths,
+            "respawns": self.respawns,
+        }
+
+
+@dataclass
+class ClusterStats:
+    """Counters of the digest-routing cluster router
+    (:class:`repro.serve.cluster.ClusterRouter`).
+
+    ``requests_routed`` counts routable requests (solve + session.open);
+    ``retries`` the fallback hops taken after a shed or a worker death,
+    ``rejected`` the requests refused because every owner shed them, and
+    ``lost_sessions`` live sessions orphaned by a worker death (session
+    state is worker-local by design and cannot fail over).  Per-worker
+    breakdowns live in :attr:`workers` (:class:`WorkerRouteStats`,
+    created on first use).
+    """
+
+    connections: int = 0
+    requests_routed: int = 0
+    retries: int = 0
+    rejected: int = 0
+    lost_sessions: int = 0
+    workers: dict = field(default_factory=dict)
+
+    def worker(self, name: str) -> WorkerRouteStats:
+        """The (auto-created) per-worker collector for ``name``."""
+        try:
+            return self.workers[name]
+        except KeyError:
+            stats = self.workers[name] = WorkerRouteStats()
+            return stats
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "connections": self.connections,
+            "requests_routed": self.requests_routed,
+            "retries": self.retries,
+            "rejected": self.rejected,
+            "lost_sessions": self.lost_sessions,
+            "workers": {
+                name: stats.as_dict()
+                for name, stats in sorted(self.workers.items())
             },
         }
 

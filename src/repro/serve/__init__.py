@@ -9,36 +9,80 @@ through its own relabelling.
 
 * :class:`BatchServer` — asyncio server; in-process awaitable entry
   (:meth:`~BatchServer.submit`) plus a JSON-lines-over-TCP endpoint
-  (:meth:`~BatchServer.listen`).
+  (:meth:`~BatchServer.listen`).  ``max_pending`` bounds admission;
+  excess load is shed with :class:`~repro.exceptions
+  .ServerOverloadedError` (wire ``code: "overloaded"``).
+* :class:`ClusterRouter` — digest-routed multi-worker scale-out
+  (:mod:`repro.serve.cluster`): a consistent-hash ring partitions cache
+  ownership across N workers spawned through a :class:`Spawner`
+  backend (:class:`InProcessSpawner` for socketless deterministic
+  tests, :class:`SubprocessSpawner` for real parallel processes), with
+  shed/death failover to ring fallbacks.
 * :class:`ServeClient` — pipelined protocol client (also behind the
-  ``repro client`` CLI; the server side is ``repro serve``).
+  ``repro client`` CLI; the server side is ``repro serve`` and
+  ``repro cluster``).  Works unchanged against a single server or a
+  cluster router.
 * :class:`ServeSession` — live incremental-session handle
   (``session.open`` / ``session.delta`` / ``session.close`` ops over
   the :mod:`repro.dynamics.incremental` engine).
 * :mod:`repro.serve.protocol` — the wire format.
 
 Serving counters (per-policy requests / cache hits / coalesced joins /
-p50-p99 latency) live in :class:`repro.perf.stats.ServeStats`.
+overload sheds / p50-p99 latency) live in
+:class:`repro.perf.stats.ServeStats`; router-side counters in
+:class:`repro.perf.stats.ClusterStats`.
 """
 
-from repro.serve.client import ServeClient, ServeError, ServeSession
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeError,
+    ServeOverloadedError,
+    ServeSession,
+)
+from repro.serve.cluster import ClusterRouter, HashRing
 from repro.serve.protocol import (
+    CODE_CLOSED,
+    CODE_OVERLOADED,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
     encode_line,
+    error_response,
     parse_solve_request,
 )
-from repro.serve.server import BatchServer
+from repro.serve.server import BatchServer, ConnectionContext
+from repro.serve.spawner import (
+    InProcessSpawner,
+    Spawner,
+    SubprocessSpawner,
+    WorkerConfig,
+    WorkerDiedError,
+    WorkerHandle,
+)
 
 __all__ = [
     "BatchServer",
+    "CODE_CLOSED",
+    "CODE_OVERLOADED",
+    "ClusterRouter",
+    "ConnectionContext",
+    "HashRing",
+    "InProcessSpawner",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "ServeClient",
+    "ServeConnectionError",
     "ServeError",
+    "ServeOverloadedError",
     "ServeSession",
+    "Spawner",
+    "SubprocessSpawner",
+    "WorkerConfig",
+    "WorkerDiedError",
+    "WorkerHandle",
     "decode_line",
     "encode_line",
+    "error_response",
     "parse_solve_request",
 ]

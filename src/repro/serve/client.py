@@ -21,13 +21,53 @@ from typing import Any
 from repro.batch.instance import BatchInstance, instance_to_dict
 from repro.dynamics.incremental import Delta, delta_to_dict
 from repro.exceptions import ReproError
-from repro.serve.protocol import MAX_LINE_BYTES, decode_line, encode_line
+from repro.serve.protocol import (
+    CODE_OVERLOADED,
+    MAX_LINE_BYTES,
+    decode_line,
+    encode_line,
+)
 
-__all__ = ["ServeClient", "ServeError", "ServeSession"]
+__all__ = [
+    "ServeClient",
+    "ServeConnectionError",
+    "ServeError",
+    "ServeOverloadedError",
+    "ServeSession",
+]
 
 
 class ServeError(ReproError):
-    """The server answered a request with ``ok: false``."""
+    """The server answered a request with ``ok: false``.
+
+    :attr:`code` carries the response's machine-readable ``code`` field
+    when the server sent one (``"overloaded"`` / ``"closed"``; see
+    :mod:`repro.serve.protocol`), else ``None``.
+    """
+
+    def __init__(self, message: str, *, code: str | None = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeOverloadedError(ServeError):
+    """The server shed the request at its admission bound.
+
+    Nothing was enqueued server-side: retrying (against another worker,
+    or after a backoff) is always safe.
+    """
+
+    def __init__(self, message: str, *, code: str | None = CODE_OVERLOADED) -> None:
+        super().__init__(message, code=code)
+
+
+class ServeConnectionError(ServeError):
+    """The connection died before (or while) the response arrived.
+
+    Distinct from a request-level error: the peer may have crashed, so
+    the request's fate is unknown — the cluster router treats this as a
+    worker death and fails over.
+    """
 
 
 class ServeSession:
@@ -228,7 +268,9 @@ class ServeClient:
         # don't hang forever.
         for future in self._pending.values():
             if not future.done():
-                future.set_exception(ServeError("client connection closed"))
+                future.set_exception(
+                    ServeConnectionError("client connection closed")
+                )
         self._writer.close()
         with contextlib.suppress(Exception):
             await self._writer.wait_closed()
@@ -236,9 +278,16 @@ class ServeClient:
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
-    async def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+    async def request_raw(self, message: dict[str, Any]) -> dict[str, Any]:
+        """One protocol round-trip; returns the raw response dict.
+
+        Unlike :meth:`solve`/:meth:`stats`, an ``ok: false`` response is
+        *returned*, not raised — the cluster router forwards worker
+        error responses to its own clients verbatim.  Transport loss
+        still raises :class:`ServeConnectionError`.
+        """
         if self._closed:
-            raise ServeError("client connection is closed")
+            raise ServeConnectionError("client connection is closed")
         self._next_id += 1
         rid = self._next_id
         message["id"] = rid
@@ -248,11 +297,18 @@ class ServeClient:
             async with self._write_lock:
                 self._writer.write(encode_line(message))
                 await self._writer.drain()
-            response = await future
+            return await future
         finally:
             self._pending.pop(rid, None)
+
+    async def _request(self, message: dict[str, Any]) -> dict[str, Any]:
+        response = await self.request_raw(message)
         if not response.get("ok"):
-            raise ServeError(response.get("error", "request failed"))
+            error = response.get("error", "request failed")
+            code = response.get("code")
+            if code == CODE_OVERLOADED:
+                raise ServeOverloadedError(error)
+            raise ServeError(error, code=code)
         return response
 
     async def _read_loop(self) -> None:
@@ -272,5 +328,5 @@ class ServeClient:
             for future in self._pending.values():
                 if not future.done():
                     future.set_exception(
-                        ServeError(f"connection lost: {exc}")
+                        ServeConnectionError(f"connection lost: {exc}")
                     )

@@ -45,6 +45,15 @@ entirely.  Responses echo ``id``:
     {"id": 13, "ok": true, "session": "s1", "closed": true,
      "stats": {...}}
     {"id": 7, "ok": false, "error": "..."}
+    {"id": 7, "ok": false, "error": "...", "code": "overloaded"}
+
+Error responses may carry a machine-readable ``code`` alongside the
+human-readable ``error`` string: ``"overloaded"`` (the server shed the
+request at its ``max_pending`` admission bound — nothing was enqueued,
+retrying elsewhere is safe; the cluster router does exactly that) or
+``"closed"`` (the server is shutting down).  Errors without a ``code``
+are request-specific (infeasible instance, unknown session, ...) and
+must not be retried verbatim.
 
 ``served`` records how the request was answered — ``"cache"`` (shared
 result cache), ``"coalesced"`` (joined an identical in-flight solve) or
@@ -60,13 +69,21 @@ import json
 from typing import Any
 
 from repro.batch.instance import BatchInstance, instance_from_dict
-from repro.exceptions import ConfigurationError
+from repro.exceptions import (
+    ConfigurationError,
+    ServerClosedError,
+    ServerOverloadedError,
+)
 
 __all__ = [
+    "CODE_CLOSED",
+    "CODE_OVERLOADED",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "decode_line",
     "encode_line",
+    "error_code",
+    "error_response",
     "parse_session_close",
     "parse_session_delta",
     "parse_session_open",
@@ -91,6 +108,31 @@ _OPS = (
 
 class ProtocolError(ConfigurationError):
     """A malformed or oversized protocol message."""
+
+
+#: ``code`` of an error response shed at the admission bound; safe to
+#: retry against another worker (nothing was enqueued server-side).
+CODE_OVERLOADED = "overloaded"
+#: ``code`` of an error response refused because shutdown began.
+CODE_CLOSED = "closed"
+
+
+def error_code(exc: BaseException) -> str | None:
+    """Machine-readable ``code`` for an exception, if it has one."""
+    if isinstance(exc, ServerOverloadedError):
+        return CODE_OVERLOADED
+    if isinstance(exc, ServerClosedError):
+        return CODE_CLOSED
+    return None
+
+
+def error_response(rid: Any, exc: BaseException) -> dict[str, Any]:
+    """The wire form of a failed request: ``error`` plus optional ``code``."""
+    response: dict[str, Any] = {"id": rid, "ok": False, "error": str(exc)}
+    code = error_code(exc)
+    if code is not None:
+        response["code"] = code
+    return response
 
 
 def encode_line(message: dict[str, Any]) -> bytes:

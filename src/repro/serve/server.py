@@ -60,6 +60,7 @@ from repro.exceptions import (
     ConfigurationError,
     ReproError,
     ServerClosedError,
+    ServerOverloadedError,
     SolverError,
 )
 from repro.perf.stats import ParetoDPStats, ServeStats, SessionServeStats
@@ -68,13 +69,14 @@ from repro.serve.protocol import (
     ProtocolError,
     decode_line,
     encode_line,
+    error_response,
     parse_session_close,
     parse_session_delta,
     parse_session_open,
     parse_solve_request,
 )
 
-__all__ = ["BatchServer"]
+__all__ = ["BatchServer", "ConnectionContext"]
 
 #: Queue priority of the shutdown sentinel — drains strictly after every
 #: pending job, which is what makes :meth:`BatchServer.stop` graceful.
@@ -150,6 +152,24 @@ class _ServeSession:
         self.stats = SessionServeStats()
 
 
+class ConnectionContext:
+    """Per-caller state threaded through :meth:`BatchServer.dispatch`.
+
+    One context per protocol connection (or per in-process cluster
+    worker handle): it records the sessions the caller opened so
+    :meth:`BatchServer.release_context` can reap them when the caller
+    goes away.  Keeping this out of the server lets the same dispatch
+    path serve TCP connections and socketless in-process callers alike.
+    """
+
+    __slots__ = ("sessions",)
+
+    def __init__(self) -> None:
+        #: Session ids owned by this caller (``session.open`` adds,
+        #: ``session.close`` removes).
+        self.sessions: set[str] = set()
+
+
 class _Job:
     """One scheduled canonical solve; waiters share :attr:`future`.
 
@@ -192,6 +212,15 @@ class BatchServer:
         Seconds the drain task lingers after picking up a job to let a
         burst accumulate into one micro-batch.  ``0`` disables the
         linger; immediately-available jobs are still batched together.
+    max_pending:
+        Admission bound on *pending canonical solves* (scheduled but not
+        yet completed — the drain queue plus the micro-batch in flight).
+        A request that would schedule solve number ``max_pending + 1``
+        is shed with :class:`~repro.exceptions.ServerOverloadedError`
+        instead of queueing unboundedly; nothing is enqueued, so the
+        caller (or the cluster router) may retry it elsewhere.  Cache
+        hits and coalesced joins never consume admission slots.
+        ``None`` (default) keeps the historical unbounded behaviour.
     stats:
         Optional shared :class:`~repro.perf.stats.ServeStats` collector.
 
@@ -210,6 +239,7 @@ class BatchServer:
         workers: int = 1,
         max_batch: int = 32,
         max_delay: float = 0.002,
+        max_pending: int | None = None,
         stats: ServeStats | None = None,
     ) -> None:
         if workers < 1:
@@ -218,11 +248,16 @@ class BatchServer:
             raise ConfigurationError(f"max_batch must be >= 1, got {max_batch}")
         if max_delay < 0:
             raise ConfigurationError(f"max_delay must be >= 0, got {max_delay}")
+        if max_pending is not None and max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
         self.cache = cache if cache is not None else ResultCache()
         self.stats = stats if stats is not None else ServeStats()
         self._workers = workers
         self._max_batch = max_batch
         self._max_delay = max_delay
+        self._max_pending = max_pending
         self._jobs: dict[str, _Job] = {}
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._seq = 0
@@ -385,6 +420,21 @@ class BatchServer:
                     served = "coalesced"
                     pstats.coalesced_joins += 1
                 else:
+                    if (
+                        self._max_pending is not None
+                        and len(self._jobs) >= self._max_pending
+                    ):
+                        # Shed *before* creating the job or its future:
+                        # nothing is enqueued and no coalesced waiter can
+                        # ever attach to a solve that will not run, so a
+                        # rejection racing stop() strands nobody.
+                        pstats.overloads += 1
+                        raise ServerOverloadedError(
+                            f"server at capacity: {len(self._jobs)} "
+                            f"pending canonical solves "
+                            f"(max_pending={self._max_pending}); "
+                            "request shed"
+                        )
                     future: asyncio.Future = (
                         asyncio.get_running_loop().create_future()
                     )
@@ -403,6 +453,10 @@ class BatchServer:
                 None, policy.fan_out, instance, canonical, record, digest
             )
         except asyncio.CancelledError:
+            raise
+        except ServerOverloadedError:
+            # A shed is expected load behaviour, counted in
+            # ``pstats.overloads`` at the shed site — not an error.
             raise
         except Exception:
             pstats.errors += 1
@@ -583,6 +637,89 @@ class BatchServer:
             job.future.set_result(record)
 
     # ------------------------------------------------------------------
+    # protocol dispatch (transport-independent)
+    # ------------------------------------------------------------------
+    async def dispatch(
+        self,
+        message: dict[str, Any],
+        ctx: ConnectionContext | None = None,
+    ) -> dict[str, Any]:
+        """Handle one already-decoded protocol message; returns the response.
+
+        The single op-dispatch path behind every transport: the TCP
+        connection handler routes each decoded line through here, and the
+        in-process cluster workers (:class:`repro.serve.spawner
+        .InProcessSpawner`) call it directly — socketless, but exercising
+        exactly the code real connections do.  ``ctx`` carries the
+        caller's session ownership; pass the same context for the
+        caller's lifetime and reap it with :meth:`release_context`.
+        Exceptions (other than cancellation) never escape: they are
+        encoded as ``ok: false`` responses, with a machine-readable
+        ``code`` for retriable conditions (see
+        :func:`repro.serve.protocol.error_response`).
+        """
+        if ctx is None:
+            ctx = ConnectionContext()
+        op = message.get("op", "solve")
+        rid = message.get("id")
+        try:
+            if op == "stats":
+                return {"id": rid, "ok": True, "stats": self.stats.as_dict()}
+            if op == "perf":
+                return {"id": rid, "ok": True, "perf": self.perf_snapshot()}
+            if op == "shutdown":
+                if self._stop_task is None:
+                    self._stop_task = asyncio.get_running_loop().create_task(
+                        self.stop()
+                    )
+                return {"id": rid, "ok": True, "stopping": True}
+            if op == "session.open":
+                response = await self._session_open(message, ctx.sessions)
+            elif op == "session.delta":
+                response = await self._session_delta(message)
+            elif op == "session.close":
+                response = await self._session_close(message, ctx.sessions)
+            else:
+                instance, solver, priority = parse_solve_request(message)
+                result, digest, served = await self._submit_full(
+                    instance, solver=solver, priority=priority
+                )
+                response = {
+                    "ok": True,
+                    "digest": digest,
+                    "served": served,
+                    "result": get_policy(solver).result_to_wire(result),
+                }
+            response["id"] = rid
+            return response
+        except asyncio.CancelledError:
+            raise
+        except ReproError as exc:
+            return error_response(rid, exc)
+        except Exception as exc:  # never let one request kill the server
+            return {
+                "id": rid,
+                "ok": False,
+                "error": f"internal error: {type(exc).__name__}: {exc}",
+            }
+
+    async def release_context(self, ctx: ConnectionContext) -> None:
+        """Reap the sessions owned by a departed caller.
+
+        Sessions are owned by their connection (or in-process handle): a
+        disconnect mid-session must not leak retained tables.  Each close
+        waits on the session lock, and delta handlers keep the lock until
+        their backend call actually finishes even when cancelled, so the
+        engine is never torn down mid-solve.
+        """
+        for sid in sorted(ctx.sessions):
+            sess = self._sessions.pop(sid, None)
+            if sess is not None:
+                async with sess.lock:
+                    self._retire_session(sess)
+        ctx.sessions.clear()
+
+    # ------------------------------------------------------------------
     # TCP protocol
     # ------------------------------------------------------------------
     async def _handle_conn(
@@ -592,7 +729,7 @@ class BatchServer:
         self._writers.add(writer)
         write_lock = asyncio.Lock()
         conn_tasks: set[asyncio.Task] = set()
-        conn_sessions: set[str] = set()
+        ctx = ConnectionContext()
         try:
             while True:
                 try:
@@ -616,41 +753,13 @@ class BatchServer:
                         {"id": None, "ok": False, "error": str(exc)},
                     )
                     continue
-                op = message.get("op", "solve")
-                rid = message.get("id")
-                if op == "stats":
-                    await self._write(
-                        writer,
-                        write_lock,
-                        {"id": rid, "ok": True, "stats": self.stats.as_dict()},
-                    )
-                elif op == "perf":
-                    await self._write(
-                        writer,
-                        write_lock,
-                        {"id": rid, "ok": True, "perf": self.perf_snapshot()},
-                    )
-                elif op == "shutdown":
-                    await self._write(
-                        writer, write_lock, {"id": rid, "ok": True, "stopping": True}
-                    )
-                    if self._stop_task is None:
-                        self._stop_task = asyncio.get_running_loop().create_task(
-                            self.stop()
-                        )
-                else:
-                    handler = (
-                        self._serve_session_request(
-                            op, message, writer, write_lock, conn_sessions
-                        )
-                        if op in ("session.open", "session.delta", "session.close")
-                        else self._serve_request(message, writer, write_lock)
-                    )
-                    task = asyncio.create_task(handler)
-                    conn_tasks.add(task)
-                    self._request_tasks.add(task)
-                    task.add_done_callback(conn_tasks.discard)
-                    task.add_done_callback(self._request_tasks.discard)
+                task = asyncio.create_task(
+                    self._respond(message, writer, write_lock, ctx)
+                )
+                conn_tasks.add(task)
+                self._request_tasks.add(task)
+                task.add_done_callback(conn_tasks.discard)
+                task.add_done_callback(self._request_tasks.discard)
         finally:
             # Client gone: responses are unwritable, so cancel what this
             # connection still has pending.  Shared in-flight solves are
@@ -659,79 +768,22 @@ class BatchServer:
                 task.cancel()
             self._writers.discard(writer)
             writer.close()
-            # Sessions are owned by their connection: a disconnect
-            # mid-session must not leak retained tables.  Each close
-            # waits on the session lock, and delta handlers keep the lock
-            # until their backend call actually finishes even when
-            # cancelled, so the engine is never torn down mid-solve.
-            for sid in sorted(conn_sessions):
-                sess = self._sessions.pop(sid, None)
-                if sess is not None:
-                    async with sess.lock:
-                        self._retire_session(sess)
+            await self.release_context(ctx)
 
-    async def _serve_request(
+    async def _respond(
         self,
         message: dict[str, Any],
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        ctx: ConnectionContext,
     ) -> None:
-        rid = message.get("id")
-        try:
-            instance, solver, priority = parse_solve_request(message)
-            result, digest, served = await self._submit_full(
-                instance, solver=solver, priority=priority
-            )
-            response = {
-                "id": rid,
-                "ok": True,
-                "digest": digest,
-                "served": served,
-                "result": get_policy(solver).result_to_wire(result),
-            }
-        except asyncio.CancelledError:
-            raise
-        except ReproError as exc:
-            response = {"id": rid, "ok": False, "error": str(exc)}
-        except Exception as exc:  # never let one request kill the server
-            response = {
-                "id": rid,
-                "ok": False,
-                "error": f"internal error: {type(exc).__name__}: {exc}",
-            }
+        """One request task: dispatch the message, write the response."""
+        response = await self.dispatch(message, ctx)
         await self._write(writer, write_lock, response)
 
     # ------------------------------------------------------------------
     # session ops (incremental delta re-solve engine)
     # ------------------------------------------------------------------
-    async def _serve_session_request(
-        self,
-        op: str,
-        message: dict[str, Any],
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-        conn_sessions: set[str],
-    ) -> None:
-        rid = message.get("id")
-        try:
-            if op == "session.open":
-                response = await self._session_open(message, conn_sessions)
-            elif op == "session.delta":
-                response = await self._session_delta(message)
-            else:
-                response = await self._session_close(message, conn_sessions)
-            response["id"] = rid
-        except asyncio.CancelledError:
-            raise
-        except ReproError as exc:
-            response = {"id": rid, "ok": False, "error": str(exc)}
-        except Exception as exc:  # never let one request kill the server
-            response = {
-                "id": rid,
-                "ok": False,
-                "error": f"internal error: {type(exc).__name__}: {exc}",
-            }
-        await self._write(writer, write_lock, response)
 
     async def _session_open(
         self, message: dict[str, Any], conn_sessions: set[str]

@@ -292,3 +292,46 @@ def _append_worker(cache_dir: str, worker: int) -> None:
     cache = ResultCache(max_entries=64, cache_dir=cache_dir)
     for i in range(20):
         cache.put(f"ab{worker}{i:02d}", rec(worker * 100 + i))
+
+
+class TestLockingDegrade:
+    """The flock→no-op degrade is loud and observable, never silent."""
+
+    def test_memory_only_cache_reports_memory(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.locking == "memory"
+        assert cache.stats.as_dict()["locking"] == "memory"
+
+    def test_disk_cache_with_fcntl_reports_flock(self, tmp_path):
+        cache = ResultCache(cache_dir=tmp_path)
+        assert cache.locking == "flock"
+        assert cache.stats.locking == "flock"
+
+    def test_missing_fcntl_warns_once_and_reports_none(self, tmp_path, monkeypatch):
+        import warnings
+
+        import repro.batch.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "fcntl", None)
+        monkeypatch.setattr(cache_mod, "_warned_no_flock", False)
+        with pytest.warns(RuntimeWarning, match="locking: \"none\""):
+            cache = ResultCache(cache_dir=tmp_path / "a")
+        assert cache.locking == "none"
+        assert cache.stats.as_dict()["locking"] == "none"
+        # One-time per process: a second cache stays quiet.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            second = ResultCache(cache_dir=tmp_path / "b")
+        assert second.locking == "none"
+
+    def test_noop_locks_still_round_trip(self, tmp_path, monkeypatch):
+        """Degraded locking is a safety property, not a functional one:
+        single-process disk persistence keeps working."""
+        import repro.batch.cache as cache_mod
+
+        monkeypatch.setattr(cache_mod, "fcntl", None)
+        monkeypatch.setattr(cache_mod, "_warned_no_flock", True)
+        cache = ResultCache(cache_dir=tmp_path)
+        cache.put("a" * 64, rec(1))
+        reloaded = ResultCache(cache_dir=tmp_path)
+        assert reloaded.get("a" * 64) == rec(1)

@@ -114,3 +114,58 @@ class TestParetoDPStats:
         agg = ParetoDPStats().absorb(stats.as_dict())
         for key, value in stats.as_dict().items():
             assert agg.as_dict()[key] == value
+
+
+class TestIdleQuantilesAreNull:
+    """Idle serving windows report ``null`` quantiles, never a fake 0.0
+    (a 0.0 p99 reads as 'instant', not 'no traffic')."""
+
+    def test_policy_serve_stats_idle(self):
+        from repro.perf.stats import PolicyServeStats
+
+        stats = PolicyServeStats()
+        assert stats.latency_quantile(0.5) is None
+        assert stats.latency_quantile(0.99) is None
+        payload = stats.as_dict()
+        assert payload["p50_latency"] is None
+        assert payload["p99_latency"] is None
+
+    def test_policy_serve_stats_with_traffic(self):
+        from repro.perf.stats import PolicyServeStats
+
+        stats = PolicyServeStats()
+        stats.record_latency(0.010)
+        stats.record_latency(0.020)
+        p50 = stats.latency_quantile(0.5)
+        assert p50 is not None and 0.009 < p50 < 0.021
+        assert isinstance(stats.as_dict()["p99_latency"], float)
+
+    def test_session_serve_stats_idle(self):
+        from repro.perf.stats import SessionServeStats
+
+        stats = SessionServeStats()
+        assert stats.latency_quantile(0.5) is None
+        assert stats.as_dict()["p50_delta_latency"] is None
+
+    def test_session_serve_stats_with_traffic(self):
+        from repro.perf.stats import SessionServeStats
+
+        stats = SessionServeStats()
+        stats.record_apply(deltas=1, reused=2, invalidated=1, seconds=0.01)
+        assert stats.latency_quantile(0.5) == pytest.approx(0.01)
+
+
+class TestClusterStats:
+    def test_worker_collectors_auto_created_and_sorted(self):
+        from repro.perf.stats import ClusterStats
+
+        stats = ClusterStats()
+        stats.worker("w1").routed += 2
+        stats.worker("w0").sheds += 1
+        stats.worker("w1").deaths += 1
+        payload = stats.as_dict()
+        assert list(payload["workers"]) == ["w0", "w1"]
+        assert payload["workers"]["w1"] == {
+            "routed": 2, "sheds": 0, "errors": 0, "deaths": 1, "respawns": 0,
+        }
+        assert payload["rejected"] == 0 and payload["lost_sessions"] == 0

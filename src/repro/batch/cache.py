@@ -40,6 +40,15 @@ may pass an expected record ``schema``: a cached record whose ``schema``
 field differs is treated as a miss (and counted in
 ``stats.schema_discards``), so a policy can never be served a record
 shape it does not understand.
+
+Integrity: every line carries a CRC32 of its digest + canonical record
+JSON (:func:`_envelope`), verified whenever a store file is parsed.  A
+line that fails to parse or fails its CRC is *quarantined* — moved to a
+``<shard>.quarantine`` sidecar during the compaction that drops it, and
+counted in ``stats.corrupt_lines`` — never silently discarded, so torn
+writes and bit rot stay diagnosable.  The fault-injection registry
+(:mod:`repro.faults`) may deterministically mangle lines at append time
+to exercise exactly this path.
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ import json
 import os
 import threading
 import warnings
+import zlib
 from collections import OrderedDict
 from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
@@ -61,6 +71,7 @@ except ImportError:  # pragma: no cover - Windows fallback: no-op locks
 
 from repro._version import __version__
 from repro.exceptions import ConfigurationError
+from repro.faults import registry as _faults
 from repro.perf.stats import BatchCacheStats
 
 __all__ = ["ResultCache"]
@@ -72,12 +83,28 @@ _LEGACY_FILENAME = "batch-cache.jsonl"
 #: Version of the on-disk cache line envelope produced by
 #: :func:`_envelope`.  Bump it whenever the envelope shape changes so
 #: the schema-drift lint rule can pair the surface with a version.
-CACHE_SCHEMA = 1
+#: Schema 2 added the ``crc`` integrity field.
+CACHE_SCHEMA = 2
+
+
+def _crc(digest: str, record: Any) -> int:
+    """CRC32 over the digest + canonical (sorted-keys) record JSON.
+
+    Key-order independent: verification re-serialises the *parsed*
+    record, so it checks content, not byte layout of the stored line.
+    """
+    payload = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(f"{digest}:{payload}".encode())
 
 
 def _envelope(digest: str, record: dict[str, Any]) -> dict[str, Any]:
     """The JSON object written as one cache line on disk."""
-    return {"version": __version__, "digest": digest, "record": record}
+    return {
+        "version": __version__,
+        "digest": digest,
+        "record": record,
+        "crc": _crc(digest, record),
+    }
 
 
 #: One-time guard for the missing-``fcntl`` warning: a process spawning
@@ -270,6 +297,11 @@ class ResultCache:
                 line = json.dumps(
                     _envelope(digest, record), separators=(",", ":")
                 )
+                plan = _faults.active_plan()
+                if plan is not None:
+                    # Chaos hook: deterministically mangle the stored
+                    # line; the CRC check quarantines it on next load.
+                    line = plan.corrupt_cache_line(digest, line)
                 path = self._shard_path(digest)
         if line is not None:
             # Append outside the in-process mutex: waiting on another
@@ -380,7 +412,10 @@ class ResultCache:
         merged = dict(survivors)
         with _shard_lock(path):
             if path.exists():
-                on_disk, _ = self._read_lines(path)
+                on_disk, _, corrupt = self._read_lines(path)
+                # Compaction is the one place lines physically leave the
+                # shard, so it is also where corrupt ones are preserved.
+                self._quarantine_lines(path, corrupt)
                 for digest, record in on_disk.items():
                     if digest not in merged and digest not in dropped:
                         merged[digest] = record
@@ -392,28 +427,41 @@ class ResultCache:
                 for digest, record in merged.items():
                     fh.write(
                         json.dumps(
-                            {
-                                "version": __version__,
-                                "digest": digest,
-                                "record": record,
-                            },
-                            separators=(",", ":"),
+                            _envelope(digest, record), separators=(",", ":")
                         )
                         + "\n"
                     )
             os.replace(tmp, path)
 
-    def _read_lines(self, path: Path) -> tuple[dict[str, dict[str, Any]], bool]:
-        """Parse one store file; returns (entries, needs_compaction).
+    def _quarantine_lines(self, path: Path, lines: list[str]) -> None:
+        """Move corrupt raw lines to the shard's ``.quarantine`` sidecar."""
+        if not lines:
+            return
+        qpath = path.with_name(path.name + ".quarantine")
+        with open(qpath, "a", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        self.stats.corrupt_lines += len(lines)
+
+    def _read_lines(
+        self, path: Path
+    ) -> tuple[dict[str, dict[str, Any]], bool, list[str]]:
+        """Parse one store file; returns (entries, needs_compaction, corrupt).
 
         ``needs_compaction`` is set for stale-version or corrupt lines
         *and* for digests appearing more than once — two processes that
         both solved a digest before seeing each other's append leave
         duplicated lines (correct, later line wins, but wasted bytes);
         the load pass schedules such shards for a dedupe rewrite.
+
+        ``corrupt`` holds the raw lines that failed to parse or failed
+        their CRC: the scheduled compaction moves them to the shard's
+        ``.quarantine`` sidecar (stale-*version* lines are expected
+        churn, not corruption, and are simply dropped).
         """
         entries: dict[str, dict[str, Any]] = {}
         needs_compaction = False
+        corrupt: list[str] = []
         with open(path, encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -425,15 +473,24 @@ class ResultCache:
                     record = entry["record"]
                     version = entry["version"]
                 except (json.JSONDecodeError, KeyError, TypeError):
+                    corrupt.append(line)
                     needs_compaction = True
                     continue
                 if version != __version__:
                     needs_compaction = True
                     continue
+                if "crc" in entry and entry["crc"] != _crc(digest, record):
+                    corrupt.append(line)
+                    needs_compaction = True
+                    continue
+                if "crc" not in entry:
+                    # Pre-CRC line (schema 1): trusted as-is, rewritten
+                    # with a CRC at the next compaction.
+                    needs_compaction = True
                 if digest in entries:
                     needs_compaction = True
                 entries[digest] = record
-        return entries, needs_compaction
+        return entries, needs_compaction, corrupt
 
     def _shard_files(self) -> Iterable[Path]:
         assert self._dir is not None
@@ -450,7 +507,7 @@ class ResultCache:
         needs_rewrite: set[str] = set()
         for path in self._shard_files():
             with _shard_lock(path):
-                entries, dirty = self._read_lines(path)
+                entries, dirty, _ = self._read_lines(path)
             # Shard names are digest prefixes; a two-char suffix like the
             # migrated legacy shards' is always digest[:2].
             prefix = path.name[len(_CACHE_BASENAME) + 1 : -len(".jsonl")]
@@ -461,7 +518,7 @@ class ResultCache:
         legacy = self._dir / _LEGACY_FILENAME
         migrating = legacy.exists()
         if migrating:
-            entries, _ = self._read_lines(legacy)
+            entries, _, _ = self._read_lines(legacy)
             for digest, record in entries.items():
                 if digest not in self._disk:
                     self._disk[digest] = record

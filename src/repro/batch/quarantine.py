@@ -1,0 +1,195 @@
+"""Poison-instance quarantine and failure bisection.
+
+When a solve pool breaks (worker segfault) or overruns its deadline,
+the supervising executor attributes the incident to specific canonical
+digests (journal marks + a sandboxed probe, see
+:mod:`repro.batch.executor`) and registers the culprits here.  A
+quarantined digest then *fails fast* with a typed
+:class:`~repro.exceptions.QuarantinedError` for a TTL instead of
+re-breaking a freshly rebuilt pool on every resubmission — the serving
+tier checks the registry before admitting a canonical solve.
+
+:func:`bisect_culprits` is the shared group-failure isolation helper:
+given a probe that re-runs a subset of items, it isolates the failing
+items in ``O(k log n)`` probes instead of re-running every item alone.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import TypeVar
+
+from repro.exceptions import QuarantinedError
+
+__all__ = ["QuarantineEntry", "QuarantineRegistry", "bisect_culprits"]
+
+#: Default quarantine TTL in seconds.
+DEFAULT_TTL = 300.0
+
+
+@dataclass(frozen=True)
+class QuarantineEntry:
+    """One quarantined digest: why, and until when (monotonic clock)."""
+
+    digest: str
+    reason: str
+    until: float
+
+
+class _StatsLike:
+    """Structural stand-in for :class:`repro.perf.stats.BatchCacheStats`."""
+
+    quarantined: int
+    quarantine_blocked: int
+
+
+class QuarantineRegistry:
+    """Thread-safe TTL registry of digests that broke or hung a pool.
+
+    ``clock`` is injectable for deterministic tests; it must be
+    monotonic.  Counter attributes (``added`` / ``blocked`` /
+    ``expired``) are cumulative over the registry lifetime; the
+    optional ``stats`` argument on :meth:`add` / :meth:`check`
+    additionally feeds the pipeline-wide
+    :class:`~repro.perf.stats.BatchCacheStats` counters.
+    """
+
+    def __init__(
+        self,
+        ttl: float = DEFAULT_TTL,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if ttl <= 0:
+            raise ValueError(f"quarantine ttl must be positive, got {ttl}")
+        self.ttl = float(ttl)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: dict[str, QuarantineEntry] = {}
+        self.added = 0
+        self.blocked = 0
+        self.expired = 0
+
+    # -- mutation ------------------------------------------------------
+
+    def add(
+        self, digest: str, reason: str, *, stats: _StatsLike | None = None
+    ) -> QuarantineEntry:
+        """Quarantine ``digest`` for the registry TTL (refreshes if present)."""
+        entry = QuarantineEntry(
+            digest=digest, reason=reason, until=self._clock() + self.ttl
+        )
+        with self._lock:
+            self._entries[digest] = entry
+            self.added += 1
+        if stats is not None:
+            stats.quarantined += 1
+        return entry
+
+    def release(self, digest: str) -> bool:
+        """Drop ``digest`` from quarantine; True when it was present."""
+        with self._lock:
+            return self._entries.pop(digest, None) is not None
+
+    # -- queries -------------------------------------------------------
+
+    def check(self, digest: str, *, stats: _StatsLike | None = None) -> None:
+        """Raise :class:`QuarantinedError` when ``digest`` is quarantined.
+
+        Expired entries are purged lazily on touch.
+        """
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return
+            remaining = entry.until - self._clock()
+            if remaining <= 0:
+                del self._entries[digest]
+                self.expired += 1
+                return
+            self.blocked += 1
+        if stats is not None:
+            stats.quarantine_blocked += 1
+        raise QuarantinedError(
+            f"digest {digest[:12]} is quarantined ({entry.reason}); "
+            f"fails fast for another {remaining:.1f}s",
+            digest=digest,
+            reason=entry.reason,
+        )
+
+    def active(self, digest: str) -> bool:
+        """True when ``digest`` is currently quarantined (no side effects
+        beyond lazy purge of an expired entry)."""
+        with self._lock:
+            entry = self._entries.get(digest)
+            if entry is None:
+                return False
+            if entry.until - self._clock() <= 0:
+                del self._entries[digest]
+                self.expired += 1
+                return False
+            return True
+
+    def __len__(self) -> int:
+        now = self._clock()
+        with self._lock:
+            return sum(1 for e in self._entries.values() if e.until > now)
+
+    def snapshot(self) -> dict[str, object]:
+        """JSON-able view for the serve ``perf`` op and health tables."""
+        now = self._clock()
+        with self._lock:
+            entries = [
+                {
+                    "digest": e.digest[:12],
+                    "reason": e.reason,
+                    "ttl_left": round(e.until - now, 3),
+                }
+                for e in self._entries.values()
+                if e.until > now
+            ]
+            entries.sort(key=lambda item: str(item["digest"]))
+            return {
+                "active": len(entries),
+                "added": self.added,
+                "blocked": self.blocked,
+                "expired": self.expired,
+                "entries": entries,
+            }
+
+
+T = TypeVar("T")
+
+
+def bisect_culprits(
+    items: Sequence[T], probe: Callable[[list[T]], None]
+) -> list[tuple[T, Exception]]:
+    """Isolate the items that make ``probe`` raise, in ``O(k log n)`` probes.
+
+    ``probe(subset)`` must raise iff the subset contains at least one
+    culprit and must be cheap to repeat for non-culprits (in the solve
+    pipeline, already-solved digests are answered by the cache, so
+    repeated probes cost ~nothing).  Returns ``(item, error)`` pairs in
+    original order; an empty probe group is never issued.
+    """
+    culprits: list[tuple[T, Exception]] = []
+    stack: list[list[T]] = [list(items)]
+    while stack:
+        group = stack.pop()
+        if not group:
+            continue
+        try:
+            probe(list(group))
+        except Exception as exc:  # noqa: BLE001 — probe errors are the signal
+            if len(group) == 1:
+                culprits.append((group[0], exc))
+            else:
+                mid = (len(group) + 1) // 2
+                # LIFO: push right half first so the left half is probed
+                # next, keeping isolation order aligned with input order.
+                stack.append(group[mid:])
+                stack.append(group[:mid])
+    return culprits

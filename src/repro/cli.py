@@ -175,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="Pareto-DP engine for the power policies (default: array; "
         "tuple is the byte-identity oracle; REPRO_POWER_KERNEL also works)",
     )
+    b.add_argument(
+        "--solve-timeout", type=float, default=None, metavar="SECS",
+        help="wall-clock deadline per supervised solve wave; a hung chunk "
+        "kills and rebuilds the pool, quarantines the offending digest and "
+        "reports a typed timeout error (default: no deadline)",
+    )
 
     v = sub.add_parser(
         "serve",
@@ -209,6 +215,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--kernel", choices=("array", "tuple"), default=None,
         help="Pareto-DP engine for the power policies (default: array; "
         "tuple is the byte-identity oracle; REPRO_POWER_KERNEL also works)",
+    )
+    v.add_argument(
+        "--solve-timeout", type=float, default=None, metavar="SECS",
+        help="wall-clock deadline per supervised solve wave; hung solves "
+        "answer with a retriable 'timeout' error, the pool is rebuilt and "
+        "the digest quarantined (default: no deadline)",
     )
 
     u = sub.add_parser(
@@ -256,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     u.add_argument(
         "--kernel", choices=("array", "tuple"), default=None,
         help="Pareto-DP engine forwarded to every worker",
+    )
+    u.add_argument(
+        "--solve-timeout", type=float, default=None, metavar="SECS",
+        help="per-worker wall-clock deadline for one supervised solve "
+        "wave (forwarded to every worker; default: no deadline)",
     )
 
     c = sub.add_parser(
@@ -308,6 +325,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--cluster", action="store_true",
         help="the server is a cluster router: print the per-worker "
         "health/overload table from its perf op",
+    )
+    c.add_argument(
+        "--retries", type=int, default=0,
+        help="retry budget for retriable failures only ('overloaded', "
+        "'timeout', torn connections); exponential backoff with jitter "
+        "(default: no retries)",
+    )
+    c.add_argument(
+        "--deadline", type=float, default=None, metavar="SECS",
+        help="overall per-request deadline bounding the retry schedule "
+        "(default: unbounded)",
     )
 
     d = sub.add_parser(
@@ -471,6 +499,7 @@ async def _run_server(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         max_delay=args.max_delay_ms / 1000.0,
         max_pending=args.max_pending,
+        solve_timeout=args.solve_timeout,
     )
     async with server:
         host, port = await server.listen(args.host, args.port)
@@ -511,6 +540,7 @@ async def _run_cluster(args: argparse.Namespace) -> int:
         max_disk_entries=args.disk_size,
         cache_dir=args.cache_dir,
         kernel=args.kernel,
+        solve_timeout=args.solve_timeout,
     )
     router = ClusterRouter(
         spawner,
@@ -550,14 +580,17 @@ def _print_cluster_health(perf: dict) -> None:
         wperf = entry.get("perf") or {}
         serve = wperf.get("serve", {})
         policies = serve.get("policies", {})
+        quarantine = wperf.get("quarantine", {})
         rows.append(
             (
                 name,
                 "up" if entry.get("alive") else "DOWN",
                 route.get("routed", 0),
                 route.get("sheds", 0),
+                route.get("timeouts", 0),
                 route.get("deaths", 0),
                 route.get("respawns", 0),
+                quarantine.get("active", 0),
                 sum(p.get("requests", 0) for p in policies.values()),
                 sum(p.get("cache_hits", 0) for p in policies.values()),
             )
@@ -565,8 +598,8 @@ def _print_cluster_health(perf: dict) -> None:
     print(
         format_table(
             (
-                "worker", "state", "routed", "sheds", "deaths",
-                "respawns", "requests", "cache_hits",
+                "worker", "state", "routed", "sheds", "timeouts", "deaths",
+                "respawns", "quarantined", "requests", "cache_hits",
             ),
             rows,
         )
@@ -637,7 +670,12 @@ async def _run_session_client(args: argparse.Namespace) -> int:
     from repro.batch.instance import BatchInstance
 
     instance = BatchInstance(tree, 10, frozenset(), power_model=power_model)
-    client = await ServeClient.connect(args.host, args.port)
+    client = await ServeClient.connect(
+        args.host,
+        args.port,
+        retries=args.retries,
+        deadline=args.deadline,
+    )
     try:
         sess = await client.session(instance, kernel=args.kernel)
         print(
@@ -711,7 +749,12 @@ async def _run_client(args: argparse.Namespace) -> int:
         )
         return 2
     instances = _with_default_power(instances, get_policy(args.solver), args)
-    client = await ServeClient.connect(args.host, args.port)
+    client = await ServeClient.connect(
+        args.host,
+        args.port,
+        retries=args.retries,
+        deadline=args.deadline,
+    )
     try:
         if instances:
             responses = await client.solve_many(
@@ -983,6 +1026,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             workers=args.workers,
             cache=cache,
             records_out=records_out,
+            solve_timeout=args.solve_timeout,
         )
         rows = [
             (i, str(r.extra["digest"])[:12], *policy.row(r))
@@ -1010,6 +1054,12 @@ def _dispatch(args: argparse.Namespace) -> int:
             f"(disk={s.disk_hits}) misses={s.misses} "
             f"hit_rate={s.hit_rate:.2f}"
         )
+        if s.solve_timeouts or s.pool_rebuilds or s.quarantined:
+            print(
+                f"solve_timeouts={s.solve_timeouts} "
+                f"pool_rebuilds={s.pool_rebuilds} "
+                f"quarantined={s.quarantined}"
+            )
         if records_out is not None:
             from repro.perf.stats import ParetoDPStats
 

@@ -18,6 +18,8 @@ __all__ = [
     "SolverError",
     "ServerClosedError",
     "ServerOverloadedError",
+    "SolveTimeoutError",
+    "QuarantinedError",
 ]
 
 
@@ -81,3 +83,43 @@ class ServerOverloadedError(ReproError):
     the cluster router (:mod:`repro.serve.cluster`) retries it against
     the digest's fallback owner.
     """
+
+
+class SolveTimeoutError(ReproError):
+    """A supervised solve exceeded its wall-clock deadline.
+
+    Raised (and sent on the wire with ``code: "timeout"``, retriable)
+    when a canonical solve did not finish within ``solve_timeout``
+    seconds.  The supervising executor has already killed and rebuilt
+    the worker pool, so other in-flight solves are unaffected; the
+    offending digest is quarantined for a TTL (see
+    :class:`~repro.batch.quarantine.QuarantineRegistry`) so an
+    immediate resubmission fails fast instead of hanging a second pool.
+    Retrying is safe once the quarantine TTL expires — the timeout may
+    have been load-induced rather than intrinsic to the instance.
+    """
+
+    def __init__(self, message: str, *, digests: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        #: Digests whose solves were in flight when the deadline fired.
+        self.digests = digests
+
+
+class QuarantinedError(ReproError):
+    """A digest is quarantined after breaking or hanging a solve pool.
+
+    Raised (and sent on the wire with ``code: "quarantined"``,
+    *non*-retriable) when a canonical solve is attributed — by journal
+    marks plus a sandboxed single-instance probe — as the culprit of a
+    pool crash or deadline overrun.  The digest fails fast for the
+    registry TTL instead of re-breaking the pool on every resubmission.
+    """
+
+    def __init__(
+        self, message: str, *, digest: str | None = None, reason: str | None = None
+    ) -> None:
+        super().__init__(message)
+        #: Quarantined canonical digest, when known.
+        self.digest = digest
+        #: Short machine-readable cause (``"crash"``, ``"timeout"``, ...).
+        self.reason = reason

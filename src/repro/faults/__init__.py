@@ -1,0 +1,27 @@
+"""Deterministic fault injection for chaos tests and the chaos CI job.
+
+Re-exports the registry surface; see :mod:`repro.faults.registry` for
+the ``REPRO_FAULTS`` grammar and the individual hooks.
+"""
+
+from __future__ import annotations
+
+from repro.faults.registry import (
+    ENV_VAR,
+    FaultPlan,
+    InjectedCrashError,
+    InjectedFaultError,
+    active_plan,
+    parse_plan,
+    reset,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "active_plan",
+    "parse_plan",
+    "reset",
+]

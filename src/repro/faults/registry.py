@@ -1,0 +1,265 @@
+"""Seeded, env-driven fault-injection registry.
+
+The production solve path honours a small set of injection hooks so the
+chaos tests and the ``chaos-smoke`` CI job can drive the full
+server/cluster stack through hangs, segfaults, cache corruption, and
+torn connections *deterministically*: every fault decision is a pure
+function of the canonical digest (plus an explicit seed), never of
+wall-clock time or global RNG state.
+
+Activation is environment-driven.  ``REPRO_FAULTS`` holds a compact
+``key=value;key=value`` spec:
+
+``crash_on_digest=<prefix>[,<prefix>...]``
+    SIGKILL the pool worker (or raise :class:`InjectedCrashError` when
+    not inside a pool worker) before solving a matching digest.
+``hang_seconds=<prefix>:<seconds>[,...]``
+    Sleep ``seconds`` before solving a matching digest — long sleeps
+    simulate a wedged solve and exercise the ``solve_timeout`` path.
+``fail_rate=<rate>[:<seed>]``
+    Raise :class:`InjectedFaultError` for a deterministic ``rate``
+    fraction of digests (hash of ``seed:digest`` mapped to the unit
+    interval).
+``corrupt_line=<prefix>[,<prefix>...]``
+    Mangle the cache line written for a matching digest, exercising the
+    CRC verification + shard-quarantine path on the next load.
+``corrupt_rate=<rate>[:<seed>]``
+    Same, for a deterministic fraction of all digests.
+``drop_connection=<prefix>[:<times>][,...]``
+    Close the client connection instead of writing the response for a
+    matching digest, at most ``times`` times (default 1) — exercises
+    the client torn-connection retry path.
+
+The plan is re-read whenever the raw env string changes, so tests can
+flip faults on and off with ``monkeypatch.setenv``; pool workers
+inherit the environment of the process that spawned them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError, ReproError
+
+__all__ = [
+    "ENV_VAR",
+    "FaultPlan",
+    "InjectedCrashError",
+    "InjectedFaultError",
+    "active_plan",
+    "parse_plan",
+    "reset",
+]
+
+#: Environment variable holding the fault spec.
+ENV_VAR = "REPRO_FAULTS"
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic injected failure (``fail_rate``) for one digest.
+
+    Request-specific: carried on the wire *without* a retriable code,
+    so clients never retry it.
+    """
+
+
+class InjectedCrashError(InjectedFaultError):
+    """``crash_on_digest`` fired outside a pool worker.
+
+    Inside a pool worker the crash is a real SIGKILL (the pool breaks);
+    in-process solve paths get this typed error instead so a chaos test
+    cannot take down the test runner itself.
+    """
+
+
+def _unit(seed: int, digest: str) -> float:
+    """Map ``(seed, digest)`` to [0, 1) without touching RNG state."""
+    raw = hashlib.sha256(f"{seed}:{digest}".encode()).digest()
+    return int.from_bytes(raw[:8], "big") / float(1 << 64)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Parsed, immutable fault spec; decisions are digest-deterministic."""
+
+    crash_digests: tuple[str, ...] = ()
+    hangs: tuple[tuple[str, float], ...] = ()
+    fail_rate: float = 0.0
+    fail_seed: int = 0
+    corrupt_digests: tuple[str, ...] = ()
+    corrupt_rate: float = 0.0
+    corrupt_seed: int = 0
+    drops: tuple[tuple[str, int], ...] = ()
+
+    # -- hooks ---------------------------------------------------------
+
+    def on_solve(self, digest: str) -> None:
+        """Called at the worker entry point before solving ``digest``."""
+        for prefix in self.crash_digests:
+            if digest.startswith(prefix):
+                _crash(digest)
+        for prefix, seconds in self.hangs:
+            if digest.startswith(prefix):
+                time.sleep(seconds)
+        if self.fail_rate > 0.0 and _unit(self.fail_seed, digest) < self.fail_rate:
+            raise InjectedFaultError(
+                f"injected failure for digest {digest[:12]} "
+                f"(fail_rate={self.fail_rate})"
+            )
+
+    def corrupt_cache_line(self, digest: str, line: str) -> str:
+        """Return ``line``, mangled when the corruption fault matches."""
+        hit = any(digest.startswith(p) for p in self.corrupt_digests) or (
+            self.corrupt_rate > 0.0
+            and _unit(self.corrupt_seed, digest) < self.corrupt_rate
+        )
+        if not hit:
+            return line
+        keep = max(len(line) - 8, 0)
+        return line[:keep] + "#CORRUPT"
+
+    def should_drop(self, digest: str | None) -> bool:
+        """True when the response for ``digest`` should tear the connection."""
+        if digest is None:
+            return False
+        for prefix, times in self.drops:
+            if digest.startswith(prefix):
+                with _state_lock:
+                    used = _drop_counts.get(prefix, 0)
+                    if used < times:
+                        _drop_counts[prefix] = used + 1
+                        return True
+        return False
+
+
+def _crash(digest: str) -> None:
+    if multiprocessing.parent_process() is not None:
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedCrashError(
+        f"injected crash for digest {digest[:12]} (not in a pool worker)"
+    )
+
+
+# -- parsing ----------------------------------------------------------
+
+
+def _parse_rate(value: str, key: str) -> tuple[float, int]:
+    rate_s, _, seed_s = value.partition(":")
+    try:
+        rate = float(rate_s)
+        seed = int(seed_s) if seed_s else 0
+    except ValueError as exc:
+        raise ConfigurationError(f"bad {key} spec {value!r}: {exc}") from exc
+    if not 0.0 <= rate <= 1.0:
+        raise ConfigurationError(f"{key} must be in [0, 1], got {rate}")
+    return rate, seed
+
+
+def parse_plan(spec: str) -> FaultPlan | None:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`.
+
+    Returns ``None`` for an empty/blank spec.  Raises
+    :class:`~repro.exceptions.ConfigurationError` on malformed input.
+    """
+    spec = spec.strip()
+    if not spec:
+        return None
+    crash: list[str] = []
+    hangs: list[tuple[str, float]] = []
+    fail_rate, fail_seed = 0.0, 0
+    corrupt: list[str] = []
+    corrupt_rate, corrupt_seed = 0.0, 0
+    drops: list[tuple[str, int]] = []
+    for clause in spec.split(";"):
+        clause = clause.strip()
+        if not clause:
+            continue
+        key, sep, value = clause.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not value:
+            raise ConfigurationError(f"bad fault clause {clause!r}")
+        if key == "crash_on_digest":
+            crash.extend(p for p in value.split(",") if p)
+        elif key == "hang_seconds":
+            for item in value.split(","):
+                prefix, sep2, secs = item.partition(":")
+                if not sep2 or not prefix:
+                    raise ConfigurationError(f"bad hang_seconds item {item!r}")
+                try:
+                    hangs.append((prefix, float(secs)))
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"bad hang_seconds item {item!r}: {exc}"
+                    ) from exc
+        elif key == "fail_rate":
+            fail_rate, fail_seed = _parse_rate(value, key)
+        elif key == "corrupt_line":
+            corrupt.extend(p for p in value.split(",") if p)
+        elif key == "corrupt_rate":
+            corrupt_rate, corrupt_seed = _parse_rate(value, key)
+        elif key == "drop_connection":
+            for item in value.split(","):
+                prefix, _, times_s = item.partition(":")
+                if not prefix:
+                    raise ConfigurationError(f"bad drop_connection item {item!r}")
+                try:
+                    times = int(times_s) if times_s else 1
+                except ValueError as exc:
+                    raise ConfigurationError(
+                        f"bad drop_connection item {item!r}: {exc}"
+                    ) from exc
+                drops.append((prefix, times))
+        else:
+            raise ConfigurationError(f"unknown fault key {key!r}")
+    return FaultPlan(
+        crash_digests=tuple(crash),
+        hangs=tuple(hangs),
+        fail_rate=fail_rate,
+        fail_seed=fail_seed,
+        corrupt_digests=tuple(corrupt),
+        corrupt_rate=corrupt_rate,
+        corrupt_seed=corrupt_seed,
+        drops=tuple(drops),
+    )
+
+
+# -- env-driven activation --------------------------------------------
+
+_state_lock = threading.Lock()
+_drop_counts: dict[str, int] = {}
+_cached_raw: str | None = None
+_cached_plan: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """Current plan per ``REPRO_FAULTS``, or ``None`` when inactive.
+
+    Re-parses whenever the raw env value changes (resetting the
+    bounded ``drop_connection`` counters), so the hot-path cost when
+    the spec is stable is one dict lookup and a string compare.
+    """
+    global _cached_raw, _cached_plan
+    raw = os.environ.get(ENV_VAR, "")
+    if raw == _cached_raw:
+        return _cached_plan
+    with _state_lock:
+        if raw != _cached_raw:
+            _cached_plan = parse_plan(raw)
+            _cached_raw = raw
+            _drop_counts.clear()
+    return _cached_plan
+
+
+def reset() -> None:
+    """Forget the cached plan and drop counters (test isolation)."""
+    global _cached_raw, _cached_plan
+    with _state_lock:
+        _cached_raw = None
+        _cached_plan = None
+        _drop_counts.clear()

@@ -63,6 +63,7 @@ class DeterminismRule(Rule):
     default_patterns = (
         "*/batch/canonical.py",
         "*/dynamics/incremental.py",
+        "*/faults/*.py",
         "*/power/serialize.py",
         "*/tree/serialize.py",
     )

@@ -61,6 +61,15 @@ class BatchCacheStats:
     ``schema_discards`` counts cached records dropped because their
     schema did not match the requesting policy's record schema (the
     record is re-solved; see :mod:`repro.batch.registry`).
+
+    Fault-isolation counters: ``solve_timeouts`` counts supervised
+    solves convicted of overrunning their ``solve_timeout`` deadline,
+    ``pool_rebuilds`` counts kill+rebuild incidents of the supervised
+    pool, ``quarantined`` / ``quarantine_blocked`` count digests added
+    to the poison quarantine and requests it failed fast (see
+    :mod:`repro.batch.quarantine`), and ``corrupt_lines`` counts disk
+    cache lines that failed parse/CRC and were moved to a
+    ``.quarantine`` sidecar (see :mod:`repro.batch.cache`).
     """
 
     hits: int = 0
@@ -72,6 +81,11 @@ class BatchCacheStats:
     unique_solved: int = 0
     duplicates_folded: int = 0
     schema_discards: int = 0
+    solve_timeouts: int = 0
+    pool_rebuilds: int = 0
+    quarantined: int = 0
+    quarantine_blocked: int = 0
+    corrupt_lines: int = 0
     #: Cross-process locking mode of the attached cache's disk tier:
     #: ``"memory"`` (no disk tier), ``"flock"`` (advisory sidecar locks)
     #: or ``"none"`` (``fcntl`` unavailable — shared-directory writers
@@ -103,6 +117,11 @@ class BatchCacheStats:
             "unique_solved": self.unique_solved,
             "duplicates_folded": self.duplicates_folded,
             "schema_discards": self.schema_discards,
+            "solve_timeouts": self.solve_timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "quarantined": self.quarantined,
+            "quarantine_blocked": self.quarantine_blocked,
+            "corrupt_lines": self.corrupt_lines,
             "hit_rate": self.hit_rate,
             "locking": self.locking,
         }
@@ -284,13 +303,17 @@ class WorkerRouteStats:
 
     ``routed`` counts requests the router dispatched to the worker (as
     primary *or* fallback owner), ``sheds`` the ``code: "overloaded"``
-    responses it answered with, ``deaths`` the times the router observed
-    the worker dead (connection lost / spawner-reported), and
-    ``respawns`` the times the router's spawner brought it back.
+    responses it answered with, ``timeouts`` the ``code: "timeout"``
+    responses (supervised solve deadline overruns — forwarded to the
+    client, which may retry after backoff), ``deaths`` the times the
+    router observed the worker dead (connection lost /
+    spawner-reported), and ``respawns`` the times the router's spawner
+    brought it back.
     """
 
     routed: int = 0
     sheds: int = 0
+    timeouts: int = 0
     errors: int = 0
     deaths: int = 0
     respawns: int = 0
@@ -299,6 +322,7 @@ class WorkerRouteStats:
         return {
             "routed": self.routed,
             "sheds": self.sheds,
+            "timeouts": self.timeouts,
             "errors": self.errors,
             "deaths": self.deaths,
             "respawns": self.respawns,

@@ -6,6 +6,14 @@ pipelined: ``solve`` calls may be issued concurrently and responses are
 matched back by request id, so one client saturates the server's
 coalescing window without connection-per-request overhead.
 
+Retry policy: with ``retries=`` set, the typed-*retriable* failures —
+``code: "overloaded"``, ``code: "timeout"`` and torn connections
+(:class:`ServeConnectionError`, reconnecting transparently) — are
+retried with exponential backoff plus jitter, bounded by an overall
+``deadline=``.  Request-specific errors (no ``code``, or
+``code: "quarantined"``) are never retried: re-sending an infeasible or
+poison instance cannot succeed and only adds load.
+
 >>> client = await ServeClient.connect(host, port)   # doctest: +SKIP
 >>> response = await client.solve(instance, solver="dp")  # doctest: +SKIP
 >>> response["result"]["cost"]                       # doctest: +SKIP
@@ -15,14 +23,17 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import random
 from collections.abc import Sequence
 from typing import Any
 
 from repro.batch.instance import BatchInstance, instance_to_dict
 from repro.dynamics.incremental import Delta, delta_to_dict
-from repro.exceptions import ReproError
+from repro.exceptions import ConfigurationError, ReproError
 from repro.serve.protocol import (
     CODE_OVERLOADED,
+    CODE_QUARANTINED,
+    CODE_TIMEOUT,
     MAX_LINE_BYTES,
     decode_line,
     encode_line,
@@ -33,8 +44,17 @@ __all__ = [
     "ServeConnectionError",
     "ServeError",
     "ServeOverloadedError",
+    "ServeQuarantinedError",
     "ServeSession",
+    "ServeTimeoutError",
 ]
+
+#: Response codes that are safe to retry (see
+#: :mod:`repro.serve.protocol`): the request was shed or timed out
+#: server-side without poisoning anything.  ``"quarantined"`` is
+#: deliberately absent — re-sending a poison instance must be a human
+#: decision.
+RETRIABLE_CODES = frozenset({CODE_OVERLOADED, CODE_TIMEOUT})
 
 
 class ServeError(ReproError):
@@ -61,6 +81,31 @@ class ServeOverloadedError(ServeError):
         super().__init__(message, code=code)
 
 
+class ServeTimeoutError(ServeError):
+    """The supervised solve overran the server's ``solve_timeout``.
+
+    Retriable after backoff: the worker pool was rebuilt and the digest
+    quarantined, so a later attempt may succeed once the quarantine
+    expires (the overrun may have been load-induced).
+    """
+
+    def __init__(self, message: str, *, code: str | None = CODE_TIMEOUT) -> None:
+        super().__init__(message, code=code)
+
+
+class ServeQuarantinedError(ServeError):
+    """The digest is failing fast in poison quarantine.
+
+    NOT retriable: the same instance previously crashed or hung a solver
+    pool, so re-sending it automatically would only re-poison the pool.
+    """
+
+    def __init__(
+        self, message: str, *, code: str | None = CODE_QUARANTINED
+    ) -> None:
+        super().__init__(message, code=code)
+
+
 class ServeConnectionError(ServeError):
     """The connection died before (or while) the response arrived.
 
@@ -68,6 +113,17 @@ class ServeConnectionError(ServeError):
     the request's fate is unknown — the cluster router treats this as a
     worker death and fails over.
     """
+
+
+def _error_for(error: str, code: str | None) -> ServeError:
+    """Typed exception for an ``ok: false`` response's ``code``."""
+    if code == CODE_OVERLOADED:
+        return ServeOverloadedError(error)
+    if code == CODE_TIMEOUT:
+        return ServeTimeoutError(error)
+    if code == CODE_QUARANTINED:
+        return ServeQuarantinedError(error)
+    return ServeError(error, code=code)
 
 
 class ServeSession:
@@ -136,16 +192,50 @@ class ServeSession:
 
 
 class ServeClient:
-    """One pipelined protocol connection; create via :meth:`connect`."""
+    """One pipelined protocol connection; create via :meth:`connect`.
+
+    ``retries``/``backoff``/``deadline`` configure the typed retry
+    policy of :meth:`_request` (and hence :meth:`solve` and friends):
+    up to ``retries`` re-attempts of *retriable* failures only —
+    ``code`` in :data:`RETRIABLE_CODES`, or a torn connection when the
+    client was built via :meth:`connect` (it then transparently
+    reconnects) — with exponential backoff plus jitter starting at
+    ``backoff`` seconds.  ``deadline`` bounds the whole retry schedule:
+    no new attempt starts after it.  The defaults (``retries=0``) keep
+    the historical single-shot behaviour.
+    """
 
     def __init__(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        deadline: float | None = None,
     ) -> None:
+        if retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0:
+            raise ConfigurationError(f"backoff must be > 0, got {backoff}")
+        if deadline is not None and deadline <= 0:
+            raise ConfigurationError(
+                f"deadline must be > 0, got {deadline}"
+            )
         self._reader = reader
         self._writer = writer
+        self._retries = retries
+        self._backoff = backoff
+        self._deadline = deadline
+        # Set by connect(); without them a torn connection cannot be
+        # re-established, so connection loss is then non-retriable.
+        self._host: str | None = None
+        self._port: int | None = None
         self._pending: dict[int, asyncio.Future] = {}
         self._next_id = 0
         self._closed = False
+        self._user_closed = False
+        self._conn_lock = asyncio.Lock()
         # Serialises write+drain: concurrent drain() waiters on one
         # transport are unsupported on Python 3.10 (single-waiter assert
         # in FlowControlMixin), and solve_many pipelines heavily.
@@ -155,11 +245,24 @@ class ServeClient:
         )
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> ServeClient:
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        *,
+        retries: int = 0,
+        backoff: float = 0.05,
+        deadline: float | None = None,
+    ) -> ServeClient:
         reader, writer = await asyncio.open_connection(
             host, port, limit=MAX_LINE_BYTES
         )
-        return cls(reader, writer)
+        client = cls(
+            reader, writer, retries=retries, backoff=backoff, deadline=deadline
+        )
+        client._host = host
+        client._port = port
+        return client
 
     async def __aenter__(self) -> ServeClient:
         return self
@@ -255,6 +358,7 @@ class ServeClient:
         await self._request({"op": "shutdown"})
 
     async def close(self) -> None:
+        self._user_closed = True
         self._closed = True
         self._reader_task.cancel()
         try:
@@ -302,14 +406,68 @@ class ServeClient:
             self._pending.pop(rid, None)
 
     async def _request(self, message: dict[str, Any]) -> dict[str, Any]:
-        response = await self.request_raw(message)
-        if not response.get("ok"):
-            error = response.get("error", "request failed")
-            code = response.get("code")
-            if code == CODE_OVERLOADED:
-                raise ServeOverloadedError(error)
-            raise ServeError(error, code=code)
-        return response
+        loop = asyncio.get_running_loop()
+        give_up_at = (
+            None if self._deadline is None else loop.time() + self._deadline
+        )
+        attempt = 0
+        while True:
+            failure: ServeError
+            try:
+                response = await self.request_raw(message)
+            except ServeConnectionError as exc:
+                if self._user_closed or self._host is None:
+                    raise
+                failure = exc
+            else:
+                if response.get("ok"):
+                    return response
+                error = response.get("error", "request failed")
+                code = response.get("code")
+                failure = _error_for(error, code)
+                if code not in RETRIABLE_CODES:
+                    raise failure
+            attempt += 1
+            if attempt > self._retries:
+                raise failure
+            delay = self._backoff * (2 ** (attempt - 1))
+            # Jitter desynchronises clients retrying the same incident.
+            delay *= 0.5 + random.random()
+            if give_up_at is not None and loop.time() + delay > give_up_at:
+                raise failure
+            await asyncio.sleep(delay)
+            if self._closed and not self._user_closed:
+                try:
+                    await self._reconnect()
+                except OSError as exc:
+                    failure = ServeConnectionError(f"reconnect failed: {exc}")
+                    if attempt >= self._retries:
+                        raise failure from exc
+
+    async def _reconnect(self) -> None:
+        """Re-establish a torn connection (only possible via :meth:`connect`)."""
+        if self._host is None or self._port is None:
+            raise ServeConnectionError(
+                "cannot reconnect: client was not built via connect()"
+            )
+        async with self._conn_lock:
+            if not self._closed or self._user_closed:
+                return
+            self._reader_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError, Exception):
+                await self._reader_task
+            self._writer.close()
+            with contextlib.suppress(Exception):
+                await self._writer.wait_closed()
+            reader, writer = await asyncio.open_connection(
+                self._host, self._port, limit=MAX_LINE_BYTES
+            )
+            self._reader = reader
+            self._writer = writer
+            self._closed = False
+            self._reader_task = asyncio.get_running_loop().create_task(
+                self._read_loop()
+            )
 
     async def _read_loop(self) -> None:
         try:

@@ -55,6 +55,7 @@ from repro.perf.stats import ClusterStats
 from repro.serve.protocol import (
     CODE_CLOSED,
     CODE_OVERLOADED,
+    CODE_TIMEOUT,
     MAX_LINE_BYTES,
     ProtocolError,
     decode_line,
@@ -318,9 +319,15 @@ class ClusterRouter:
 
         Sheds (``code: "overloaded"``) and deaths fall through to the
         next owner; a graceful-shutdown refusal (``code: "closed"``) is
-        treated like a shed (the worker is draining, not dead).  Any
-        other error response is request-specific and forwarded verbatim
-        — retrying an infeasible instance elsewhere cannot help.
+        treated like a shed (the worker is draining, not dead).  A
+        supervised-solve deadline overrun (``code: "timeout"``) is
+        counted but forwarded verbatim, *never* failed over: the hang is
+        keyed by the digest, so replaying it on a fallback owner would
+        hang (and rebuild) that worker's pool too — the client may retry
+        after backoff instead.  Any other error response (including
+        ``code: "quarantined"``) is request-specific and forwarded
+        verbatim — retrying an infeasible or poison instance elsewhere
+        cannot help.
         """
         self.stats.requests_routed += 1
         last_shed: dict[str, Any] | None = None
@@ -346,6 +353,9 @@ class ClusterRouter:
                 wstats.sheds += 1
                 last_shed = response
                 continue
+            if code == CODE_TIMEOUT:
+                wstats.timeouts += 1
+                return name, response
             wstats.errors += 1
             return name, response
         self.stats.rejected += 1

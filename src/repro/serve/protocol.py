@@ -48,12 +48,27 @@ entirely.  Responses echo ``id``:
     {"id": 7, "ok": false, "error": "...", "code": "overloaded"}
 
 Error responses may carry a machine-readable ``code`` alongside the
-human-readable ``error`` string: ``"overloaded"`` (the server shed the
-request at its ``max_pending`` admission bound — nothing was enqueued,
-retrying elsewhere is safe; the cluster router does exactly that) or
-``"closed"`` (the server is shutting down).  Errors without a ``code``
-are request-specific (infeasible instance, unknown session, ...) and
-must not be retried verbatim.
+human-readable ``error`` string.  Every code is *typed* retriable or
+not:
+
+``"overloaded"`` (retriable)
+    The server shed the request at its ``max_pending`` admission bound —
+    nothing was enqueued, retrying elsewhere is safe; the cluster router
+    does exactly that.
+``"closed"`` (retriable elsewhere)
+    The server is shutting down; the router treats it like a shed.
+``"timeout"`` (retriable, after backoff)
+    The supervised solve overran its ``solve_timeout`` deadline; the
+    worker pool was killed and rebuilt and the digest quarantined for a
+    TTL.  Safe to retry — a later attempt may succeed once the
+    quarantine expires (the overrun may have been load-induced).
+``"quarantined"`` (non-retriable)
+    The digest previously crashed or hung a solver pool and fails fast
+    for the quarantine TTL; retrying re-sends the same poison instance
+    and must not be done automatically.
+
+Errors without a ``code`` are request-specific (infeasible instance,
+unknown session, ...) and must not be retried verbatim.
 
 ``served`` records how the request was answered — ``"cache"`` (shared
 result cache), ``"coalesced"`` (joined an identical in-flight solve) or
@@ -71,13 +86,17 @@ from typing import Any
 from repro.batch.instance import BatchInstance, instance_from_dict
 from repro.exceptions import (
     ConfigurationError,
+    QuarantinedError,
     ServerClosedError,
     ServerOverloadedError,
+    SolveTimeoutError,
 )
 
 __all__ = [
     "CODE_CLOSED",
     "CODE_OVERLOADED",
+    "CODE_QUARANTINED",
+    "CODE_TIMEOUT",
     "MAX_LINE_BYTES",
     "ProtocolError",
     "decode_line",
@@ -115,6 +134,11 @@ class ProtocolError(ConfigurationError):
 CODE_OVERLOADED = "overloaded"
 #: ``code`` of an error response refused because shutdown began.
 CODE_CLOSED = "closed"
+#: ``code`` of a supervised solve that overran its deadline; retriable
+#: after backoff (the pool was rebuilt, the digest quarantined).
+CODE_TIMEOUT = "timeout"
+#: ``code`` of a digest failing fast in poison quarantine; NOT retriable.
+CODE_QUARANTINED = "quarantined"
 
 
 def error_code(exc: BaseException) -> str | None:
@@ -123,6 +147,10 @@ def error_code(exc: BaseException) -> str | None:
         return CODE_OVERLOADED
     if isinstance(exc, ServerClosedError):
         return CODE_CLOSED
+    if isinstance(exc, SolveTimeoutError):
+        return CODE_TIMEOUT
+    if isinstance(exc, QuarantinedError):
+        return CODE_QUARANTINED
     return None
 
 

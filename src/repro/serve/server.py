@@ -40,16 +40,13 @@ import asyncio
 import contextlib
 import functools
 import time
-from concurrent.futures import (
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
+from concurrent.futures import ThreadPoolExecutor
 from typing import Any
 
 from repro.batch.cache import ResultCache
-from repro.batch.executor import solve_batch
+from repro.batch.executor import SupervisedPool, solve_batch
 from repro.batch.instance import BatchInstance
+from repro.batch.quarantine import QuarantineRegistry, bisect_culprits
 from repro.batch.registry import get_policy
 from repro.dynamics.incremental import (
     ApplyResult,
@@ -63,6 +60,7 @@ from repro.exceptions import (
     ServerOverloadedError,
     SolverError,
 )
+from repro.faults import registry as _faults
 from repro.perf.stats import ParetoDPStats, ServeStats, SessionServeStats
 from repro.serve.protocol import (
     MAX_LINE_BYTES,
@@ -203,8 +201,9 @@ class BatchServer:
         omitted.  Pass one with a ``cache_dir`` for persistence.
     workers:
         Process-pool size for canonical solves.  ``1`` (default) solves
-        on the drain thread; ``> 1`` keeps one shared
-        :class:`~concurrent.futures.ProcessPoolExecutor` warm across
+        on the drain thread (unless ``solve_timeout`` forces pool
+        supervision); ``> 1`` keeps one shared
+        :class:`~repro.batch.executor.SupervisedPool` warm across
         micro-batches.
     max_batch:
         Upper bound on instances per micro-batch.
@@ -221,6 +220,19 @@ class BatchServer:
         caller (or the cluster router) may retry it elsewhere.  Cache
         hits and coalesced joins never consume admission slots.
         ``None`` (default) keeps the historical unbounded behaviour.
+    solve_timeout:
+        Wall-clock deadline in seconds for each supervised solve wave
+        (see :func:`repro.batch.solve_batch`).  A hung solve gets its
+        pool killed + rebuilt, the culprit digest quarantined, and its
+        waiters a typed :class:`~repro.exceptions.SolveTimeoutError`
+        (wire ``code: "timeout"``).  Setting it with ``workers=1``
+        still spins up a single-worker supervised pool — a deadline is
+        meaningless without one.  ``None`` (default) keeps solves
+        unbounded.
+    quarantine_ttl:
+        Seconds a digest convicted of crashing or hanging the pool
+        fails fast with :class:`~repro.exceptions.QuarantinedError`
+        (wire ``code: "quarantined"``) before it may solve again.
     stats:
         Optional shared :class:`~repro.perf.stats.ServeStats` collector.
 
@@ -240,6 +252,8 @@ class BatchServer:
         max_batch: int = 32,
         max_delay: float = 0.002,
         max_pending: int | None = None,
+        solve_timeout: float | None = None,
+        quarantine_ttl: float = 300.0,
         stats: ServeStats | None = None,
     ) -> None:
         if workers < 1:
@@ -252,18 +266,28 @@ class BatchServer:
             raise ConfigurationError(
                 f"max_pending must be >= 1, got {max_pending}"
             )
+        if solve_timeout is not None and solve_timeout <= 0:
+            raise ConfigurationError(
+                f"solve_timeout must be positive, got {solve_timeout}"
+            )
+        if quarantine_ttl <= 0:
+            raise ConfigurationError(
+                f"quarantine_ttl must be positive, got {quarantine_ttl}"
+            )
         self.cache = cache if cache is not None else ResultCache()
         self.stats = stats if stats is not None else ServeStats()
         self._workers = workers
         self._max_batch = max_batch
         self._max_delay = max_delay
         self._max_pending = max_pending
+        self._solve_timeout = solve_timeout
+        self._quarantine = QuarantineRegistry(ttl=quarantine_ttl)
         self._jobs: dict[str, _Job] = {}
         self._queue: asyncio.PriorityQueue = asyncio.PriorityQueue()
         self._seq = 0
         self._drain_task: asyncio.Task | None = None
         self._thread: ThreadPoolExecutor | None = None
-        self._pool: ProcessPoolExecutor | None = None
+        self._pool: SupervisedPool | None = None
         self._tcp_server: asyncio.base_events.Server | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._request_tasks: set[asyncio.Task] = set()
@@ -299,8 +323,10 @@ class BatchServer:
             self._thread = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-serve"
             )
-            if self._workers > 1:
-                self._pool = ProcessPoolExecutor(max_workers=self._workers)
+            if self._workers > 1 or self._solve_timeout is not None:
+                # A deadline needs a killable pool: with workers=1 a
+                # single-worker supervised pool replaces in-thread solves.
+                self._pool = SupervisedPool(self._workers)
             self._drain_task = asyncio.create_task(self._drain_loop())
         return self
 
@@ -341,7 +367,7 @@ class BatchServer:
         if self._tcp_server is not None:
             await self._tcp_server.wait_closed()
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.shutdown()
             self._pool = None
         if self._thread is not None:
             self._thread.shutdown(wait=True)
@@ -415,6 +441,10 @@ class BatchServer:
                 pstats.cache_hits += 1
                 self._absorb_kernel_stats(solver, {digest: record})
             else:
+                # Poison digests fail fast *before* they can coalesce or
+                # schedule — one quarantined solve must never reach the
+                # pool again for the TTL.  Cache hits above still serve.
+                self._quarantine.check(digest, stats=self.cache.stats)
                 job = self._jobs.get(digest)
                 if job is not None:
                     served = "coalesced"
@@ -535,6 +565,8 @@ class BatchServer:
         """
         return {
             "serve": self.stats.as_dict(),
+            "cache": self.cache.stats.as_dict(),
+            "quarantine": self._quarantine.snapshot(),
             "kernel": {
                 solver: collector.as_dict()
                 for solver, collector in sorted(self._kernel_stats.items())
@@ -558,58 +590,77 @@ class BatchServer:
         for solver, group in by_solver.items():
             self.stats.batches += 1
             self.stats.batch_instances += len(group)
-            try:
-                records = await self._solve_group(solver, group)
-            except Exception:
-                # One bad instance (e.g. infeasible) must not fail the
-                # whole micro-batch: re-run each job alone so every other
-                # waiter still gets its answer and only the culprit errors.
-                for job in group:
-                    try:
-                        records = await self._solve_group(solver, [job])
-                    except Exception as exc:
-                        self._complete_job(job, exc=exc)
-                    else:
-                        self._absorb_kernel_stats(solver, records)
-                        self._complete_job(job, records=records)
-            else:
-                self._absorb_kernel_stats(solver, records)
-                for job in group:
+            records, errors = await self._solve_group(solver, group)
+            self._absorb_kernel_stats(solver, records)
+            for job in group:
+                exc = errors.get(job.digest)
+                if exc is not None:
+                    self._complete_job(job, exc=exc)
+                else:
                     self._complete_job(job, records=records)
 
     async def _solve_group(
         self, solver: str, group: list[_Job]
-    ) -> dict[str, dict[str, Any]]:
+    ) -> tuple[dict[str, dict[str, Any]], dict[str, Exception]]:
         """Run one solver group through ``solve_batch`` on the backend.
 
-        A crashed process pool (worker OOM-killed / segfaulted) is
-        rebuilt and the group retried once, so one dead worker doesn't
-        poison the long-lived server.
+        Returns ``(records, errors)`` keyed by digest.  Per-digest
+        failures (infeasible instance, quarantined poison, deadline
+        overrun) arrive through ``errors_out`` without failing the
+        batch; crash/hang supervision — kill + rebuild the pool,
+        attribute and quarantine culprits — happens inside
+        :func:`~repro.batch.solve_batch` itself.  A *group-level*
+        failure (an exception before per-digest isolation kicks in,
+        e.g. instance validation) falls back to bisection over the
+        unresolved jobs: partial results published through
+        ``records_out`` are reused — a probe re-running an
+        already-solved digest is answered by the cache — so isolating
+        ``k`` culprits costs ``O(k log n)`` probes, not ``n`` re-solves.
         """
         loop = asyncio.get_running_loop()
-        for attempt in (0, 1):
-            records: dict[str, dict[str, Any]] = {}
-            run = functools.partial(
-                solve_batch,
-                [job.instance for job in group],
-                solver=solver,
-                workers=self._workers,
-                cache=self.cache,
-                pool=self._pool,
-                records_out=records,
+        records: dict[str, dict[str, Any]] = {}
+        errors: dict[str, Exception] = {}
+        run = functools.partial(
+            self._run_solver_group, solver, records=records, errors=errors
+        )
+        assert self._thread is not None
+        try:
+            await loop.run_in_executor(
+                self._thread, functools.partial(run, group)
             )
-            try:
-                assert self._thread is not None
-                await loop.run_in_executor(self._thread, run)
-            except BrokenExecutor:
-                if self._pool is not None:
-                    self._pool.shutdown(wait=False, cancel_futures=True)
-                    self._pool = ProcessPoolExecutor(max_workers=self._workers)
-                if attempt == 1:
-                    raise
-            else:
-                return records
-        raise AssertionError("unreachable")  # pragma: no cover
+        except Exception:
+            remaining = [
+                job
+                for job in group
+                if job.digest not in records and job.digest not in errors
+            ]
+            culprits = await loop.run_in_executor(
+                self._thread, functools.partial(bisect_culprits, remaining, run)
+            )
+            for job, exc in culprits:
+                errors.setdefault(job.digest, exc)
+        return records, errors
+
+    def _run_solver_group(
+        self,
+        solver: str,
+        jobs: list[_Job],
+        *,
+        records: dict[str, dict[str, Any]],
+        errors: dict[str, Exception],
+    ) -> None:
+        """One blocking ``solve_batch`` call (runs on the drain thread)."""
+        solve_batch(
+            [job.instance for job in jobs],
+            solver=solver,
+            workers=self._workers,
+            cache=self.cache,
+            pool=self._pool,
+            records_out=records,
+            errors_out=errors,
+            solve_timeout=self._solve_timeout,
+            quarantine=self._quarantine,
+        )
 
     def _complete_job(
         self,
@@ -779,6 +830,13 @@ class BatchServer:
     ) -> None:
         """One request task: dispatch the message, write the response."""
         response = await self.dispatch(message, ctx)
+        plan = _faults.active_plan()
+        if plan is not None and plan.should_drop(response.get("digest")):
+            # Chaos hook: tear the connection instead of answering —
+            # the work is done (and cached); the client's retry policy
+            # reconnects and re-asks.
+            writer.close()
+            return
         await self._write(writer, write_lock, response)
 
     # ------------------------------------------------------------------

@@ -86,6 +86,9 @@ class WorkerConfig:
     cache_dir: str | None = None
     #: Pareto-kernel override forwarded to power policies.
     kernel: str | None = None
+    #: Wall-clock deadline (seconds) for one supervised solve wave;
+    #: ``None`` disables supervision deadlines (crashes still recover).
+    solve_timeout: float | None = None
 
     def worker_cache_dir(self, name: str) -> Path | None:
         """The worker-private persistent store directory (or ``None``)."""
@@ -227,6 +230,7 @@ class InProcessSpawner(Spawner):
             max_batch=config.max_batch,
             max_delay=config.max_delay,
             max_pending=config.max_pending,
+            solve_timeout=config.solve_timeout,
         )
         await server.start()
         worker = _InProcessWorker(name, server)
@@ -335,6 +339,8 @@ class SubprocessSpawner(Spawner):
             cmd += ["--cache-dir", str(cache_dir)]
         if config.kernel is not None:
             cmd += ["--kernel", config.kernel]
+        if config.solve_timeout is not None:
+            cmd += ["--solve-timeout", str(config.solve_timeout)]
         return cmd
 
     async def spawn(self, name: str, config: WorkerConfig) -> WorkerHandle:

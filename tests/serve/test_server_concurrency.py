@@ -220,15 +220,20 @@ class TestMixedPolicies:
 
     def test_crashed_worker_pool_is_rebuilt(self):
         """A dead pool worker fails its own request but must not poison
-        the long-lived server: the pool is rebuilt and later cache-miss
-        requests succeed."""
-        from concurrent.futures import BrokenExecutor
+        the long-lived server: the crash is attributed to its digest
+        (typed ``QuarantinedError``), the pool is rebuilt, and later
+        cache-miss requests succeed."""
+        from repro.exceptions import QuarantinedError
 
         instance = _instance(seed=43, n_nodes=20)
 
         async def run():
             async with BatchServer(max_delay=0, workers=2) as server:
-                with pytest.raises(BrokenExecutor):
+                with pytest.raises(QuarantinedError):
+                    await server.submit(instance, solver="crash_dp")
+                # The poison digest now fails fast for its TTL, without
+                # touching (or re-breaking) the rebuilt pool.
+                with pytest.raises(QuarantinedError):
                     await server.submit(instance, solver="crash_dp")
                 result = await server.submit(instance, solver="dp")
                 return result, server
@@ -236,6 +241,9 @@ class TestMixedPolicies:
         result, server = asyncio.run(run())
         assert result.n_replicas > 0
         assert server.stats.policy("dp").errors == 0
+        assert server.cache.stats.pool_rebuilds == 1
+        assert server.cache.stats.quarantined == 1
+        assert server.cache.stats.quarantine_blocked == 1
 
     def test_error_does_not_kill_other_requests(self):
         bad = _instance(seed=17, n_nodes=20, power=False)  # no power model

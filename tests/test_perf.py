@@ -166,6 +166,7 @@ class TestClusterStats:
         payload = stats.as_dict()
         assert list(payload["workers"]) == ["w0", "w1"]
         assert payload["workers"]["w1"] == {
-            "routed": 2, "sheds": 0, "errors": 0, "deaths": 1, "respawns": 0,
+            "routed": 2, "sheds": 0, "timeouts": 0, "errors": 0,
+            "deaths": 1, "respawns": 0,
         }
         assert payload["rejected"] == 0 and payload["lost_sessions"] == 0
